@@ -1,0 +1,41 @@
+"""Benches for the extended TPC-H suite (beyond the paper's four).
+
+Each extended query runs staged vs reference (the bench doubles as a
+correctness check under benchmark timing) and the join pivots inherit
+the paper's sharing result on small machines.
+"""
+
+import pytest
+
+from repro.engine import Engine, execute_reference
+from repro.experiments.common import batch_speedup
+from repro.sim import Simulator
+from repro.tpch.extended_queries import build_extended
+
+
+@pytest.mark.parametrize("name", ["q3", "q10", "q12", "q14"])
+def test_extended_query_staged(benchmark, catalog, name):
+    query = build_extended(name, catalog)
+    reference = execute_reference(query.plan, catalog)
+
+    def run():
+        sim = Simulator(processors=8)
+        engine = Engine(catalog, sim)
+        handle = engine.execute(query.plan, name)
+        sim.run()
+        return handle
+
+    handle = benchmark(run)
+    assert handle.rows == reference
+
+
+def test_extended_sharing_wins_on_uniprocessor(benchmark, catalog):
+    def sweep():
+        return {
+            name: batch_speedup(catalog, build_extended(name, catalog), 8, 1)
+            for name in ("q3", "q10", "q12")
+        }
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, z in speedups.items():
+        assert z > 1.8, f"{name}: {z}"

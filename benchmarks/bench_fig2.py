@@ -1,0 +1,43 @@
+"""Regenerates Figure 2: scan-heavy vs join-heavy sharing speedups.
+
+Target shapes: scan-heavy (Q1, Q6) speedups cap below ~2x on one CPU
+and turn harmful with more processors; join-heavy (Q4, Q13) speedups
+keep growing with the client count and stay >= ~1 everywhere the
+paper's always-beneficial claim covers.
+"""
+
+from repro.experiments import fig2
+
+from conftest import BENCH_SCALE_FACTOR, BENCH_SEED
+
+CLIENTS = (2, 8, 24, 48)
+
+
+def test_fig2_regenerates(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2.run(clients=CLIENTS, scale_factor=BENCH_SCALE_FACTOR,
+                         seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+
+    # Left panel: scan-heavy.
+    for name in ("q1", "q6"):
+        one = result.line(name, 1).as_mapping()
+        many = result.line(name, 32).as_mapping()
+        assert 1.2 < one[48] < 2.5, f"{name} 1-cpu speedup out of band"
+        assert many[48] < 0.3, f"{name} should collapse on 32 cpus"
+
+    # Right panel: join-heavy — speedup grows with clients.
+    for name in ("q4", "q13"):
+        one = result.line(name, 1)
+        assert one.speedups[-1] > 5.0, f"{name} 1-cpu speedup too small"
+        assert list(one.speedups) == sorted(one.speedups), (
+            f"{name} speedup should grow with clients"
+        )
+
+    # Join-heavy dominates scan-heavy at every processor count (the
+    # paper's central contrast between the two panels).
+    for n in (1, 2, 8, 32):
+        q4 = result.line("q4", n).max_speedup()
+        q6 = result.line("q6", n).max_speedup()
+        assert q4 > q6

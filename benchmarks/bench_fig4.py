@@ -1,0 +1,49 @@
+"""Regenerates Figure 4: the three Section-6 sensitivity panels.
+
+Pure model evaluation (no engine), so this bench also tracks the
+model's evaluation cost at figure scale.
+"""
+
+from repro.core.sensitivity import staged_query, work_eliminated_fraction
+from repro.experiments import fig4
+
+CLIENTS = tuple(range(1, 41))
+
+
+def test_fig4_regenerates(benchmark):
+    result = benchmark(lambda: fig4.run(clients=CLIENTS))
+
+    # Left: 1 CPU always eventually wins; 32 CPUs never; 16 sometimes.
+    left = result.processors
+    assert left.ever_beneficial(1.0)
+    assert not left.ever_beneficial(32.0)
+    sixteen = left.series[16.0]
+    assert any(z > 1.0 for z in sixteen) and any(z < 1.0 for z in sixteen)
+
+    # Center: benefit decreases monotonically with s at full load.
+    center = result.output_cost
+    at_full = [center.series[s][-1] for s in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)]
+    assert at_full == sorted(at_full, reverse=True)
+    assert at_full[0] > 1.0      # s = 0 wins on 32 cpus
+    assert at_full[-1] < 1.0     # s = 4 loses
+
+    # Right: moving stages below the pivot helps, with a diminishing
+    # final step; speedup stays far below the 50x work-elimination bound.
+    right = result.work_below
+    at_full = {k: right.series[k][-1] for k in right.series}
+    assert at_full[0.0] < at_full[3.0] < at_full[4.0]
+    assert (at_full[5.0] - at_full[4.0]) < (at_full[4.0] - at_full[3.0])
+    assert at_full[5.0] < 10.0
+
+
+def test_fig4_labels_match_paper(benchmark):
+    """The right panel's legend percentages (28%..98%)."""
+
+    def fractions():
+        return [
+            round(100 * work_eliminated_fraction(staged_query(k), "pivot"))
+            for k in range(6)
+        ]
+
+    values = benchmark(fractions)
+    assert values == [28, 42, 56, 70, 84, 98]

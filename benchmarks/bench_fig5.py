@@ -1,0 +1,42 @@
+"""Regenerates Figure 5: model validation against the engine.
+
+The reproduction's analogue of the paper's error statistics (scan
+max/avg 22%/5.7%; join 30%/5.9%): we assert that the average error
+stays in a comparable band and — the paper's actual point — that the
+binary share/don't-share recommendation is nearly always correct.
+"""
+
+from repro.experiments import fig5
+
+from conftest import BENCH_SCALE_FACTOR, BENCH_SEED
+
+CLIENTS = (2, 8, 16, 32)
+
+
+def test_fig5_regenerates(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5.run(clients=CLIENTS, scale_factor=BENCH_SCALE_FACTOR,
+                         seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    # First-order accuracy: average error within a few tens of percent
+    # (the paper's averages were ~6%; our simulator adds pipeline-fill
+    # effects the model ignores, so the band is wider but must stay
+    # first-order).
+    assert result.avg_error("scan-heavy") < 0.30
+    assert result.avg_error("join-heavy") < 0.40
+    # The binary recommendation is what the engine consumes.
+    assert result.decision_accuracy() >= 0.85
+
+
+def test_fig5_scan_heavy_only(benchmark):
+    """The scan-heavy half in isolation (cheaper, tighter band)."""
+    result = benchmark.pedantic(
+        lambda: fig5.run(clients=(8, 32), queries=("q6",),
+                         scale_factor=BENCH_SCALE_FACTOR, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    assert result.avg_error("scan-heavy") < 0.25
+    for point in result.points:
+        if point.processors == 32 and point.clients >= 8:
+            assert point.predicted < 1.0 and point.measured < 1.0

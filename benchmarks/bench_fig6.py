@@ -1,0 +1,54 @@
+"""Regenerates Figure 6: the three sharing policies in a closed system.
+
+Target shapes (paper, Section 8.2):
+
+* 2 processors — sharing always helps: always-share and model-guided
+  lead, never-share falls behind as the Q4 fraction grows;
+* 32 processors — always-share collapses (paper: 80 vs 165 q/min) and
+  the model-guided policy matches/beats both at every mix, averaging
+  ~2.5x over always-share.
+"""
+
+from repro.experiments import fig6
+
+from conftest import BENCH_SCALE_FACTOR, BENCH_SEED
+
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def test_fig6_regenerates(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6.run(
+            fractions=FRACTIONS,
+            n_clients=16,
+            warmup=150_000.0,
+            window=500_000.0,
+            scale_factor=BENCH_SCALE_FACTOR,
+            seed=BENCH_SEED,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # 2 processors: never-share loses ground as Q4 rises; the sharing
+    # policies dominate at join-heavy mixes.
+    assert result.throughput("always", 2, 1.0) > (
+        2.0 * result.throughput("never", 2, 1.0)
+    )
+    assert result.throughput("model", 2, 1.0) > (
+        2.0 * result.throughput("never", 2, 1.0)
+    )
+
+    # 32 processors: always-share collapses on the scan-heavy mixes.
+    assert result.throughput("always", 32, 0.0) < (
+        0.5 * result.throughput("never", 32, 0.0)
+    )
+    # The model-guided policy is never (materially) worse than either
+    # static policy at any mix.
+    for fraction in FRACTIONS:
+        model = result.throughput("model", 32, fraction)
+        assert model >= 0.9 * result.throughput("never", 32, fraction)
+        assert model >= 0.9 * result.throughput("always", 32, fraction)
+
+    # Headline: model-guided vs always-share averages in the paper's
+    # ~2.5x territory on the CMP.
+    assert result.average_ratio(32, "model", "always") > 1.8

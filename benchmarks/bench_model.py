@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the analytical model (Section 4 / Table 1).
+
+The model must be cheap enough to consult on every query arrival
+(Section 8 integrates it into the engine's runtime decision path);
+these benches measure a single decision and a full sensitivity sweep,
+and pin the Section 4.4 golden values.
+"""
+
+import pytest
+
+from repro.core import ShareAdvisor
+from repro.core.model import shared_rate, sharing_benefit, unshared_rate
+from repro.core.sensitivity import sweep_processors
+from repro.core.spec import QuerySpec, chain, op
+
+
+@pytest.fixture(scope="module")
+def q6_group():
+    q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
+                   label="q6")
+    return [q6.relabeled(f"q6#{i}") for i in range(48)]
+
+
+def test_single_decision(benchmark, q6_group):
+    """One runtime share/don't-share decision (48 sharers, 32 cpus)."""
+    advisor = ShareAdvisor(processors=32)
+    decision = benchmark(advisor.evaluate, q6_group, "scan")
+    assert not decision.share
+    assert decision.benefit < 0.2
+
+
+def test_rate_evaluation(benchmark, q6_group):
+    """Raw shared/unshared rate computation for the Section 4.4 case."""
+
+    def rates():
+        return (
+            shared_rate(q6_group, "scan", 32),
+            unshared_rate(q6_group, 32),
+        )
+
+    shared, unshared = benchmark(rates)
+    # Section 4.4 closed forms at m=48, n=32.
+    assert unshared == pytest.approx(min(48 / 20.0, 32 / 20.97))
+    assert shared == pytest.approx(
+        min(1 / (9.66 / 48 + 10.34), 32 / (9.66 / 48 + 11.31))
+    )
+
+
+def test_sensitivity_sweep(benchmark):
+    """Figure 4 (left): full 7-line x 40-client model sweep."""
+    result = benchmark(sweep_processors)
+    assert result.ever_beneficial(1.0)
+    assert not result.ever_beneficial(32.0)
+
+
+def test_benefit_scales_with_group_size(benchmark, q6_group):
+    """Z over all prefixes of the group (the advisor's search loop)."""
+
+    def all_prefixes():
+        return [
+            sharing_benefit(q6_group[:m], "scan", 1)
+            for m in range(2, len(q6_group) + 1)
+        ]
+
+    zs = benchmark(all_prefixes)
+    assert all(hi >= lo for lo, hi in zip(zs, zs[1:]))
+    assert zs[-1] > 1.5

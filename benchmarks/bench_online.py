@@ -1,0 +1,59 @@
+"""Ablation: online vs offline model-guided policies.
+
+The paper uses offline profiling; the library also ships online
+estimation (its anticipated extension). This bench runs both against
+the same workload and asserts the online policy converges to the same
+sharing behaviour as the offline one — paying only a bounded
+exploration cost.
+"""
+
+from repro.policies import ModelGuidedPolicy, OnlineModelGuidedPolicy
+from repro.profiling import QueryProfiler
+from repro.tpch.queries import build
+from repro.workload import WorkloadMix, run_closed_system
+
+
+def test_online_matches_offline_decisions(benchmark, catalog):
+    q6 = build("q6", catalog)
+    profile = QueryProfiler(catalog).profile(q6.plan, q6.pivot, label="q6")
+    offline = ModelGuidedPolicy({"q6": (profile.to_query_spec(), q6.pivot)})
+
+    def run(policy):
+        return run_closed_system(
+            catalog, policy, WorkloadMix.single("q6"),
+            n_clients=10, processors=32,
+            warmup=100_000.0, window=400_000.0,
+        )
+
+    def both():
+        online = OnlineModelGuidedPolicy({"q6": q6}, exploration_budget=2)
+        return run(offline), run(online), online
+
+    offline_result, online_result, online_policy = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    # Both settle on not sharing Q6 on 32 cpus; the online run paid a
+    # small exploration cost but must land within 15% of offline.
+    assert online_policy.estimators["q6"].ready()
+    assert offline_result.shared_submissions == 0
+    assert online_result.throughput > 0.85 * offline_result.throughput
+
+
+def test_online_with_prior_skips_exploration(benchmark, catalog):
+    q6 = build("q6", catalog)
+    profile = QueryProfiler(catalog).profile(q6.plan, q6.pivot, label="q6")
+
+    def run():
+        policy = OnlineModelGuidedPolicy(
+            {"q6": q6}, exploration_budget=0, priors={"q6": profile},
+        )
+        result = run_closed_system(
+            catalog, policy, WorkloadMix.single("q6"),
+            n_clients=8, processors=32,
+            warmup=50_000.0, window=200_000.0,
+        )
+        return policy, result
+
+    policy, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert policy.exploration_shares == 0
+    assert result.shared_submissions == 0  # prior already says "don't"

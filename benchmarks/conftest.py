@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates (a reduced-scale version of) one paper table
+or figure and asserts its qualitative shape, so the benchmark suite
+doubles as an end-to-end reproduction check. Heavy experiment benches
+use ``benchmark.pedantic(rounds=1)`` — the interesting number is the
+experiment's output, not micro-timing stability.
+"""
+
+import pytest
+
+from repro.tpch.generator import generate
+
+BENCH_SCALE_FACTOR = 0.0005
+BENCH_SEED = 2007
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """One small TPC-H database shared by every bench."""
+    return generate(scale_factor=BENCH_SCALE_FACTOR, seed=BENCH_SEED)

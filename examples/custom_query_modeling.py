@@ -1,0 +1,73 @@
+"""Modeling your own queries: stop-&-go operators, joins and phases.
+
+The Section-4 model handles fully pipelined plans; real plans contain
+sorts and hash builds. This example shows the Section-5 toolkit on a
+custom report query:
+
+    orders JOIN lineitem (hash join), sorted output, shared scans
+
+— building the model spec with :mod:`repro.core.joins`, decomposing it
+into pipelined phases, and asking where (and with how many peers)
+sharing pays off on different machines.
+
+Run: ``python examples/custom_query_modeling.py``
+"""
+
+from repro.core import QuerySpec, op
+from repro.core.joins import hash_join, sort_operator
+from repro.core.phases import PhasedQuery, decompose
+
+
+def build_report_query() -> QuerySpec:
+    """A model-level plan: two scans -> hash join -> sort -> emit."""
+    orders_scan = op("orders_scan", 4.0, 0.5)
+    lineitem_scan = op("lineitem_scan", 16.0, 1.0)
+    join = hash_join(
+        "join",
+        build=orders_scan,
+        probe=lineitem_scan,
+        build_work=2.0,
+        probe_work=3.0,
+        output_cost=0.4,
+    )
+    sorted_out = sort_operator(
+        "sort", join, run_work=2.5, merge_work=1.0, replay_work=0.3,
+        output_cost=0.2,
+    )
+    return QuerySpec(op("emit", 0.5, 0.0, sorted_out), label="report")
+
+
+def main() -> None:
+    query = build_report_query()
+
+    print("Plan:", ", ".join(query.operator_names()))
+    print("Blocking operators:",
+          ", ".join(n.name for n in query.blocking_operators()))
+    print()
+
+    phases = decompose(query)
+    print(f"Section 5.2 decomposition -> {len(phases)} phases:")
+    for phase in phases:
+        ops = ", ".join(phase.query.operator_names())
+        print(f"  [{phase.kind:>8}] {phase.query.label}: {ops}")
+    print()
+
+    phased = PhasedQuery(query)
+    print("Sharing the lineitem scan (below the hash build):")
+    header = f"{'m':>4} | " + " | ".join(f"{n:>7} cpus" for n in (1, 4, 16, 32))
+    print(header)
+    print("-" * len(header))
+    for m in (2, 8, 24):
+        cells = []
+        for n in (1, 4, 16, 32):
+            z = phased.sharing_benefit("lineitem_scan", m=m, n=n)
+            cells.append(f"Z={z:8.2f}")
+        print(f"{m:>4} | " + " | ".join(cells))
+    print()
+    print("The scan can only be shared during the build phase (its")
+    print("consumers are gone once the hash table exists); the phase")
+    print("decomposition accounts for exactly that.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Quickstart: should these queries share work?
+
+Walks the library's three layers in ~60 lines:
+
+1. model a query analytically and ask the Section-4 model whether a
+   group of clients should share it (the paper's Q6 example);
+2. run the same decision through a profiled TPC-H query;
+3. execute a shared group on the staged engine and watch the
+   serialization penalty appear in simulated time.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core import QuerySpec, ShareAdvisor, chain, op
+from repro.engine import Engine
+from repro.profiling import QueryProfiler
+from repro.sim import Simulator
+from repro.tpch.generator import generate
+from repro.tpch.queries import build
+
+
+def analytical_decision() -> None:
+    """The paper's Q6: scan (w=9.66, s=10.34) feeding an aggregate."""
+    q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
+                   label="q6")
+    print("1) Analytical model — paper's Q6 parameters")
+    for processors in (1, 2, 8, 32):
+        advisor = ShareAdvisor(processors=processors)
+        group = [q6.relabeled(f"q6#{i}") for i in range(32)]
+        decision = advisor.evaluate(group, pivot_name="scan")
+        verdict = "SHARE" if decision.share else "run independently"
+        print(f"   {processors:>2} cpus, 32 clients: predicted "
+              f"Z = {decision.benefit:.2f} -> {verdict}")
+    print()
+
+
+def profiled_decision() -> None:
+    """Profile a real TPC-H Q6 on the engine, then decide."""
+    catalog = generate(scale_factor=0.0005, seed=7)
+    query = build("q6", catalog)
+    profile = QueryProfiler(catalog).profile(query.plan, query.pivot,
+                                             label="q6")
+    spec = profile.to_query_spec()
+    pivot = profile.operator(query.pivot)
+    print("2) Profiled model — engine-measured parameters")
+    print(f"   scan stage: w = {pivot.work:.0f}, s = {pivot.output_cost:.0f} "
+          f"per consumer (s/w = {pivot.output_cost / pivot.work:.2f})")
+    for processors in (1, 32):
+        advisor = ShareAdvisor(processors=processors)
+        group = [spec.relabeled(f"q6#{i}") for i in range(16)]
+        decision = advisor.evaluate(group, pivot_name=query.pivot)
+        verdict = "SHARE" if decision.share else "run independently"
+        print(f"   {processors:>2} cpus, 16 clients: predicted "
+              f"Z = {decision.benefit:.2f} -> {verdict}")
+    print()
+
+
+def staged_execution() -> None:
+    """Measure the trade-off on the simulated CMP directly."""
+    catalog = generate(scale_factor=0.0005, seed=7)
+    query = build("q6", catalog)
+    print("3) Staged engine — measured speedup of sharing 16 clients")
+    for processors in (1, 32):
+        times = {}
+        for shared in (False, True):
+            sim = Simulator(processors=processors)
+            engine = Engine(catalog, sim)
+            labels = [f"q6#{i}" for i in range(16)]
+            if shared:
+                engine.execute_group([query.plan] * 16,
+                                     pivot_op_id=query.pivot, labels=labels)
+            else:
+                for label in labels:
+                    engine.execute(query.plan, label)
+            sim.run()
+            times[shared] = sim.now
+        speedup = times[False] / times[True]
+        print(f"   {processors:>2} cpus: unshared {times[False]:,.0f} vs "
+              f"shared {times[True]:,.0f} sim-units -> "
+              f"measured Z = {speedup:.2f}")
+    print()
+    print("Sharing helps on the uniprocessor and hurts on the 32-way CMP —")
+    print("the trade-off the paper is about, reproduced end to end.")
+
+
+if __name__ == "__main__":
+    analytical_decision()
+    profiled_decision()
+    staged_execution()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "To Share or Not To Share?" (VLDB 2007).
+
+The package implements, from scratch:
+
+* the paper's analytical model of the work-sharing/parallelism
+  trade-off (:mod:`repro.core`),
+* a discrete-event chip-multiprocessor simulator standing in for the
+  UltraSparc T1 testbed (:mod:`repro.sim`),
+* an in-memory columnar storage layer (:mod:`repro.storage`) and a
+  deterministic TPC-H data generator plus the paper's query plans
+  (:mod:`repro.tpch`),
+* a Cordoba-style staged execution engine with packet merging and
+  pivot multiplexing (:mod:`repro.engine`),
+* model parameter estimation from engine profiles
+  (:mod:`repro.profiling`),
+* the always-share / never-share / model-guided sharing policies
+  (:mod:`repro.policies`) and a closed-system client driver
+  (:mod:`repro.workload`),
+* one experiment driver per paper figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.core import QuerySpec, ShareAdvisor, chain, op
+
+    q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
+                   label="q6")
+    advisor = ShareAdvisor(processors=32)
+    group = [q6.relabeled(f"q6#{i}") for i in range(10)]
+    decision = advisor.evaluate(group, pivot_name="scan")
+    print(decision.share, decision.benefit)
+"""
+
+from repro.core import (
+    OperatorSpec,
+    QuerySpec,
+    ShareAdvisor,
+    ShareDecision,
+    chain,
+    op,
+    shared_rate,
+    sharing_benefit,
+    unshared_rate,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OperatorSpec",
+    "QuerySpec",
+    "ShareAdvisor",
+    "ShareDecision",
+    "chain",
+    "op",
+    "shared_rate",
+    "sharing_benefit",
+    "unshared_rate",
+    "ReproError",
+    "__version__",
+]

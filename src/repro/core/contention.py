@@ -1,0 +1,89 @@
+"""Shared-hardware contention model (Section 4.1.4).
+
+CMPs share caches, memory bandwidth and functional units across
+contexts. The paper folds all such effects into a single empirical
+exponent: with *n* hardware contexts, only ``n ** kappa`` processors'
+worth of effective compute is available, for some ``0 < kappa <= 1``
+that depends on hardware, workload, and whether sharing is applied.
+
+``kappa = 1`` recovers the contention-free model (the paper uses
+``k = 1`` for its TPC-H Q6 example because the simple model was already
+accurate). A different contention curve can be substituted by passing
+any callable ``n -> n_eff`` where the model accepts a
+:class:`ContentionModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.errors import SpecError
+
+__all__ = ["ContentionModel", "PowerLawContention", "NO_CONTENTION", "resolve"]
+
+
+class ContentionModel:
+    """Maps available hardware contexts to effective processors."""
+
+    def effective(self, n: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PowerLawContention(ContentionModel):
+    """``n_eff = n ** kappa`` with ``0 < kappa <= 1`` (Section 4.1.4)."""
+
+    kappa: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.kappa <= 1.0) or not math.isfinite(self.kappa):
+            raise SpecError(f"kappa must be in (0, 1], got {self.kappa!r}")
+
+    def effective(self, n: float) -> float:
+        if n < 0:
+            raise SpecError(f"processor count must be >= 0, got {n!r}")
+        return float(n) ** self.kappa
+
+
+@dataclass(frozen=True)
+class CallableContention(ContentionModel):
+    """Wraps an arbitrary ``n -> n_eff`` function."""
+
+    fn: Callable[[float], float]
+
+    def effective(self, n: float) -> float:
+        n_eff = float(self.fn(n))
+        if not math.isfinite(n_eff) or n_eff < 0:
+            raise SpecError(
+                f"contention function returned invalid n_eff={n_eff!r} for n={n!r}"
+            )
+        if n_eff > n:
+            raise SpecError(
+                f"contention cannot create processors: n_eff={n_eff!r} > n={n!r}"
+            )
+        return n_eff
+
+
+NO_CONTENTION = PowerLawContention(kappa=1.0)
+
+ContentionLike = Union[ContentionModel, Callable[[float], float], float, None]
+
+
+def resolve(contention: ContentionLike) -> ContentionModel:
+    """Normalize the accepted contention inputs to a model object.
+
+    Accepts ``None`` (no contention), a bare float (treated as the
+    power-law kappa), a callable ``n -> n_eff``, or a ready
+    :class:`ContentionModel`.
+    """
+    if contention is None:
+        return NO_CONTENTION
+    if isinstance(contention, ContentionModel):
+        return contention
+    if isinstance(contention, (int, float)) and not isinstance(contention, bool):
+        return PowerLawContention(kappa=float(contention))
+    if callable(contention):
+        return CallableContention(fn=contention)
+    raise SpecError(f"cannot interpret contention spec {contention!r}")

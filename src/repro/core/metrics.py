@@ -1,0 +1,72 @@
+"""Per-query pipeline metrics (Section 4.1 and Table 1).
+
+Given a :class:`~repro.core.spec.QuerySpec` these functions compute:
+
+``p_max``
+    Work per unit of forward progress of the slowest (bottleneck)
+    operator. The pipeline advances at the bottleneck's pace.
+
+``peak_rate`` (*r*)
+    ``1 / p_max`` — peak rate of forward progress (Section 4.1.2).
+
+``total_work`` (*u'*)
+    ``sum(p_k for k in plan)`` — total work per unit of forward
+    progress across all operators.
+
+``utilization`` (*u*)
+    ``u' / p_max`` — maximum processor utilization of the query, i.e.
+    the amount of pipeline parallelism available. Can exceed 1.
+
+All of these assume a fully pipelined plan where every operator has
+exactly one consumer (its parent, or the client for the root).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import OperatorSpec, QuerySpec
+
+__all__ = [
+    "operator_p",
+    "p_max",
+    "bottleneck",
+    "peak_rate",
+    "total_work",
+    "utilization",
+]
+
+
+def operator_p(node: OperatorSpec, consumers: int = 1) -> float:
+    """*p* for one operator: ``w + s * consumers`` (Section 4.1.1)."""
+    return node.p(consumers)
+
+
+def p_max(query: QuerySpec) -> float:
+    """Work per unit of forward progress at the bottleneck operator."""
+    query.require_pipelined("p_max")
+    return max(node.p(1) for node in query.operators())
+
+
+def bottleneck(query: QuerySpec) -> OperatorSpec:
+    """The operator that bounds the pipeline's rate of progress."""
+    query.require_pipelined("bottleneck")
+    return max(query.operators(), key=lambda node: node.p(1))
+
+
+def peak_rate(query: QuerySpec) -> float:
+    """*r = 1 / p_max* — peak rate of forward progress (Section 4.1.2)."""
+    return 1.0 / p_max(query)
+
+
+def total_work(query: QuerySpec) -> float:
+    """*u'* — total work per unit of forward progress, all operators."""
+    query.require_pipelined("total_work")
+    return sum(node.p(1) for node in query.operators())
+
+
+def utilization(query: QuerySpec) -> float:
+    """*u = u' / p_max* — peak processor utilization (Section 4.1.2).
+
+    This is the number of processors the query can keep busy at its
+    peak rate; values above 1 indicate available pipeline parallelism.
+    """
+    return total_work(query) / p_max(query)

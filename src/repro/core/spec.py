@@ -1,0 +1,301 @@
+"""Model-level query plan specifications (Table 1 of the paper).
+
+The analytical model of Section 4 sees a query as a tree of operators,
+each characterized by two scalars measured *per unit of forward
+progress* of the whole query:
+
+``work`` (the paper's *w*)
+    CPU work the operator spends consuming its inputs and doing its own
+    processing, per unit of forward progress.
+
+``output_cost`` (the paper's *s*)
+    CPU work the operator spends handing one unit of forward progress
+    to **each** consumer. An operator with one consumer pays
+    ``output_cost`` once per unit; a shared pivot with *M* consumers
+    pays ``M * output_cost`` per unit — this is the serialization
+    penalty at the heart of the paper.
+
+"Forward progress" normalizes all streams in a plan to the completion
+of one reference tuple stream, which implicitly captures selectivities
+(Section 4.1.1); the model therefore never needs tuple counts.
+
+:class:`OperatorSpec` nodes are immutable; :class:`QuerySpec` wraps a
+root node, validates the tree, and offers navigation helpers (lookup by
+name, below/above a pivot) used by :mod:`repro.core.model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PivotError, SpecError
+
+__all__ = ["OperatorSpec", "QuerySpec", "op", "chain"]
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One operator in a model-level plan tree.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within a query plan. The sharing pivot is
+        referenced by this name.
+    work:
+        *w* — work per unit of forward progress spent on inputs and
+        internal processing. Must be finite and non-negative.
+    output_cost:
+        *s* — work per unit of forward progress per consumer. Must be
+        finite and non-negative. The root's consumer is the client, so
+        its ``output_cost`` still counts once toward its *p*.
+    children:
+        Input operators (producers feeding this one). A scan has no
+        children; a join has two.
+    blocking:
+        True for stop-&-go operators (sort, hash build). Blocking
+        operators decouple the pipeline and are handled by
+        :mod:`repro.core.phases`; the plain Section-4 model requires a
+        fully pipelined plan (no blocking nodes).
+    internal_work:
+        For blocking operators only: work of the middle, non-interacting
+        phase (e.g. merging sorted runs), per unit of forward progress.
+        Section 5.2 models it as a sub-query "that does not interact
+        with the system".
+    emit_work:
+        For blocking operators only: *w* of the leaf that replays the
+        materialized result in the following phase (e.g. scanning the
+        sorted output — "an extremely fast scan", Section 5.2).
+    """
+
+    name: str
+    work: float
+    output_cost: float = 0.0
+    children: tuple["OperatorSpec", ...] = ()
+    blocking: bool = False
+    internal_work: float = 0.0
+    emit_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("operator name must be non-empty")
+        if not self.blocking and (self.internal_work or self.emit_work):
+            raise SpecError(
+                f"operator {self.name!r}: internal_work/emit_work are only "
+                "meaningful for blocking (stop-&-go) operators"
+            )
+        for label, value in (
+            ("work", self.work),
+            ("output_cost", self.output_cost),
+            ("internal_work", self.internal_work),
+            ("emit_work", self.emit_work),
+        ):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SpecError(f"{label} must be a number, got {value!r}")
+            if not math.isfinite(value) or value < 0:
+                raise SpecError(
+                    f"operator {self.name!r}: {label} must be finite and >= 0, "
+                    f"got {value!r}"
+                )
+        if not isinstance(self.children, tuple):
+            # Accept any iterable at construction for convenience.
+            object.__setattr__(self, "children", tuple(self.children))
+        for child in self.children:
+            if not isinstance(child, OperatorSpec):
+                raise SpecError(
+                    f"operator {self.name!r}: child {child!r} is not an OperatorSpec"
+                )
+
+    def p(self, consumers: int = 1) -> float:
+        """Total work per unit of forward progress (the paper's *p*).
+
+        ``p = w + s * consumers`` — Section 4.1.1 with the output sum
+        expanded for ``consumers`` identical output streams.
+        """
+        if consumers < 0:
+            raise SpecError(f"consumers must be >= 0, got {consumers}")
+        return self.work + self.output_cost * consumers
+
+    def walk(self) -> Iterator["OperatorSpec"]:
+        """Yield this operator and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def structurally_equal(self, other: "OperatorSpec") -> bool:
+        """True if two subtrees describe the same operation.
+
+        Sharing requires the merged packets to request identical work;
+        the model enforces it by comparing names, costs and shape of
+        the subtrees below the pivot.
+        """
+        if (
+            self.name != other.name
+            or self.work != other.work
+            or self.output_cost != other.output_cost
+            or self.blocking != other.blocking
+            or self.internal_work != other.internal_work
+            or self.emit_work != other.emit_work
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(
+            a.structurally_equal(b) for a, b in zip(self.children, other.children)
+        )
+
+    def relabeled(self, name: str) -> "OperatorSpec":
+        """Return a copy of this node (same children) with a new name."""
+        return OperatorSpec(
+            name=name,
+            work=self.work,
+            output_cost=self.output_cost,
+            children=self.children,
+            blocking=self.blocking,
+            internal_work=self.internal_work,
+            emit_work=self.emit_work,
+        )
+
+    def with_children(self, children: tuple["OperatorSpec", ...]) -> "OperatorSpec":
+        """Return a copy of this node with a different input list."""
+        return OperatorSpec(
+            name=self.name,
+            work=self.work,
+            output_cost=self.output_cost,
+            children=children,
+            blocking=self.blocking,
+            internal_work=self.internal_work,
+            emit_work=self.emit_work,
+        )
+
+
+def op(
+    name: str,
+    work: float,
+    output_cost: float = 0.0,
+    *children: OperatorSpec,
+    blocking: bool = False,
+    internal_work: float = 0.0,
+    emit_work: float = 0.0,
+) -> OperatorSpec:
+    """Shorthand constructor for :class:`OperatorSpec`."""
+    return OperatorSpec(
+        name=name,
+        work=work,
+        output_cost=output_cost,
+        children=tuple(children),
+        blocking=blocking,
+        internal_work=internal_work,
+        emit_work=emit_work,
+    )
+
+
+def chain(*ops_bottom_up: OperatorSpec) -> OperatorSpec:
+    """Link operators into a linear pipeline, bottom-up.
+
+    ``chain(scan, filter, agg)`` returns the aggregation root with the
+    filter as its child and the scan below that. Existing children of
+    the non-leaf arguments must be empty (use explicit trees for bushy
+    plans).
+    """
+    if not ops_bottom_up:
+        raise SpecError("chain() requires at least one operator")
+    current = ops_bottom_up[0]
+    for node in ops_bottom_up[1:]:
+        if node.children:
+            raise SpecError(
+                f"chain(): operator {node.name!r} already has children; "
+                "build bushy plans explicitly"
+            )
+        current = node.with_children((current,))
+    return current
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A validated model-level query plan.
+
+    Wraps the root :class:`OperatorSpec` and precomputes name lookups.
+    Operator names must be unique within the plan so a pivot can be
+    addressed unambiguously.
+    """
+
+    root: OperatorSpec
+    label: str = "query"
+    _by_name: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.root, OperatorSpec):
+            raise SpecError(f"root must be an OperatorSpec, got {self.root!r}")
+        by_name: dict[str, OperatorSpec] = {}
+        for node in self.root.walk():
+            if node.name in by_name:
+                raise SpecError(
+                    f"duplicate operator name {node.name!r} in query {self.label!r}"
+                )
+            by_name[node.name] = node
+        object.__setattr__(self, "_by_name", by_name)
+
+    # -- navigation ------------------------------------------------------
+
+    def operators(self) -> tuple[OperatorSpec, ...]:
+        """All operators in the plan, pre-order from the root."""
+        return tuple(self.root.walk())
+
+    def operator_names(self) -> tuple[str, ...]:
+        return tuple(node.name for node in self.root.walk())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> OperatorSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PivotError(
+                f"operator {name!r} not found in query {self.label!r}; "
+                f"available: {sorted(self._by_name)}"
+            ) from None
+
+    def pivot(self, name: str) -> OperatorSpec:
+        """Return the pivot operator, validating it exists."""
+        return self[name]
+
+    def below(self, pivot_name: str) -> tuple[OperatorSpec, ...]:
+        """Operators strictly below the pivot (the shared subtree)."""
+        return tuple(
+            node for child in self[pivot_name].children for node in child.walk()
+        )
+
+    def above(self, pivot_name: str) -> tuple[OperatorSpec, ...]:
+        """Operators strictly above the pivot (private to each sharer)."""
+        shared = {id(node) for node in self[pivot_name].walk()}
+        return tuple(node for node in self.root.walk() if id(node) not in shared)
+
+    # -- properties ------------------------------------------------------
+
+    def is_pipelined(self) -> bool:
+        """True if no operator is a stop-&-go (blocking) operator."""
+        return not any(node.blocking for node in self.root.walk())
+
+    def blocking_operators(self) -> tuple[OperatorSpec, ...]:
+        return tuple(node for node in self.root.walk() if node.blocking)
+
+    def relabeled(self, label: str) -> "QuerySpec":
+        return QuerySpec(root=self.root, label=label)
+
+    def require_pipelined(self, context: str) -> None:
+        """Raise :class:`SpecError` if the plan has blocking operators.
+
+        The Section-4 model assumes fully pipelinable plans; callers
+        that cannot handle stop-&-go nodes use this guard and direct
+        users to :mod:`repro.core.phases`.
+        """
+        blockers = self.blocking_operators()
+        if blockers:
+            names = ", ".join(node.name for node in blockers)
+            raise SpecError(
+                f"{context}: query {self.label!r} contains stop-&-go operators "
+                f"({names}); decompose it with repro.core.phases.decompose() first"
+            )

@@ -1,0 +1,252 @@
+"""The staged execution engine (Cordoba's execution core).
+
+:class:`Engine` turns physical plans into simulator task graphs:
+
+* every plan node becomes one stage task, connected to its consumers
+  by bounded page queues;
+* a query's root feeds a *sink* task that collects result rows into
+  the query's :class:`~repro.engine.packet.QueryHandle`;
+* a *sharing group* executes the common sub-plan (the pivot and
+  everything below it) exactly once, with the pivot's emitter
+  multiplexing pages to one queue per member — eliminating the
+  replicated work below the pivot and paying the per-consumer output
+  cost the model calls *s* (Section 4.3's three changes, verbatim).
+
+Groups are validated structurally before execution: all members must
+carry the pivot, and the signatures of the pivot subtrees must be
+identical — merged packets must request the same operation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.engine.operators import StageContext, build_operator_task
+from repro.engine.packet import GroupHandle, QueryHandle
+from repro.engine.plan import PlanNode
+from repro.errors import EngineError, PivotError
+from repro.sim.events import CLOSED, Compute, Get
+from repro.sim.queues import SimQueue
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.page import DEFAULT_PAGE_ROWS
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Executes physical plans on a simulated chip multiprocessor.
+
+    Parameters
+    ----------
+    catalog:
+        The database to query.
+    simulator:
+        The CMP the stages run on; its processor count is the
+        experiment's ``n``.
+    costs:
+        Per-tuple cost model; defaults are calibrated per DESIGN.md.
+    page_rows:
+        Tuples per exchanged page (Cordoba's ~4K pages).
+    queue_capacity:
+        Bounded-buffer depth between stages (finite buffering).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        simulator: Simulator,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+        queue_capacity: int = 4,
+    ) -> None:
+        if queue_capacity < 1:
+            raise EngineError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self.catalog = catalog
+        self.sim = simulator
+        self.ctx = StageContext(catalog=catalog, costs=costs, page_rows=page_rows)
+        self.queue_capacity = queue_capacity
+        self.handles: list[QueryHandle] = []
+        self.groups: list[GroupHandle] = []
+        # Stage tasks per group (excluding sinks) — the raw material
+        # for online parameter estimation (busy time per operator).
+        self.group_tasks: dict[int, list] = {}
+        self._group_counter = 0
+        self._task_counter = 0
+        self._collect_tasks: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: PlanNode,
+        label: str,
+        on_complete: Optional[Callable[[QueryHandle], None]] = None,
+    ) -> QueryHandle:
+        """Run one query independently (a sharing group of one)."""
+        group = self.execute_group([plan], pivot_op_id=None, labels=[label],
+                                   on_complete=on_complete)
+        return group.handles[0]
+
+    def execute_group(
+        self,
+        plans: Sequence[PlanNode],
+        pivot_op_id: Optional[str],
+        labels: Optional[Sequence[str]] = None,
+        on_complete: Optional[
+            Callable[[QueryHandle], None]
+            | Sequence[Optional[Callable[[QueryHandle], None]]]
+        ] = None,
+    ) -> GroupHandle:
+        """Run a group of queries, shared at ``pivot_op_id``.
+
+        With ``pivot_op_id=None`` (allowed only for singleton groups)
+        or a single plan, execution is plain independent execution.
+        For m > 1 the pivot subtree runs once, multiplexed m ways.
+        ``on_complete`` may be one callback for every member or a
+        per-member sequence.
+        """
+        if not plans:
+            raise EngineError("execute_group() needs at least one plan")
+        labels = list(labels) if labels is not None else [
+            f"q{i}" for i in range(len(plans))
+        ]
+        if len(labels) != len(plans):
+            raise EngineError("labels must match plans one-to-one")
+        if on_complete is None or callable(on_complete):
+            callbacks: list = [on_complete] * len(plans)
+        else:
+            callbacks = list(on_complete)
+            if len(callbacks) != len(plans):
+                raise EngineError("on_complete list must match plans")
+        if pivot_op_id is None and len(plans) > 1:
+            raise EngineError("a multi-query group requires a pivot")
+        if pivot_op_id is not None:
+            self._validate_group(plans, pivot_op_id)
+
+        group_id = self._group_counter
+        self._group_counter += 1
+        handles = [
+            QueryHandle(
+                label=label,
+                schema=plan.schema,
+                submitted_at=self.sim.now,
+                group_id=group_id,
+                shared=len(plans) > 1,
+                on_complete=callback,
+            )
+            for plan, label, callback in zip(plans, labels, callbacks)
+        ]
+
+        collected: list = []
+        self._collect_tasks = collected
+        if pivot_op_id is None or len(plans) == 1:
+            for plan, handle in zip(plans, handles):
+                sink_q = self._build_subplan(plan, consumers=1,
+                                             prefix=handle.label)[0]
+                self._spawn_sink(sink_q, handle)
+        else:
+            pivot = plans[0].find(pivot_op_id)
+            member_queues = self._build_subplan(
+                pivot, consumers=len(plans), prefix=f"g{group_id}"
+            )
+            for plan, handle, shared_q in zip(plans, handles, member_queues):
+                if plan.op_id == pivot_op_id:
+                    # Sharing at the root: the member consumes the
+                    # pivot's output directly.
+                    self._spawn_sink(shared_q, handle)
+                    continue
+                root_q = self._build_subplan(
+                    plan,
+                    consumers=1,
+                    prefix=handle.label,
+                    substitutions={pivot_op_id: shared_q},
+                )[0]
+                self._spawn_sink(root_q, handle)
+
+        self._collect_tasks = None
+        self.group_tasks[group_id] = collected
+        group = GroupHandle(group_id=group_id, pivot_op_id=pivot_op_id,
+                            handles=handles)
+        self.groups.append(group)
+        self.handles.extend(handles)
+        return group
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validate_group(self, plans: Sequence[PlanNode], pivot_op_id: str) -> None:
+        reference = plans[0].find(pivot_op_id)
+        for plan in plans[1:]:
+            candidate = plan.find(pivot_op_id)
+            if candidate.signature != reference.signature:
+                raise PivotError(
+                    f"plans disagree below pivot {pivot_op_id!r}: "
+                    f"{candidate.signature!r} != {reference.signature!r}; "
+                    "only identical sub-plans can be merged"
+                )
+
+    def _build_subplan(
+        self,
+        node: PlanNode,
+        consumers: int,
+        prefix: str,
+        substitutions: Optional[dict[str, SimQueue]] = None,
+    ) -> list[SimQueue]:
+        """Recursively spawn stage tasks; returns the output queues.
+
+        ``substitutions`` maps op_ids to externally provided queues —
+        used to graft a member's private plan onto the shared pivot's
+        per-member output queue.
+        """
+        substitutions = substitutions or {}
+        out_queues = [
+            self.sim.queue(
+                f"{prefix}:{node.op_id}->out{i}", self.queue_capacity
+            )
+            for i in range(consumers)
+        ]
+        in_queues = []
+        for child in node.children:
+            if child.op_id in substitutions:
+                in_queues.append(substitutions[child.op_id])
+            else:
+                (child_q,) = self._build_subplan(
+                    child, consumers=1, prefix=prefix,
+                    substitutions=substitutions,
+                )
+                in_queues.append(child_q)
+        task_gen = build_operator_task(node, in_queues, out_queues, self.ctx)
+        self._task_counter += 1
+        task = self.sim.spawn(
+            task_gen,
+            name=f"{prefix}/{node.op_id}",
+            group=prefix,
+        )
+        if self._collect_tasks is not None:
+            self._collect_tasks.append(task)
+        return out_queues
+
+    def _spawn_sink(self, in_queue: SimQueue, handle: QueryHandle) -> None:
+        costs = self.ctx.costs
+        sim = self.sim
+
+        def sink():
+            while True:
+                page = yield Get(in_queue)
+                if page is CLOSED:
+                    break
+                yield Compute(costs.sink_tuple * len(page))
+                handle.rows.extend(page.rows)
+
+        def finished(_task):
+            handle.mark_done(sim.now)
+
+        sim.spawn(sink(), name=f"{handle.label}/sink", group=handle.label,
+                  on_done=finished)

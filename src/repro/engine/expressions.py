@@ -1,0 +1,292 @@
+"""Scalar expressions over tuples.
+
+A tiny, explicit expression tree used by filters, projections and
+aggregates. Expressions *compile* against a schema into plain Python
+closures over column indices (so per-tuple evaluation is one function
+call), and every expression has a deterministic ``signature()`` string
+— two operators with equal signatures request the same work, which is
+what packet merging needs to detect (Section 3.2: "the stage thread
+searches the queue for other packets that request the same
+operation").
+
+SQL three-valued logic is simplified to Python semantics with ``None``
+as NULL: comparisons involving ``None`` are false, arithmetic with
+``None`` yields ``None``, and aggregates skip ``None`` inputs — enough
+for the outer-join counting of TPC-H Q13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import PlanError
+from repro.storage.schema import Schema
+
+__all__ = [
+    "Expr",
+    "col",
+    "lit",
+    "add",
+    "sub",
+    "mul",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "between",
+    "in_",
+    "and_",
+    "or_",
+    "not_",
+    "udf",
+]
+
+RowFn = Callable[[tuple], Any]
+
+
+class Expr:
+    """Base expression node."""
+
+    def compile(self, schema: Schema) -> RowFn:
+        raise NotImplementedError
+
+    def signature(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.signature()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+    def compile(self, schema: Schema) -> RowFn:
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def signature(self) -> str:
+        return f"col({self.name})"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def compile(self, schema: Schema) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def signature(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_ARITH = {
+    "add": lambda a, b: None if a is None or b is None else a + b,
+    "sub": lambda a, b: None if a is None or b is None else a - b,
+    "mul": lambda a, b: None if a is None or b is None else a * b,
+}
+
+_COMPARE = {
+    "eq": lambda a, b: a is not None and b is not None and a == b,
+    "ne": lambda a, b: a is not None and b is not None and a != b,
+    "lt": lambda a, b: a is not None and b is not None and a < b,
+    "le": lambda a, b: a is not None and b is not None and a <= b,
+    "gt": lambda a, b: a is not None and b is not None and a > b,
+    "ge": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def compile(self, schema: Schema) -> RowFn:
+        table = _ARITH if self.op in _ARITH else _COMPARE
+        if self.op not in table:
+            raise PlanError(f"unknown binary operator {self.op!r}")
+        fn = table[self.op]
+        lf = self.left.compile(schema)
+        rf = self.right.compile(schema)
+        return lambda row: fn(lf(row), rf(row))
+
+    def signature(self) -> str:
+        return f"{self.op}({self.left.signature()},{self.right.signature()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """Inclusive range check, NULL-safe (NULL is never between)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def compile(self, schema: Schema) -> RowFn:
+        vf = self.operand.compile(schema)
+        lo = self.low.compile(schema)
+        hi = self.high.compile(schema)
+
+        def run(row: tuple) -> bool:
+            value = vf(row)
+            return value is not None and lo(row) <= value <= hi(row)
+
+        return run
+
+    def signature(self) -> str:
+        return (
+            f"between({self.operand.signature()},{self.low.signature()},"
+            f"{self.high.signature()})"
+        )
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    operand: Expr
+    values: tuple
+
+    def compile(self, schema: Schema) -> RowFn:
+        vf = self.operand.compile(schema)
+        values = frozenset(self.values)
+        return lambda row: vf(row) in values
+
+    def signature(self) -> str:
+        return f"in({self.operand.signature()},{sorted(map(repr, self.values))})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expr):
+    op: str  # "and" | "or"
+    operands: tuple[Expr, ...]
+
+    def compile(self, schema: Schema) -> RowFn:
+        fns = [operand.compile(schema) for operand in self.operands]
+        if self.op == "and":
+            return lambda row: all(fn(row) for fn in fns)
+        if self.op == "or":
+            return lambda row: any(fn(row) for fn in fns)
+        raise PlanError(f"unknown boolean operator {self.op!r}")
+
+    def signature(self) -> str:
+        inner = ",".join(operand.signature() for operand in self.operands)
+        return f"{self.op}({inner})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def compile(self, schema: Schema) -> RowFn:
+        fn = self.operand.compile(schema)
+        return lambda row: not fn(row)
+
+    def signature(self) -> str:
+        return f"not({self.operand.signature()})"
+
+
+@dataclass(frozen=True)
+class Udf(Expr):
+    """A named pure function of one or more sub-expressions.
+
+    The name *is* the sharing identity: two Udf nodes with the same
+    name and operands are assumed to request identical work. Used for
+    predicates the expression language does not cover (e.g. Q13's
+    ``LIKE '%special%requests%'``).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    operands: tuple[Expr, ...]
+
+    def compile(self, schema: Schema) -> RowFn:
+        fns = [operand.compile(schema) for operand in self.operands]
+        fn = self.fn
+        return lambda row: fn(*(f(row) for f in fns))
+
+    def signature(self) -> str:
+        inner = ",".join(operand.signature() for operand in self.operands)
+        return f"udf:{self.name}({inner})"
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def col(name: str) -> Expr:
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Expr:
+    return Literal(value)
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+def add(left, right) -> Expr:
+    return BinaryOp("add", _wrap(left), _wrap(right))
+
+
+def sub(left, right) -> Expr:
+    return BinaryOp("sub", _wrap(left), _wrap(right))
+
+
+def mul(left, right) -> Expr:
+    return BinaryOp("mul", _wrap(left), _wrap(right))
+
+
+def eq(left, right) -> Expr:
+    return BinaryOp("eq", _wrap(left), _wrap(right))
+
+
+def ne(left, right) -> Expr:
+    return BinaryOp("ne", _wrap(left), _wrap(right))
+
+
+def lt(left, right) -> Expr:
+    return BinaryOp("lt", _wrap(left), _wrap(right))
+
+
+def le(left, right) -> Expr:
+    return BinaryOp("le", _wrap(left), _wrap(right))
+
+
+def gt(left, right) -> Expr:
+    return BinaryOp("gt", _wrap(left), _wrap(right))
+
+
+def ge(left, right) -> Expr:
+    return BinaryOp("ge", _wrap(left), _wrap(right))
+
+
+def between(operand, low, high) -> Expr:
+    return Between(_wrap(operand), _wrap(low), _wrap(high))
+
+
+def in_(operand, values: Sequence[Any]) -> Expr:
+    return InSet(_wrap(operand), tuple(values))
+
+
+def and_(*operands) -> Expr:
+    if not operands:
+        raise PlanError("and_() needs at least one operand")
+    return BooleanOp("and", tuple(_wrap(o) for o in operands))
+
+
+def or_(*operands) -> Expr:
+    if not operands:
+        raise PlanError("or_() needs at least one operand")
+    return BooleanOp("or", tuple(_wrap(o) for o in operands))
+
+
+def not_(operand) -> Expr:
+    return Not(_wrap(operand))
+
+
+def udf(name: str, fn: Callable[..., Any], *operands) -> Expr:
+    return Udf(name, fn, tuple(_wrap(o) for o in operands))

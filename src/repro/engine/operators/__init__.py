@@ -1,0 +1,76 @@
+"""Operator stages of the staged engine.
+
+Each operator module exposes:
+
+* ``task(node, in_queues, out_queues, ctx)`` — the simulator generator
+  implementing the stage (charges costs, moves pages), and
+* a pure row-transformation function reused by the reference executor
+  (:mod:`repro.engine.reference`), so the staged and naive paths share
+  one implementation of the relational semantics and can only diverge
+  in scheduling, never in answers.
+
+:func:`build_operator_task` dispatches a plan node to its stage
+factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.costs import CostModel
+from repro.errors import PlanError
+from repro.sim.queues import SimQueue
+from repro.storage.catalog import Catalog
+
+__all__ = ["StageContext", "build_operator_task"]
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Everything a stage needs besides its queues."""
+
+    catalog: Catalog
+    costs: CostModel
+    page_rows: int
+
+
+def build_operator_task(node, in_queues: Sequence[SimQueue],
+                        out_queues: Sequence[SimQueue], ctx: StageContext):
+    """Instantiate the stage generator for one plan node."""
+    from repro.engine.operators import (
+        aggregate,
+        filter as filter_op,
+        hash_join,
+        limit,
+        merge_join,
+        nested_loop_join,
+        project,
+        scan,
+        sort,
+    )
+
+    factories = {
+        "scan": scan.task,
+        "filter": filter_op.task,
+        "project": project.task,
+        "aggregate": aggregate.task,
+        "sort": sort.task,
+        "limit": limit.task,
+        "hash_join": hash_join.task,
+        "merge_join": merge_join.task,
+        "nested_loop_join": nested_loop_join.task,
+    }
+    try:
+        factory = factories[node.kind]
+    except KeyError:
+        raise PlanError(f"no stage implementation for operator kind {node.kind!r}")
+    expected_inputs = {"scan": 0, "filter": 1, "project": 1, "aggregate": 1,
+                       "sort": 1, "limit": 1, "hash_join": 2, "merge_join": 2,
+                       "nested_loop_join": 2}[node.kind]
+    if len(in_queues) != expected_inputs:
+        raise PlanError(
+            f"{node.kind} expects {expected_inputs} input queue(s), "
+            f"got {len(in_queues)}"
+        )
+    return factory(node, in_queues, out_queues, ctx)

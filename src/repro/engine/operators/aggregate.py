@@ -1,0 +1,121 @@
+"""Hash aggregation stage (stop-&-go).
+
+Consumes its entire input, folding rows into per-group accumulators,
+then emits one output row per group. Output groups are ordered by
+group key so results are deterministic regardless of scheduling.
+
+NULL semantics: aggregate inputs that evaluate to ``None`` are skipped
+(``count(expr)`` counts non-NULL values; ``count(*)`` counts rows) —
+TPC-H Q13's ``count(o_orderkey)`` over a left join depends on this.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.errors import PlanError
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "aggregate_rows", "Accumulator"]
+
+
+class Accumulator:
+    """Streaming accumulator for one (group, aggregate) pair."""
+
+    __slots__ = ("func", "total", "count", "best")
+
+    def __init__(self, func: str) -> None:
+        self.func = func
+        self.total = 0.0
+        self.count = 0
+        self.best = None
+
+    def update(self, value) -> None:
+        if self.func == "count":
+            # value is a sentinel for count(*) rows; None means a NULL
+            # expression input, which count(expr) skips.
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        if self.func in ("sum", "avg"):
+            self.total += value
+            self.count += 1
+        elif self.func == "min":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.func == "max":
+            self.best = value if self.best is None else max(self.best, value)
+        else:  # pragma: no cover - constructor validates
+            raise PlanError(f"unknown aggregate {self.func!r}")
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total if self.count else None
+        if self.func == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+def _sort_key(key: tuple) -> tuple:
+    """Order group keys deterministically, tolerating None values."""
+    return tuple((value is None, value) for value in key)
+
+
+def aggregate_rows(rows, schema, group_by, aggs):
+    """Pure function: grouped aggregation over materialized rows."""
+    group_idx = [schema.index_of(name) for name in group_by]
+    value_fns = [
+        (spec.expr.compile(schema) if spec.expr is not None else (lambda row: True))
+        for spec in aggs
+    ]
+    groups: dict[tuple, list[Accumulator]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in group_idx)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [Accumulator(spec.func) for spec in aggs]
+            groups[key] = accumulators
+        for accumulator, fn in zip(accumulators, value_fns):
+            accumulator.update(fn(row))
+    output = []
+    for key in sorted(groups, key=_sort_key):
+        output.append(key + tuple(a.result() for a in groups[key]))
+    return output
+
+
+def task(node, in_queues, out_queues, ctx):
+    (in_q,) = in_queues
+    schema = node.children[0].schema
+    group_by = node.params["group_by"]
+    aggs = node.params["aggs"]
+    group_idx = [schema.index_of(name) for name in group_by]
+    value_fns = [
+        (spec.expr.compile(schema) if spec.expr is not None else (lambda row: True))
+        for spec in aggs
+    ]
+    groups: dict[tuple, list[Accumulator]] = {}
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.agg_update * len(page))
+        for row in page.rows:
+            key = tuple(row[i] for i in group_idx)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [Accumulator(spec.func) for spec in aggs]
+                groups[key] = accumulators
+            for accumulator, fn in zip(accumulators, value_fns):
+                accumulator.update(fn(row))
+
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    ordered_keys = sorted(groups, key=_sort_key)
+    if ordered_keys:
+        yield Compute(ctx.costs.agg_emit * len(ordered_keys))
+    for key in ordered_keys:
+        row = key + tuple(a.result() for a in groups[key])
+        yield from emitter.emit([row])
+    yield from emitter.close()

@@ -1,0 +1,30 @@
+"""Row filter stage: evaluates a predicate, drops non-matching rows."""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "filter_rows"]
+
+
+def filter_rows(rows, predicate_fn):
+    """Pure function: rows passing the compiled predicate."""
+    return [row for row in rows if predicate_fn(row)]
+
+
+def task(node, in_queues, out_queues, ctx):
+    (in_q,) = in_queues
+    predicate = node.params["predicate"].compile(node.children[0].schema)
+    cost_factor = node.params.get("cost_factor", 1.0)
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.filter_tuple * cost_factor * len(page))
+        kept = filter_rows(page.rows, predicate)
+        if kept:
+            yield from emitter.emit(kept)
+    yield from emitter.close()

@@ -1,0 +1,91 @@
+"""Hash join stage: stop-&-go build, pipelined probe (Section 5.3.3).
+
+Child 0 is the build side, child 1 the probe side. The build phase
+drains its input into a hash table keyed on ``build_key``; the probe
+phase then streams, emitting per ``join_type``:
+
+* ``inner`` — one output row per (probe, build) match:
+  probe columns ++ build columns;
+* ``left``  — like inner, plus unmatched probe rows padded with NULL
+  build columns (TPC-H Q13's customer-orders join);
+* ``semi``  — probe rows with at least one match, probe columns only
+  (TPC-H Q4's EXISTS);
+* ``anti``  — probe rows with no match, probe columns only.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "build_table", "probe_rows"]
+
+
+def build_table(build_rows, key_index):
+    """Pure function: the join hash table key -> list of build rows."""
+    table: dict = {}
+    for row in build_rows:
+        table.setdefault(row[key_index], []).append(row)
+    return table
+
+
+def probe_rows(rows, table, key_index, join_type, build_width):
+    """Pure function: join output for a batch of probe rows."""
+    output = []
+    if join_type == "inner":
+        for row in rows:
+            for match in table.get(row[key_index], ()):
+                output.append(row + match)
+    elif join_type == "left":
+        nulls = (None,) * build_width
+        for row in rows:
+            matches = table.get(row[key_index])
+            if matches:
+                for match in matches:
+                    output.append(row + match)
+            else:
+                output.append(row + nulls)
+    elif join_type == "semi":
+        for row in rows:
+            if row[key_index] in table:
+                output.append(row)
+    elif join_type == "anti":
+        for row in rows:
+            if row[key_index] not in table:
+                output.append(row)
+    else:  # pragma: no cover - plan constructor validates
+        raise AssertionError(f"unknown join type {join_type!r}")
+    return output
+
+
+def task(node, in_queues, out_queues, ctx):
+    build_q, probe_q = in_queues
+    build_schema, probe_schema = (child.schema for child in node.children)
+    build_index = build_schema.index_of(node.params["build_key"])
+    probe_index = probe_schema.index_of(node.params["probe_key"])
+    join_type = node.params["join_type"]
+    build_width = len(build_schema)
+
+    # Build phase (stop-&-go): drain the build input completely.
+    table: dict = {}
+    while True:
+        page = yield Get(build_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.hash_build * len(page))
+        for row in page.rows:
+            table.setdefault(row[build_index], []).append(row)
+
+    # Probe phase: fully pipelined.
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(probe_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.hash_probe * len(page))
+        joined = probe_rows(page.rows, table, probe_index, join_type, build_width)
+        if joined:
+            yield Compute(ctx.costs.join_emit * len(joined))
+            yield from emitter.emit(joined)
+    yield from emitter.close()

@@ -1,0 +1,40 @@
+"""Limit stage: pass through the first N rows, then stop.
+
+Early termination matters for the staged engine: once the quota is
+reached the stage closes its consumers *and drains* its input (the
+producer may already be blocked on a full queue; abandoning the queue
+would deadlock the pipeline). Draining charges no compute — the
+upstream work is wasted, as it is in any engine without limit
+pushdown.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "limit_rows"]
+
+
+def limit_rows(rows, n):
+    """Pure function: the first ``n`` rows."""
+    return list(rows[:n])
+
+
+def task(node, in_queues, out_queues, ctx):
+    (in_q,) = in_queues
+    remaining = node.params["count"]
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        if remaining > 0:
+            take = page.rows[:remaining]
+            remaining -= len(take)
+            yield Compute(ctx.costs.project_tuple * len(take))
+            yield from emitter.emit(take)
+        # Keep draining after the quota so producers never deadlock on
+        # full queues.
+    yield from emitter.close()

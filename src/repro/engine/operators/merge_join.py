@@ -1,0 +1,85 @@
+"""Merge join stage (Section 5.3.2).
+
+Inner equality join of two inputs sorted ascending on their keys.
+Both inputs are buffered before merging — a simplification that keeps
+the cost accounting right (per-tuple merge cost) while reusing one
+merge implementation for the staged and reference paths. Input
+sortedness is verified; violations indicate a malformed plan (a
+missing :func:`repro.engine.plan.sort`).
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.errors import PlanError
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "merge_join_rows"]
+
+
+def _check_sorted(rows, index, side):
+    for a, b in zip(rows, rows[1:]):
+        if a[index] > b[index]:
+            raise PlanError(
+                f"merge join {side} input is not sorted on its key; "
+                "insert a sort below the join"
+            )
+
+
+def merge_join_rows(left_rows, right_rows, left_index, right_index):
+    """Pure function: sort-merge inner join of two sorted inputs."""
+    _check_sorted(left_rows, left_index, "left")
+    _check_sorted(right_rows, right_index, "right")
+    output = []
+    i = j = 0
+    n_left, n_right = len(left_rows), len(right_rows)
+    while i < n_left and j < n_right:
+        lkey = left_rows[i][left_index]
+        rkey = right_rows[j][right_index]
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Emit the cross product of the equal-key runs.
+            j_end = j
+            while j_end < n_right and right_rows[j_end][right_index] == lkey:
+                j_end += 1
+            while i < n_left and left_rows[i][left_index] == lkey:
+                for jj in range(j, j_end):
+                    output.append(left_rows[i] + right_rows[jj])
+                i += 1
+            j = j_end
+    return output
+
+
+def task(node, in_queues, out_queues, ctx):
+    left_q, right_q = in_queues
+    left_schema, right_schema = (child.schema for child in node.children)
+    left_index = left_schema.index_of(node.params["left_key"])
+    right_index = right_schema.index_of(node.params["right_key"])
+
+    left_rows: list[tuple] = []
+    while True:
+        page = yield Get(left_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.sort_tuple * 0.2 * len(page))
+        left_rows.extend(page.rows)
+    right_rows: list[tuple] = []
+    while True:
+        page = yield Get(right_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.sort_tuple * 0.2 * len(page))
+        right_rows.extend(page.rows)
+
+    yield Compute(ctx.costs.hash_probe * (len(left_rows) + len(right_rows)))
+    joined = merge_join_rows(left_rows, right_rows, left_index, right_index)
+
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    if joined:
+        yield Compute(ctx.costs.join_emit * len(joined))
+        yield from emitter.emit(joined)
+    yield from emitter.close()

@@ -1,0 +1,53 @@
+"""Block nested-loop join stage (Section 5.3.1).
+
+The right (inner) input is buffered in full — the "block" — and the
+left (outer) input streams against it. The join predicate is an
+arbitrary compiled expression over the concatenated row, so non-equi
+joins work. Cost is charged per (outer, inner) pair examined, which
+is what makes NLJ expensive and fully pipelined on its outer input.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "nlj_rows"]
+
+
+def nlj_rows(left_rows, right_rows, predicate_fn):
+    """Pure function: all concatenated pairs passing the predicate."""
+    output = []
+    for left in left_rows:
+        for right in right_rows:
+            combined = left + right
+            if predicate_fn(combined):
+                output.append(combined)
+    return output
+
+
+def task(node, in_queues, out_queues, ctx):
+    left_q, right_q = in_queues
+    predicate = node.params["predicate"].compile(node.schema)
+
+    # Buffer the inner input (stop-&-go on the right child).
+    inner: list[tuple] = []
+    while True:
+        page = yield Get(right_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.scan_tuple * 0.1 * len(page))
+        inner.extend(page.rows)
+
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(left_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.nlj_pair * len(page) * max(len(inner), 1))
+        joined = nlj_rows(page.rows, inner, predicate)
+        if joined:
+            yield Compute(ctx.costs.join_emit * len(joined))
+            yield from emitter.emit(joined)
+    yield from emitter.close()

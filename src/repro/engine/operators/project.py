@@ -1,0 +1,28 @@
+"""Projection stage: computes output columns from input rows."""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import CLOSED, Compute, Get
+
+__all__ = ["task", "project_rows"]
+
+
+def project_rows(rows, output_fns):
+    """Pure function: apply each compiled output expression per row."""
+    return [tuple(fn(row) for fn in output_fns) for row in rows]
+
+
+def task(node, in_queues, out_queues, ctx):
+    (in_q,) = in_queues
+    child_schema = node.children[0].schema
+    fns = [expr.compile(child_schema) for _, expr, _ in node.params["outputs"]]
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        yield Compute(ctx.costs.project_tuple * len(page) * len(fns))
+        yield from emitter.emit(project_rows(page.rows, fns))
+    yield from emitter.close()

@@ -1,0 +1,66 @@
+"""Table scan stage — plain or fused.
+
+Reads a base table page by page (projection pushed into storage),
+charging ``scan_tuple`` per tuple read. A *fused* scan additionally
+evaluates a predicate (``filter_tuple`` per tuple) and computes output
+expressions (``project_tuple`` per surviving tuple per expression)
+inside the same stage, mirroring the paper's scan stages which apply
+the query's predicates before handing pages to the consumer.
+
+The scan is the classic sharing pivot for scan-heavy queries: with M
+consumers attached, its emitter multiplexes every page M ways.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stage import OutputEmitter
+from repro.sim.events import Compute
+
+__all__ = ["task", "scan_rows"]
+
+
+def scan_rows(table, columns, predicate_fn=None, output_fns=None):
+    """Pure function: the (possibly fused) scan's output rows."""
+    rows = []
+    for page in table.scan_pages(columns=list(columns) if columns else None):
+        batch = page.rows
+        if predicate_fn is not None:
+            batch = [row for row in batch if predicate_fn(row)]
+        if output_fns is not None:
+            batch = [tuple(fn(row) for fn in output_fns) for row in batch]
+        rows.extend(batch)
+    return rows
+
+
+def task(node, in_queues, out_queues, ctx):
+    table = ctx.catalog.table(node.params["table"])
+    columns = node.params["columns"]
+    base_schema = table.projected_schema(list(columns))
+    predicate = node.params.get("predicate")
+    outputs = node.params.get("outputs")
+    predicate_fn = predicate.compile(base_schema) if predicate is not None else None
+    output_fns = (
+        [expr.compile(base_schema) for _, expr, _ in outputs]
+        if outputs is not None
+        else None
+    )
+
+    cost_factor = node.params.get("cost_factor", 1.0)
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema))
+    for page in table.scan_pages(columns=list(columns), page_rows=ctx.page_rows):
+        cost = ctx.costs.scan_tuple * len(page)
+        batch = page.rows
+        if predicate_fn is not None:
+            cost += ctx.costs.filter_tuple * cost_factor * len(batch)
+            batch = [row for row in batch if predicate_fn(row)]
+        if output_fns is not None and batch:
+            cost += (
+                ctx.costs.project_tuple * cost_factor
+                * len(batch) * len(output_fns)
+            )
+            batch = [tuple(fn(row) for fn in output_fns) for row in batch]
+        yield Compute(cost)
+        if batch:
+            yield from emitter.emit(batch)
+    yield from emitter.close()

@@ -1,0 +1,84 @@
+"""Query packets, handles and results.
+
+In Cordoba, a submitted query is decomposed into *packets* routed to
+operator stages; a packet names the work one operator performs on
+behalf of one query. In this reproduction the packet bookkeeping is
+carried by :class:`QueryHandle` (one per submitted query) and
+:class:`GroupHandle` (one per sharing group — the merged packet set):
+the handle records lifecycle timestamps and collects the final rows
+from the query's sink stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import EngineError
+from repro.storage.schema import Schema
+
+__all__ = ["QueryHandle", "GroupHandle"]
+
+
+@dataclass
+class QueryHandle:
+    """Lifecycle and result of one submitted query.
+
+    ``submitted_at``/``finished_at`` are simulated times; ``rows`` is
+    filled by the sink stage when the query's pipeline drains.
+    """
+
+    label: str
+    schema: Schema
+    submitted_at: float
+    group_id: int = -1
+    shared: bool = False
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    finished_at: Optional[float] = None
+    on_complete: Optional[Callable[["QueryHandle"], None]] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    def response_time(self) -> float:
+        if self.finished_at is None:
+            raise EngineError(f"query {self.label!r} has not finished")
+        return self.finished_at - self.submitted_at
+
+    def mark_done(self, now: float) -> None:
+        if self.finished_at is not None:
+            raise EngineError(f"query {self.label!r} finished twice")
+        self.finished_at = now
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def __repr__(self) -> str:
+        state = f"done@{self.finished_at:.6g}" if self.done else "running"
+        return f"QueryHandle({self.label!r}, {state})"
+
+
+@dataclass
+class GroupHandle:
+    """One execution of a (possibly singleton) sharing group."""
+
+    group_id: int
+    pivot_op_id: Optional[str]
+    handles: list[QueryHandle]
+
+    @property
+    def size(self) -> int:
+        return len(self.handles)
+
+    @property
+    def shared(self) -> bool:
+        return self.size > 1
+
+    @property
+    def done(self) -> bool:
+        return all(h.done for h in self.handles)
+
+    def completion_time(self) -> float:
+        if not self.done:
+            raise EngineError(f"group {self.group_id} has unfinished queries")
+        return max(h.finished_at for h in self.handles)

@@ -1,0 +1,103 @@
+"""Naive reference executor.
+
+Evaluates a physical plan directly — bottom-up, single-threaded, no
+simulator, no pages — using the *same* pure row-transformation
+functions as the staged operators. Every staged query result in the
+test suite is checked against this executor, so scheduling bugs in the
+engine cannot hide behind wrong-but-stable answers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.aggregate import aggregate_rows
+from repro.engine.operators.filter import filter_rows
+from repro.engine.operators.hash_join import build_table, probe_rows
+from repro.engine.operators.limit import limit_rows
+from repro.engine.operators.merge_join import merge_join_rows
+from repro.engine.operators.nested_loop_join import nlj_rows
+from repro.engine.operators.project import project_rows
+from repro.engine.operators.scan import scan_rows
+from repro.engine.operators.sort import sort_rows
+from repro.engine.plan import PlanNode
+from repro.errors import PlanError
+from repro.storage.catalog import Catalog
+
+__all__ = ["execute_reference"]
+
+
+def execute_reference(plan: PlanNode, catalog: Catalog) -> list[tuple]:
+    """Evaluate a plan tree and return its result rows."""
+    kind = plan.kind
+    params = plan.params
+
+    if kind == "scan":
+        table = catalog.table(params["table"])
+        base_schema = table.projected_schema(list(params["columns"]))
+        predicate = params.get("predicate")
+        outputs = params.get("outputs")
+        predicate_fn = (
+            predicate.compile(base_schema) if predicate is not None else None
+        )
+        output_fns = (
+            [expr.compile(base_schema) for _, expr, _ in outputs]
+            if outputs is not None
+            else None
+        )
+        return scan_rows(table, params["columns"], predicate_fn, output_fns)
+
+    if kind == "filter":
+        rows = execute_reference(plan.children[0], catalog)
+        predicate = params["predicate"].compile(plan.children[0].schema)
+        return filter_rows(rows, predicate)
+
+    if kind == "project":
+        rows = execute_reference(plan.children[0], catalog)
+        child_schema = plan.children[0].schema
+        fns = [expr.compile(child_schema) for _, expr, _ in params["outputs"]]
+        return project_rows(rows, fns)
+
+    if kind == "aggregate":
+        rows = execute_reference(plan.children[0], catalog)
+        return aggregate_rows(
+            rows, plan.children[0].schema, params["group_by"], params["aggs"]
+        )
+
+    if kind == "sort":
+        rows = execute_reference(plan.children[0], catalog)
+        return sort_rows(rows, plan.children[0].schema, params["keys"])
+
+    if kind == "limit":
+        rows = execute_reference(plan.children[0], catalog)
+        return limit_rows(rows, params["count"])
+
+    if kind == "hash_join":
+        build_rows = execute_reference(plan.children[0], catalog)
+        probe_input = execute_reference(plan.children[1], catalog)
+        build_schema, probe_schema = (c.schema for c in plan.children)
+        table = build_table(build_rows, build_schema.index_of(params["build_key"]))
+        return probe_rows(
+            probe_input,
+            table,
+            probe_schema.index_of(params["probe_key"]),
+            params["join_type"],
+            len(build_schema),
+        )
+
+    if kind == "merge_join":
+        left = execute_reference(plan.children[0], catalog)
+        right = execute_reference(plan.children[1], catalog)
+        left_schema, right_schema = (c.schema for c in plan.children)
+        return merge_join_rows(
+            left,
+            right,
+            left_schema.index_of(params["left_key"]),
+            right_schema.index_of(params["right_key"]),
+        )
+
+    if kind == "nested_loop_join":
+        left = execute_reference(plan.children[0], catalog)
+        right = execute_reference(plan.children[1], catalog)
+        predicate = params["predicate"].compile(plan.schema)
+        return nlj_rows(left, right, predicate)
+
+    raise PlanError(f"reference executor: unknown operator kind {kind!r}")

@@ -1,0 +1,99 @@
+"""Stage plumbing: page streams in, multiplexed page streams out.
+
+Every engine operator runs as one simulator task: a generator yielding
+:mod:`repro.sim.events` requests. Input is consumed with the idiom::
+
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        ...
+
+Output goes through :class:`OutputEmitter`, which buffers rows into
+full pages and delivers each page to *every* consumer queue, charging
+the cost model's per-consumer output costs. With one consumer this is
+plain pipelining; with M consumers it is the pivot's multiplexing —
+the serialization the paper identifies as the hidden cost of sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Sequence
+
+from repro.engine.costs import CostModel
+from repro.errors import EngineError
+from repro.sim.events import Close, Compute, Put
+from repro.sim.queues import SimQueue
+from repro.storage.page import Page
+
+__all__ = ["OutputEmitter"]
+
+
+class OutputEmitter:
+    """Buffers rows and multiplexes full pages to all consumers.
+
+    Driven from inside an operator generator::
+
+        emitter = OutputEmitter(out_queues, page_rows, costs)
+        ...
+        yield from emitter.emit(rows)     # may flush full pages
+        ...
+        yield from emitter.close()        # flush remainder + Close
+
+    Per page flushed, each consumer costs
+    ``output_page + output_value * len(page) * width`` compute units
+    before the Put — a pivot with M consumers spends M times the output
+    work of an unshared operator, exactly the model's ``s * M`` term.
+    ``width`` is the emitted tuple width in columns (copy cost scales
+    with tuple bytes).
+    """
+
+    def __init__(
+        self,
+        out_queues: Sequence[SimQueue],
+        page_rows: int,
+        costs: CostModel,
+        width: int = 1,
+    ) -> None:
+        if not out_queues:
+            raise EngineError("operator needs at least one output queue")
+        if page_rows < 1:
+            raise EngineError(f"page_rows must be >= 1, got {page_rows}")
+        if width < 1:
+            raise EngineError(f"width must be >= 1, got {width}")
+        self.out_queues = list(out_queues)
+        self.page_rows = page_rows
+        self.costs = costs
+        self.width = width
+        self._buffer: list[tuple] = []
+        self.pages_emitted = 0
+        self.rows_emitted = 0
+
+    @property
+    def consumers(self) -> int:
+        return len(self.out_queues)
+
+    def emit(self, rows: Iterable[tuple]) -> Generator[Any, Any, None]:
+        """Buffer rows, flushing every time a full page accumulates."""
+        for row in rows:
+            self._buffer.append(row)
+            if len(self._buffer) >= self.page_rows:
+                yield from self._flush()
+
+    def close(self) -> Generator[Any, Any, None]:
+        """Flush the partial page and close every consumer queue."""
+        if self._buffer:
+            yield from self._flush()
+        for queue in self.out_queues:
+            yield Close(queue)
+
+    def _flush(self) -> Generator[Any, Any, None]:
+        page = Page(self._buffer[: self.page_rows])
+        del self._buffer[: len(page)]
+        self.pages_emitted += 1
+        self.rows_emitted += len(page)
+        for queue in self.out_queues:
+            yield Compute(
+                self.costs.page_output_cost(len(page), self.width, consumers=1)
+            )
+            yield Put(queue, page)

@@ -1,0 +1,107 @@
+"""Execution statistics: where did the cycles go?
+
+:func:`stage_report` aggregates a simulation's per-task busy times by
+operator, giving the per-stage breakdown the paper's profiling
+procedure starts from (Section 3.1) and the first thing an engine
+developer asks for when a pipeline underperforms ("which stage is the
+bottleneck?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.simulator import Simulator
+from repro.sim.task import Task
+
+__all__ = ["StageStats", "StageReport", "stage_report"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregated activity of one operator across all its instances."""
+
+    op_id: str
+    instances: int
+    busy_time: float
+    busy_share: float
+
+    def __repr__(self) -> str:
+        return (
+            f"StageStats({self.op_id}, x{self.instances}, "
+            f"busy={self.busy_time:.6g}, {self.busy_share:.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """All stages of a run, ordered by busy time (bottleneck first)."""
+
+    stages: tuple[StageStats, ...]
+    total_busy: float
+
+    def bottleneck(self) -> StageStats:
+        if not self.stages:
+            raise ValueError("report is empty")
+        return self.stages[0]
+
+    def stage(self, op_id: str) -> StageStats:
+        for stats in self.stages:
+            if stats.op_id == op_id:
+                return stats
+        raise KeyError(op_id)
+
+    def render(self) -> str:
+        lines = [f"{'stage':>28}  {'inst':>4}  {'busy':>12}  share"]
+        for stats in self.stages:
+            bar = "#" * max(1, round(stats.busy_share * 40))
+            lines.append(
+                f"{stats.op_id:>28}  {stats.instances:>4}  "
+                f"{stats.busy_time:>12.1f}  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def stage_report(
+    source: Simulator | Iterable[Task],
+    include_sinks: bool = False,
+    group_prefix: Optional[str] = None,
+) -> StageReport:
+    """Aggregate busy time by operator id.
+
+    ``source`` is a simulator (all its tasks) or an explicit task
+    iterable (e.g. one group's tasks from ``Engine.group_tasks``).
+    ``group_prefix`` filters tasks whose name starts with it.
+    """
+    tasks = source.tasks if isinstance(source, Simulator) else list(source)
+    busy: dict[str, float] = {}
+    instances: dict[str, int] = {}
+    for task in tasks:
+        if "/" not in task.name:
+            continue
+        if group_prefix is not None and not task.name.startswith(group_prefix):
+            continue
+        op_id = task.name.rsplit("/", 1)[-1]
+        if op_id == "sink" and not include_sinks:
+            continue
+        busy[op_id] = busy.get(op_id, 0.0) + task.busy_time
+        instances[op_id] = instances.get(op_id, 0) + 1
+
+    total = sum(busy.values())
+    stages = tuple(
+        sorted(
+            (
+                StageStats(
+                    op_id=op_id,
+                    instances=instances[op_id],
+                    busy_time=time,
+                    busy_share=(time / total if total else 0.0),
+                )
+                for op_id, time in busy.items()
+            ),
+            key=lambda s: s.busy_time,
+            reverse=True,
+        )
+    )
+    return StageReport(stages=stages, total_busy=total)

@@ -1,0 +1,17 @@
+"""Experiment drivers — one module per paper figure.
+
+* :mod:`repro.experiments.fig1` — Q6 sharing speedup vs clients/CPUs,
+* :mod:`repro.experiments.fig2` — scan-heavy vs join-heavy speedups,
+* :mod:`repro.experiments.fig4` — model sensitivity sweeps (Section 6),
+* :mod:`repro.experiments.fig5` — model-vs-measured validation,
+* :mod:`repro.experiments.fig6` — policy comparison in a closed system,
+* :mod:`repro.experiments.section4_example` — the Q6 worked example.
+
+Run them via the ``repro-experiments`` CLI or the modules'
+``python -m`` entry points; EXPERIMENTS.md records representative
+output next to the paper's reported numbers.
+"""
+
+from repro.experiments import fig1, fig2, fig4, fig5, fig6, section4_example
+
+__all__ = ["fig1", "fig2", "fig4", "fig5", "fig6", "section4_example"]

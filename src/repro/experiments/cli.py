@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments fig1          # Figure 1
+    repro-experiments fig2 fig4     # several at once
+    repro-experiments all           # everything (takes minutes)
+    repro-experiments fig1 --quick  # reduced client counts
+
+``--quick`` trims the client axes so each figure completes in seconds;
+full runs use the paper's 1-48 client range.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig1, fig2, fig4, fig5, fig6, section4_example
+
+__all__ = ["main"]
+
+_QUICK_CLIENTS = (1, 2, 4, 8, 16)
+_QUICK_VALIDATION_CLIENTS = (2, 8, 16)
+
+
+def _run_fig1(quick: bool) -> str:
+    clients = _QUICK_CLIENTS if quick else fig1.DEFAULT_CLIENTS
+    return fig1.run(clients=clients).render()
+
+
+def _run_fig2(quick: bool) -> str:
+    clients = _QUICK_CLIENTS if quick else fig2.DEFAULT_CLIENTS
+    return fig2.run(clients=clients).render()
+
+
+def _run_fig4(quick: bool) -> str:
+    clients = tuple(range(1, 21)) if quick else fig4.DEFAULT_CLIENTS
+    return fig4.run(clients=clients).render()
+
+
+def _run_fig5(quick: bool) -> str:
+    clients = _QUICK_VALIDATION_CLIENTS if quick else fig5.DEFAULT_CLIENTS
+    return fig5.run(clients=clients).render()
+
+
+def _run_fig6(quick: bool) -> str:
+    fractions = (0.0, 0.5, 1.0) if quick else fig6.DEFAULT_FRACTIONS
+    window = 400_000.0 if quick else 800_000.0
+    return fig6.run(fractions=fractions, window=window).render()
+
+
+def _run_section4(quick: bool) -> str:
+    return section4_example.run().render()
+
+
+_EXPERIMENTS = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "section4": _run_section4,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures from 'To Share or Not To Share?' "
+                    "(VLDB 2007).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*sorted(_EXPERIMENTS), "all"],
+        help="which figures to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced client counts for a fast sanity run",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        sorted(_EXPERIMENTS) if "all" in args.experiments
+        else list(dict.fromkeys(args.experiments))
+    )
+    for name in names:
+        started = time.time()
+        output = _EXPERIMENTS[name](args.quick)
+        elapsed = time.time() - started
+        print(output)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Shared infrastructure for the experiment drivers.
+
+Two measurement protocols, matching the paper:
+
+* **Batch speedup** (Figures 1, 2, 5): ``m`` identical queries are
+  submitted simultaneously; the speedup of sharing is the ratio of the
+  independent-execution makespan to the shared-group makespan. This is
+  the protocol the model predicts directly (all ``m`` queries present,
+  one group).
+* **Closed-system throughput** (Figure 6): ``N`` clients each keep one
+  query outstanding, routed through a sharing policy; throughput is
+  completions per time over a steady-state window
+  (:mod:`repro.workload`).
+
+A module-level catalog cache keeps the TPC-H database generation out
+of the measured paths and shares one database across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.engine.engine import Engine
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import Catalog
+from repro.tpch.generator import generate
+from repro.tpch.queries import TpchQuery, build
+
+__all__ = [
+    "DEFAULT_SCALE_FACTOR",
+    "DEFAULT_SEED",
+    "PAPER_PROCESSOR_COUNTS",
+    "SpeedupSeries",
+    "shared_catalog",
+    "batch_makespan",
+    "batch_speedup",
+    "speedup_series",
+]
+
+DEFAULT_SCALE_FACTOR = 0.001
+DEFAULT_SEED = 2007
+PAPER_PROCESSOR_COUNTS = (1, 2, 8, 32)
+
+_CATALOG_CACHE: dict[tuple[float, int], Catalog] = {}
+
+
+def shared_catalog(
+    scale_factor: float = DEFAULT_SCALE_FACTOR, seed: int = DEFAULT_SEED
+) -> Catalog:
+    """Memoized TPC-H database for the experiment suite."""
+    key = (scale_factor, seed)
+    if key not in _CATALOG_CACHE:
+        _CATALOG_CACHE[key] = generate(scale_factor=scale_factor, seed=seed)
+    return _CATALOG_CACHE[key]
+
+
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """One line of a speedup figure: Z over client counts."""
+
+    query: str
+    processors: int
+    clients: tuple[int, ...]
+    speedups: tuple[float, ...]
+
+    def as_mapping(self) -> Mapping[int, float]:
+        return dict(zip(self.clients, self.speedups))
+
+    def max_speedup(self) -> float:
+        return max(self.speedups)
+
+    def min_speedup(self) -> float:
+        return min(self.speedups)
+
+
+def batch_makespan(
+    catalog: Catalog,
+    query: TpchQuery,
+    m: int,
+    processors: int,
+    shared: bool,
+    costs: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Simulated time for ``m`` copies of ``query`` to complete."""
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=costs)
+    labels = [f"{query.name}#{i}" for i in range(m)]
+    if shared and m > 1:
+        engine.execute_group([query.plan] * m, pivot_op_id=query.pivot,
+                             labels=labels)
+    else:
+        for label in labels:
+            engine.execute(query.plan, label)
+    sim.run()
+    return sim.now
+
+
+def batch_speedup(
+    catalog: Catalog,
+    query: TpchQuery,
+    m: int,
+    processors: int,
+    costs: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Measured Z(m, n): unshared makespan over shared makespan."""
+    unshared = batch_makespan(catalog, query, m, processors, shared=False,
+                              costs=costs)
+    shared = batch_makespan(catalog, query, m, processors, shared=True,
+                            costs=costs)
+    return unshared / shared
+
+
+def speedup_series(
+    catalog: Catalog,
+    query_name: str,
+    processors: int,
+    clients: Sequence[int],
+    costs: CostModel = DEFAULT_COST_MODEL,
+) -> SpeedupSeries:
+    """Measure one figure line through the staged engine."""
+    query = build(query_name, catalog)
+    speedups = tuple(
+        batch_speedup(catalog, query, m, processors, costs=costs)
+        for m in clients
+    )
+    return SpeedupSeries(
+        query=query_name,
+        processors=processors,
+        clients=tuple(clients),
+        speedups=speedups,
+    )

@@ -1,0 +1,184 @@
+"""Offline (MQO-style) batch planning (Section 8.2).
+
+The paper's runtime policy "has no way to know how many queries might
+eventually come. ... Approaches that work with batches of queries
+(offline), such as multiple query optimization, would not suffer this
+shortcoming." This module is that approach: given the *whole* batch up
+front, it makes globally informed grouping decisions —
+
+1. queries are clustered by pivot signature (only identical operations
+   can merge);
+2. the machine is divided among clusters in proportion to their
+   unshared work demand;
+3. each cluster picks the Section 8.1 partitioning (k groups of g
+   sharers) that maximizes its predicted rate on its processor share;
+4. all resulting groups launch concurrently.
+
+This is the offline-optimal flavor of always-share: it exploits every
+beneficial merge but never creates a group the model rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.core import metrics
+from repro.core.contention import ContentionLike
+from repro.core.decision import ShareAdvisor
+from repro.core.spec import QuerySpec
+from repro.engine.engine import Engine
+from repro.engine.packet import GroupHandle
+from repro.errors import PolicyError
+from repro.tpch.queries import TpchQuery
+
+__all__ = ["BatchPlan", "BatchPlanner"]
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """Planned execution for one signature cluster."""
+
+    query_name: str
+    members: int
+    group_size: int
+    n_groups: int
+    processor_share: float
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The full batch arrangement, before execution."""
+
+    clusters: tuple[ClusterPlan, ...]
+
+    def total_groups(self) -> int:
+        return sum(c.n_groups for c in self.clusters)
+
+    def render(self) -> str:
+        lines = ["batch plan:"]
+        for c in self.clusters:
+            lines.append(
+                f"  {c.query_name}: {c.members} queries -> {c.n_groups} "
+                f"group(s) of <= {c.group_size} on ~{c.processor_share:.1f} "
+                "cpus"
+            )
+        return "\n".join(lines)
+
+
+class BatchPlanner:
+    """Plans and executes a known-in-advance batch of queries.
+
+    Parameters
+    ----------
+    specs:
+        ``query_name -> (QuerySpec, pivot op name)`` — profiled model
+        specs for every query type the batch may contain.
+    processors:
+        Machine size the plan targets.
+    contention / threshold:
+        Advisor configuration (see :class:`ShareAdvisor`).
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, tuple[QuerySpec, str]],
+        processors: int,
+        contention: ContentionLike = None,
+        threshold: float = 1.0,
+    ) -> None:
+        if not specs:
+            raise PolicyError("batch planner needs at least one spec")
+        if processors < 1:
+            raise PolicyError(f"processors must be >= 1, got {processors}")
+        self.specs = dict(specs)
+        self.processors = processors
+        self.contention = contention
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+
+    def plan(self, queries: Sequence[TpchQuery]) -> BatchPlan:
+        """Choose groupings for the batch (no execution)."""
+        if not queries:
+            raise PolicyError("cannot plan an empty batch")
+        clusters = self._cluster(queries)
+
+        # Processor shares proportional to unshared work demand.
+        demands = {}
+        for name, members in clusters.items():
+            spec, _ = self._spec_for(name)
+            demands[name] = len(members) * metrics.total_work(spec)
+        total_demand = sum(demands.values())
+
+        plans = []
+        for name, members in clusters.items():
+            spec, pivot = self._spec_for(name)
+            share = self.processors * demands[name] / total_demand
+            advisor = ShareAdvisor(
+                processors=max(share, 1e-9),
+                contention=self.contention,
+                threshold=self.threshold,
+            )
+            partitioning = advisor.best_partitioning(
+                spec, pivot, clients=len(members)
+            )
+            plans.append(
+                ClusterPlan(
+                    query_name=name,
+                    members=len(members),
+                    group_size=partitioning.group_size,
+                    n_groups=partitioning.n_groups,
+                    processor_share=share,
+                )
+            )
+        return BatchPlan(clusters=tuple(plans))
+
+    def execute(
+        self,
+        engine: Engine,
+        queries: Sequence[TpchQuery],
+        plan: Optional[BatchPlan] = None,
+    ) -> list[GroupHandle]:
+        """Launch the batch per plan; returns one handle per group.
+
+        The caller drives ``engine.sim.run()`` afterwards.
+        """
+        plan = plan or self.plan(queries)
+        clusters = self._cluster(queries)
+        by_name = {c.query_name: c for c in plan.clusters}
+        handles = []
+        for name, members in clusters.items():
+            cluster_plan = by_name[name]
+            size = cluster_plan.group_size
+            for start in range(0, len(members), size):
+                chunk = members[start:start + size]
+                pivot = chunk[0].pivot if len(chunk) > 1 else None
+                handles.append(
+                    engine.execute_group(
+                        [q.plan for q in chunk],
+                        pivot_op_id=pivot,
+                        labels=[
+                            f"batch/{name}#{start + i}"
+                            for i in range(len(chunk))
+                        ],
+                    )
+                )
+        return handles
+
+    # ------------------------------------------------------------------
+
+    def _cluster(self, queries: Sequence[TpchQuery]) -> dict[str, list]:
+        clusters: dict[str, list] = {}
+        for query in queries:
+            self._spec_for(query.name)  # validate early
+            clusters.setdefault(query.name, []).append(query)
+        return clusters
+
+    def _spec_for(self, name: str) -> tuple[QuerySpec, str]:
+        try:
+            return self.specs[name]
+        except KeyError:
+            raise PolicyError(
+                f"no model spec for query {name!r}; have {sorted(self.specs)}"
+            ) from None

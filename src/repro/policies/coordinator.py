@@ -1,0 +1,222 @@
+"""Runtime sharing coordination (Sections 3.2 and 8.1).
+
+Cordoba detects sharing at run time: "when a new packet arrives at a
+stage's queue, the stage thread searches the queue for other packets
+that request the same operation" and merges them. The
+:class:`SharingCoordinator` reproduces that behaviour at query
+granularity:
+
+* **Same-instant arrivals merge.** Submissions are buffered and routed
+  once per simulated instant, so a burst of identical queries (e.g.
+  the members of a just-completed group resubmitting in a closed
+  system) is evaluated as one prospective group — just as packets
+  arriving together in a stage queue are merged together.
+* **Busy signatures batch.** While groups of a signature are active,
+  approved arrivals accumulate in a pending batch (the analogue of
+  packets queueing at a busy stage). The batch launches as soon as any
+  active group of the signature completes — pending work never waits
+  for the whole signature to drain, which keeps multiple groups in
+  flight concurrently (the Section 8.1 grouping optimization).
+* **Policy-declined queries run solo** immediately, "though [they] may
+  be joined later on by other queries" — their activity keeps the
+  signature busy so a batch can form behind them.
+
+The prospective group size offered to the policy counts active sharers
+plus the waiting batch plus the simultaneous arrivals, approximating
+Cordoba's ability to attach to in-flight queries via simultaneous
+pipelining; the processors offered are those not claimed by active
+queries of *other* signatures ("the model-guided policy dynamically
+evaluates conditions at runtime", Section 8.2).
+
+``max_group_size`` caps launched batches, splitting oversized pending
+sets into multiple concurrent groups — trading sharing for parallelism
+exactly as Section 8.1 proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.engine import Engine
+from repro.engine.packet import QueryHandle
+from repro.errors import PolicyError
+from repro.policies.base import SharingPolicy
+from repro.tpch.queries import TpchQuery
+
+__all__ = ["SharingCoordinator"]
+
+
+@dataclass
+class _Pending:
+    query: TpchQuery
+    label: str
+    on_complete: Optional[Callable[[QueryHandle], None]]
+
+
+@dataclass
+class _Slot:
+    """State for one pivot signature."""
+
+    signature: str
+    active_groups: set = field(default_factory=set)
+    pending: list = field(default_factory=list)
+    flush_scheduled: bool = False
+
+
+class SharingCoordinator:
+    """Routes arriving queries into sharing groups per policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: SharingPolicy,
+        max_group_size: Optional[int] = None,
+    ) -> None:
+        if max_group_size is not None and max_group_size < 1:
+            raise PolicyError(
+                f"max_group_size must be >= 1, got {max_group_size}"
+            )
+        self.engine = engine
+        self.policy = policy
+        self.max_group_size = max_group_size
+        self._slots: dict[str, _Slot] = {}
+        self._active_members: dict[int, int] = {}
+        self._group_names: dict[int, str] = {}
+        self._group_sizes: dict[int, int] = {}
+        self._arrivals: list[_Pending] = []
+        self._route_scheduled = False
+        # Decision accounting for experiments.
+        self.shared_submissions = 0
+        self.solo_submissions = 0
+        self.launched_group_sizes: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: TpchQuery,
+        label: str,
+        on_complete: Optional[Callable[[QueryHandle], None]] = None,
+    ) -> None:
+        """Accept one arriving query; routed at the end of the instant."""
+        self._arrivals.append(_Pending(query, label, on_complete))
+        if not self._route_scheduled:
+            self._route_scheduled = True
+            self.engine.sim.call_soon(self._route_arrivals)
+
+    def pending_count(self) -> int:
+        return sum(len(slot.pending) for slot in self._slots.values())
+
+    def drain(self) -> None:
+        """Route buffered arrivals immediately (for non-simulated use)."""
+        if self._route_scheduled or self._arrivals:
+            self._route_scheduled = False
+            self._route_arrivals()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _signature(query: TpchQuery) -> str:
+        return f"{query.pivot}:{query.pivot_node().signature}"
+
+    def _route_arrivals(self) -> None:
+        self._route_scheduled = False
+        arrivals, self._arrivals = self._arrivals, []
+        by_signature: dict[str, list[_Pending]] = {}
+        for entry in arrivals:
+            by_signature.setdefault(self._signature(entry.query), []).append(
+                entry
+            )
+        for signature, batch in by_signature.items():
+            slot = self._slots.setdefault(signature,
+                                          _Slot(signature=signature))
+            self._route_batch(slot, batch)
+
+    def _route_batch(self, slot: _Slot, batch: list[_Pending]) -> None:
+        name = batch[0].query.name
+        slot_active = sum(
+            self._active_members.get(gid, 0) for gid in slot.active_groups
+        )
+        total_active = sum(self._active_members.values())
+        effective_n = max(
+            1, self.engine.sim.n_processors - (total_active - slot_active)
+        )
+        prospective = slot_active + len(slot.pending) + len(batch)
+        busy = bool(slot.active_groups or slot.pending)
+
+        if self.policy.should_share(name, prospective, effective_n):
+            self.shared_submissions += len(batch)
+            if busy:
+                slot.pending.extend(batch)
+            else:
+                self._launch_capped(slot, batch)
+            return
+
+        self.solo_submissions += len(batch)
+        for entry in batch:
+            self._launch(slot, [entry])
+
+    # ------------------------------------------------------------------
+
+    def _launch_capped(self, slot: _Slot, batch: list[_Pending]) -> None:
+        cap = self.max_group_size or len(batch)
+        for start in range(0, len(batch), cap):
+            self._launch(slot, batch[start:start + cap])
+
+    def _launch(self, slot: _Slot, batch: list[_Pending]) -> None:
+        pivot = batch[0].query.pivot if len(batch) > 1 else None
+        group = self.engine.execute_group(
+            [entry.query.plan for entry in batch],
+            pivot_op_id=pivot,
+            labels=[entry.label for entry in batch],
+            on_complete=[
+                self._wrap(slot, entry.on_complete) for entry in batch
+            ],
+        )
+        slot.active_groups.add(group.group_id)
+        self._active_members[group.group_id] = group.size
+        self._group_names[group.group_id] = batch[0].query.name
+        self._group_sizes[group.group_id] = group.size
+        self.launched_group_sizes.append(group.size)
+
+    def _wrap(
+        self,
+        slot: _Slot,
+        client_callback: Optional[Callable[[QueryHandle], None]],
+    ) -> Callable[[QueryHandle], None]:
+        def on_query_done(handle: QueryHandle) -> None:
+            remaining = self._active_members.get(handle.group_id, 0) - 1
+            group_drained = remaining <= 0
+            if group_drained:
+                self._active_members.pop(handle.group_id, None)
+                slot.active_groups.discard(handle.group_id)
+                self._notify_policy(handle)
+            else:
+                self._active_members[handle.group_id] = remaining
+            # The client's callback typically resubmits (closed system);
+            # run it before scheduling the flush so same-instant
+            # resubmissions can still join the departing batch.
+            if client_callback is not None:
+                client_callback(handle)
+            if group_drained and not slot.flush_scheduled:
+                slot.flush_scheduled = True
+                self.engine.sim.call_soon(lambda: self._flush(slot))
+
+        return on_query_done
+
+    def _flush(self, slot: _Slot) -> None:
+        slot.flush_scheduled = False
+        if not slot.pending:
+            return
+        pending, slot.pending = slot.pending, []
+        self._launch_capped(slot, pending)
+
+    def _notify_policy(self, handle: QueryHandle) -> None:
+        """Feed the completed group back to learning policies."""
+        tasks = self.engine.group_tasks.get(handle.group_id)
+        query_name = self._group_names.pop(handle.group_id, None)
+        group_size = self._group_sizes.pop(handle.group_id, 0)
+        if tasks is None or query_name is None:
+            return
+        self.policy.observe_group(query_name, group_size, tasks)

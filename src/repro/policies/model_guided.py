@@ -1,0 +1,84 @@
+"""The model-guided policy (Section 8): share only when Z(m, n) > 1.
+
+Holds one profiled :class:`~repro.core.spec.QuerySpec` per query type
+(obtained offline via :mod:`repro.profiling`, as in the paper's
+Section 3.1 setup) and consults the analytical model on every arrival:
+join the group only if sharing the prospective group beats independent
+execution on this machine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.contention import ContentionLike
+from repro.core.decision import ShareAdvisor
+from repro.core.spec import QuerySpec
+from repro.errors import PolicyError
+from repro.policies.base import SharingPolicy
+
+__all__ = ["ModelGuidedPolicy"]
+
+
+class ModelGuidedPolicy(SharingPolicy):
+    """Decides via the Section-4 model on profiled query specs.
+
+    Parameters
+    ----------
+    specs:
+        ``query_name -> (QuerySpec, pivot operator name)`` from the
+        profiler.
+    contention:
+        Optional hardware contention spec for the advisor.
+    threshold:
+        Minimum predicted Z to share. The default demands a 25%
+        predicted win rather than any win: the Section-4 model prices
+        rates at steady state but not the *batching delay* a runtime
+        merge discipline imposes (an arriving query waits for the
+        active group to drain before its batch starts), so marginal
+        predicted wins lose in practice. The margin absorbs that
+        unmodeled cost.
+    """
+
+    name = "model"
+
+    def __init__(
+        self,
+        specs: Mapping[str, tuple[QuerySpec, str]],
+        contention: ContentionLike = None,
+        threshold: float = 1.25,
+    ) -> None:
+        if not specs:
+            raise PolicyError("model-guided policy needs at least one spec")
+        self.specs = dict(specs)
+        self.contention = contention
+        self.threshold = threshold
+        self._decision_cache: dict[tuple[str, int, int], bool] = {}
+
+    def should_share(self, query_name: str, prospective_size: int,
+                     processors: int) -> bool:
+        if prospective_size < 2:
+            return False
+        key = (query_name, prospective_size, processors)
+        cached = self._decision_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            spec, pivot = self.specs[query_name]
+        except KeyError:
+            raise PolicyError(
+                f"no model spec for query {query_name!r}; "
+                f"have {sorted(self.specs)}"
+            ) from None
+        advisor = ShareAdvisor(
+            processors=processors,
+            contention=self.contention,
+            threshold=self.threshold,
+        )
+        group = [
+            spec.relabeled(f"{query_name}#{i}")
+            for i in range(prospective_size)
+        ]
+        decision = advisor.evaluate(group, pivot).share
+        self._decision_cache[key] = decision
+        return decision

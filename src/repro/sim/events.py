@@ -1,0 +1,97 @@
+"""Request vocabulary for simulated tasks.
+
+A simulated task is a Python generator that *yields* requests to the
+scheduler and receives results via ``send``. The vocabulary mirrors
+what a staged database thread does:
+
+* :class:`Compute` — burn CPU for a given amount of work (the only
+  request that advances simulated time while holding a processor),
+* :class:`Put` / :class:`Get` — exchange items over bounded queues
+  (blocking when full/empty — this is the finite buffering that lets
+  slow consumers throttle producers),
+* :class:`Close` — end-of-stream a queue,
+* :class:`Sleep` — wait without holding a processor (think times).
+
+``CLOSED`` is the sentinel a :class:`Get` receives once its queue is
+closed and drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.queues import SimQueue
+
+__all__ = ["Compute", "Put", "Get", "Close", "Sleep", "CLOSED", "Request"]
+
+
+class _Closed:
+    """Singleton end-of-stream marker returned by Get on closed queues."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<CLOSED>"
+
+
+CLOSED = _Closed()
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume ``cost`` units of CPU work on the holding processor."""
+
+    cost: float
+
+    def __post_init__(self) -> None:
+        if not (self.cost >= 0):  # also rejects NaN
+            raise SimulationError(f"Compute cost must be >= 0, got {self.cost!r}")
+
+
+@dataclass(frozen=True)
+class Put:
+    """Enqueue ``item`` on ``queue``; blocks while the queue is full."""
+
+    queue: "SimQueue"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    """Dequeue one item from ``queue``; blocks while empty. Receives
+    ``CLOSED`` once the queue is closed and fully drained."""
+
+    queue: "SimQueue"
+
+
+@dataclass(frozen=True)
+class Close:
+    """Mark ``queue`` closed: waiting and future getters see CLOSED
+    after the remaining items drain."""
+
+    queue: "SimQueue"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Suspend the task for ``duration`` without occupying a processor."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not (self.duration >= 0):
+            raise SimulationError(
+                f"Sleep duration must be >= 0, got {self.duration!r}"
+            )
+
+
+Request = (Compute, Put, Get, Close, Sleep)

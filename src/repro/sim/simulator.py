@@ -1,0 +1,330 @@
+"""The discrete-event chip-multiprocessor simulator.
+
+This module is the substrate that replaces the paper's UltraSparc T1
+testbed. It executes cooperative *tasks* (generators yielding the
+:mod:`repro.sim.events` vocabulary) on ``n`` processor contexts:
+
+* tasks run until they issue a :class:`~repro.sim.events.Compute`,
+  which occupies a context for ``cost / speed`` simulated time;
+* after each compute chunk the task rejoins the tail of the run queue,
+  giving round-robin fairness across all runnable tasks — the T1's
+  scheduling policy ("each core executes instructions from available
+  threads in a round-robin fashion");
+* :class:`~repro.sim.events.Put`/:class:`~repro.sim.events.Get` on
+  bounded queues block when full/empty, providing the finite buffering
+  that throttles producers behind slow consumers;
+* contention for shared hardware scales per-context speed via
+  :class:`~repro.sim.processor.SpeedModel` (Section 4.1.4).
+
+Determinism: the event heap breaks time ties by insertion order and
+all queues are FIFO, so a given task program yields identical
+timelines on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from repro.core.contention import ContentionLike
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import CLOSED, Close, Compute, Get, Put, Sleep
+from repro.sim.processor import Processor, SpeedModel
+from repro.sim.queues import SimQueue
+from repro.sim.task import BLOCKED, DONE, FAILED, READY, RUNNING, Task
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven multiprocessor executing cooperative tasks.
+
+    Parameters
+    ----------
+    processors:
+        Number of hardware contexts (the paper sweeps 1, 2, 8, 32).
+    contention:
+        Optional contention spec (kappa float, callable, or model); see
+        :mod:`repro.core.contention`.
+    max_zero_time_steps:
+        Livelock guard: a task performing this many consecutive
+        requests without any positive-cost Compute is assumed stuck in
+        a zero-time loop and the simulation aborts.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        contention: ContentionLike = None,
+        max_zero_time_steps: int = 1_000_000,
+    ) -> None:
+        if processors < 1:
+            raise SimulationError(f"processors must be >= 1, got {processors}")
+        self.n_processors = int(processors)
+        self.now = 0.0
+        self._speed = SpeedModel(contention)
+        self._max_zero_time_steps = max_zero_time_steps
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._processors = [Processor(i) for i in range(self.n_processors)]
+        self._idle: deque[Processor] = deque(self._processors)
+        self._run_queue: deque[Task] = deque()
+        self.tasks: list[Task] = []
+        self.queues: list[SimQueue] = []
+        self.completions: list[Task] = []
+        self._alive = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def queue(self, name: str, capacity: int = 4) -> SimQueue:
+        """Create a bounded queue registered with this simulator."""
+        q = SimQueue(name, capacity)
+        self.queues.append(q)
+        return q
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the current simulated time, after the event
+        cascade currently executing finishes.
+
+        Used by schedulers layered on the simulator (e.g. the sharing
+        coordinator) to coalesce work triggered by several callbacks
+        that fire at the same instant.
+        """
+        self._schedule(self.now, fn)
+
+    def spawn(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str,
+        group: str = "",
+        on_done: Optional[Callable[[Task], None]] = None,
+    ) -> Task:
+        """Register a new task; it becomes runnable immediately."""
+        task = Task(name=name, gen=gen, group=group, on_done=on_done)
+        task.spawned_at = self.now
+        self.tasks.append(task)
+        self._alive += 1
+        self._make_ready(task, None)
+        return task
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation.
+
+        Runs until the event heap drains (all tasks done or blocked) or
+        until simulated time exceeds ``until``, whichever comes first.
+        Raises :class:`DeadlockError` if tasks remain blocked with no
+        pending events.
+        """
+        while True:
+            self._dispatch()
+            if not self._heap:
+                break
+            t, seq, fn = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                heapq.heappush(self._heap, (t, seq, fn))
+                self.now = until
+                return
+            self.now = t
+            fn()
+        if self._alive > 0 and not self._run_queue:
+            blocked = [t.name for t in self.tasks if t.state == BLOCKED]
+            raise DeadlockError(
+                f"simulation stalled at t={self.now:.6g} with {self._alive} live "
+                f"task(s); blocked: {blocked[:20]}"
+            )
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(p.busy_time for p in self._processors)
+
+    def utilization(self) -> float:
+        """Fraction of processor-time spent computing since t=0."""
+        if self.now == 0:
+            return 0.0
+        return self.total_busy_time / (self.n_processors * self.now)
+
+    def completed_in_window(self, start: float, end: Optional[float] = None) -> int:
+        end = self.now if end is None else end
+        return sum(
+            1 for t in self.completions if start <= (t.finished_at or -1) <= end
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler internals
+    # ------------------------------------------------------------------
+
+    def _schedule(self, when: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def _make_ready(self, task: Task, value: Any) -> None:
+        task.resume_value = value
+        task.state = READY
+        self._run_queue.append(task)
+
+    def _dispatch(self) -> None:
+        while self._run_queue and self._idle:
+            task = self._run_queue.popleft()
+            proc = self._idle.popleft()
+            self._advance(proc, task)
+
+    def _release(self, proc: Processor) -> None:
+        proc.current = None
+        self._idle.append(proc)
+
+    def _finish(self, task: Task) -> None:
+        task.state = DONE
+        task.finished_at = self.now
+        self._alive -= 1
+        self.completions.append(task)
+        if task.on_done is not None:
+            task.on_done(task)
+
+    def _fail(self, task: Task, exc: BaseException) -> None:
+        task.state = FAILED
+        task.error = exc
+        task.finished_at = self.now
+        self._alive -= 1
+
+    def _check_livelock(self, task: Task) -> None:
+        task.zero_time_steps += 1
+        if task.zero_time_steps > self._max_zero_time_steps:
+            raise SimulationError(
+                f"task {task.name!r} performed {task.zero_time_steps} requests "
+                "without consuming CPU; suspected zero-time livelock"
+            )
+
+    def _compute_done(self, proc: Processor, task: Task) -> None:
+        self._release(proc)
+        self._make_ready(task, None)
+
+    def _advance(self, proc: Processor, task: Task) -> None:
+        """Drive ``task`` on ``proc`` until it computes, blocks or ends.
+
+        All non-Compute requests take zero simulated time and are
+        processed inline; the loop exits when the task occupies the
+        processor (Compute), parks on a queue, sleeps, or finishes.
+        """
+        proc.current = task
+        task.state = RUNNING
+        value = task.resume_value
+        task.resume_value = None
+        while True:
+            try:
+                request = task.gen.send(value)
+            except StopIteration:
+                self._release(proc)
+                self._finish(task)
+                return
+            except Exception as exc:
+                self._release(proc)
+                self._fail(task, exc)
+                raise SimulationError(
+                    f"task {task.name!r} raised {exc!r} at t={self.now:.6g}"
+                ) from exc
+            value = None
+
+            if isinstance(request, Compute):
+                if request.cost == 0:
+                    self._check_livelock(task)
+                    continue
+                busy = self.n_processors - len(self._idle)
+                speed = self._speed.speed(busy)
+                duration = request.cost / speed
+                proc.busy_time += duration
+                task.busy_time += duration
+                task.zero_time_steps = 0
+                self._schedule(
+                    self.now + duration,
+                    lambda p=proc, t=task: self._compute_done(p, t),
+                )
+                return
+
+            if isinstance(request, Get):
+                q = request.queue
+                if q.items:
+                    value = q.items.popleft()
+                    q.total_dequeued += 1
+                    self._refill_from_putters(q)
+                    self._check_livelock(task)
+                    continue
+                if q.closed:
+                    value = CLOSED
+                    self._check_livelock(task)
+                    continue
+                q.waiting_getters.append(task)
+                task.state = BLOCKED
+                self._release(proc)
+                return
+
+            if isinstance(request, Put):
+                q = request.queue
+                q.check_can_put()
+                if not q.full:
+                    self._enqueue(q, request.item)
+                    self._check_livelock(task)
+                    continue
+                q.waiting_putters.append((task, request.item))
+                task.state = BLOCKED
+                self._release(proc)
+                return
+
+            if isinstance(request, Close):
+                q = request.queue
+                q.closed = True
+                if q.waiting_putters:
+                    raise SimulationError(
+                        f"queue {q.name!r} closed while producers blocked on it"
+                    )
+                while q.waiting_getters:
+                    getter = q.waiting_getters.popleft()
+                    self._make_ready(getter, CLOSED)
+                self._check_livelock(task)
+                continue
+
+            if isinstance(request, Sleep):
+                task.state = BLOCKED
+                self._schedule(
+                    self.now + request.duration,
+                    lambda t=task: self._make_ready(t, None),
+                )
+                self._release(proc)
+                return
+
+            raise SimulationError(
+                f"task {task.name!r} yielded unknown request {request!r}"
+            )
+
+    # -- queue plumbing ----------------------------------------------------
+
+    def _enqueue(self, q: SimQueue, item: Any) -> None:
+        """Append an item, then hand it straight to a waiting getter."""
+        q.items.append(item)
+        q.total_enqueued += 1
+        self._serve_getters(q)
+
+    def _serve_getters(self, q: SimQueue) -> None:
+        while q.waiting_getters and q.items:
+            getter = q.waiting_getters.popleft()
+            value = q.items.popleft()
+            q.total_dequeued += 1
+            self._make_ready(getter, value)
+        self._refill_from_putters(q)
+
+    def _refill_from_putters(self, q: SimQueue) -> None:
+        while q.waiting_putters and not q.full:
+            putter, item = q.waiting_putters.popleft()
+            q.items.append(item)
+            q.total_enqueued += 1
+            self._make_ready(putter, None)
+        # Newly buffered items may serve still-waiting getters.
+        while q.waiting_getters and q.items:
+            getter = q.waiting_getters.popleft()
+            value = q.items.popleft()
+            q.total_dequeued += 1
+            self._make_ready(getter, value)

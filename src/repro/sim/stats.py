@@ -1,0 +1,95 @@
+"""Measurement helpers over a running simulation.
+
+Closed-system throughput experiments follow the standard
+warmup-then-measure protocol: run the system until it reaches steady
+state, snapshot counters, run a measurement window, and report
+completions per unit time. :class:`ThroughputMeter` packages that
+protocol so every experiment measures the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+__all__ = ["ThroughputMeter", "WindowStats"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Measurements from one steady-state window.
+
+    ``throughput`` is completions per simulated time unit;
+    ``utilization`` the fraction of processor-time spent computing
+    during the window; ``completions`` the raw count.
+    """
+
+    start: float
+    end: float
+    completions: int
+    throughput: float
+    utilization: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ThroughputMeter:
+    """Warmup/measure protocol on a :class:`Simulator`.
+
+    Example::
+
+        meter = ThroughputMeter(sim)
+        meter.warmup(1_000.0)
+        stats = meter.measure(10_000.0)
+        print(stats.throughput)
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._window_start: float | None = None
+        self._completions_at_start = 0
+        self._busy_at_start = 0.0
+
+    def warmup(self, duration: float) -> None:
+        """Run the system for ``duration`` without recording."""
+        if duration < 0:
+            raise SimulationError(f"warmup duration must be >= 0, got {duration!r}")
+        self.sim.run(until=self.sim.now + duration)
+
+    def start_window(self) -> None:
+        self._window_start = self.sim.now
+        self._completions_at_start = len(self.sim.completions)
+        self._busy_at_start = self.sim.total_busy_time
+
+    def measure(self, duration: float) -> WindowStats:
+        """Run a measurement window of ``duration`` and report stats."""
+        if duration <= 0:
+            raise SimulationError(f"window duration must be > 0, got {duration!r}")
+        self.start_window()
+        self.sim.run(until=self.sim.now + duration)
+        return self.end_window()
+
+    def end_window(self) -> WindowStats:
+        if self._window_start is None:
+            raise SimulationError("end_window() called without start_window()")
+        start = self._window_start
+        end = self.sim.now
+        elapsed = end - start
+        if elapsed <= 0:
+            raise SimulationError(
+                f"measurement window has zero duration (t={end:.6g})"
+            )
+        completions = len(self.sim.completions) - self._completions_at_start
+        busy = self.sim.total_busy_time - self._busy_at_start
+        self._window_start = None
+        return WindowStats(
+            start=start,
+            end=end,
+            completions=completions,
+            throughput=completions / elapsed,
+            utilization=busy / (self.sim.n_processors * elapsed),
+        )

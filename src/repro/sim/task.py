@@ -1,0 +1,69 @@
+"""Task bookkeeping for the simulator.
+
+A :class:`Task` wraps a user generator together with its scheduling
+state and accounting (busy time, completion time). States:
+
+``READY``   in the run queue waiting for a processor,
+``RUNNING`` holding a processor (inside a Compute),
+``BLOCKED`` parked on a queue or sleeping,
+``DONE``    generator exhausted,
+``FAILED``  generator raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["Task", "READY", "RUNNING", "BLOCKED", "DONE", "FAILED"]
+
+READY = "ready"
+RUNNING = "running"
+BLOCKED = "blocked"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One simulated thread of execution.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label, e.g. ``"q6#3/scan"``.
+    gen:
+        The generator yielding :mod:`repro.sim.events` requests.
+    group:
+        Free-form tag used to aggregate stats (e.g. the query id).
+    on_done:
+        Callback invoked at the simulated completion instant; receives
+        the task. Closed-system clients use it to resubmit queries.
+    """
+
+    name: str
+    gen: Generator[Any, Any, Any]
+    group: str = ""
+    on_done: Optional[Callable[["Task"], None]] = None
+
+    state: str = field(default=READY, init=False)
+    resume_value: Any = field(default=None, init=False)
+    busy_time: float = field(default=0.0, init=False)
+    spawned_at: float = field(default=0.0, init=False)
+    finished_at: Optional[float] = field(default=None, init=False)
+    error: Optional[BaseException] = field(default=None, init=False)
+    # Guard against zero-time livelock (yield loops with no Compute).
+    zero_time_steps: int = field(default=0, init=False)
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r}, {self.state})"
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (DONE, FAILED)
+
+    def response_time(self) -> float:
+        """Wall-clock (simulated) time from spawn to completion."""
+        if self.finished_at is None:
+            raise ValueError(f"task {self.name!r} has not finished")
+        return self.finished_at - self.spawned_at

@@ -1,0 +1,37 @@
+"""In-memory columnar storage substrate.
+
+The paper's workloads are memory-resident (1 GB TPC-H on a 16 GB
+machine); this package provides the equivalent: columnar
+:class:`~repro.storage.table.Table` objects grouped in a
+:class:`~repro.storage.catalog.Catalog`, scanned as tuple
+:class:`~repro.storage.page.Page` batches.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.io import load_catalog, load_table, save_catalog, save_table
+from repro.storage.page import DEFAULT_PAGE_ROWS, Page, paginate
+from repro.storage.schema import (
+    Column,
+    DataType,
+    Schema,
+    date_to_ordinal,
+    ordinal_to_date,
+)
+from repro.storage.table import Table
+
+__all__ = [
+    "Catalog",
+    "DEFAULT_PAGE_ROWS",
+    "Page",
+    "paginate",
+    "Column",
+    "DataType",
+    "Schema",
+    "date_to_ordinal",
+    "ordinal_to_date",
+    "Table",
+    "save_catalog",
+    "load_catalog",
+    "save_table",
+    "load_table",
+]

@@ -1,0 +1,54 @@
+"""A named collection of tables — the in-memory database."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """The database the engine queries: a dict of tables with checks."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def create(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def add(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(
+                f"unknown table {name!r}; catalog has {sorted(self._tables)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())

@@ -1,0 +1,59 @@
+"""Tuple pages — the unit of data flow through the engine.
+
+Cordoba departs from tuple-at-a-time iteration: "the intermediate
+results between operators are packed into pages (of typical size of
+4K)", improving locality and cutting producer/consumer synchronization
+(Section 3.2). A :class:`Page` is an immutable batch of tuples; scans
+emit pages, operators consume and produce pages, and the simulator
+schedules one page's worth of work at a time.
+
+``DEFAULT_PAGE_ROWS`` plays the role of the 4K byte budget: with the
+narrow projected tuples the engine passes around, ~64 tuples per page
+is the same order of batch the paper used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+
+__all__ = ["Page", "paginate", "DEFAULT_PAGE_ROWS"]
+
+DEFAULT_PAGE_ROWS = 64
+
+
+class Page:
+    """An immutable batch of tuples flowing between stages."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Sequence[tuple[Any, ...]]) -> None:
+        self.rows: tuple[tuple[Any, ...], ...] = tuple(rows)
+        if not self.rows:
+            raise StorageError("pages must contain at least one tuple")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Page({len(self.rows)} rows)"
+
+
+def paginate(
+    rows: Iterable[tuple[Any, ...]], page_rows: int = DEFAULT_PAGE_ROWS
+) -> Iterator[Page]:
+    """Pack a tuple stream into pages of at most ``page_rows`` tuples."""
+    if page_rows < 1:
+        raise StorageError(f"page_rows must be >= 1, got {page_rows}")
+    batch: list[tuple[Any, ...]] = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) == page_rows:
+            yield Page(batch)
+            batch = []
+    if batch:
+        yield Page(batch)

@@ -1,0 +1,87 @@
+"""Columnar in-memory tables.
+
+Tables store data column-wise (one Python list per column), which
+matches the scan-dominated access pattern of the paper's workloads and
+makes projected scans cheap. Rows are materialized as tuples only when
+an operator needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.page import DEFAULT_PAGE_ROWS, Page
+from repro.storage.schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An append-only, memory-resident, columnar table."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise StorageError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._columns: list[list[Any]] = [[] for _ in schema.columns]
+
+    def __len__(self) -> int:
+        return len(self._columns[0])
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"
+
+    # -- ingest ----------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Validate and append one row."""
+        stored = self.schema.validate_row(row)
+        for column, value in zip(self._columns, stored):
+            column.append(value)
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # -- access ----------------------------------------------------------
+
+    def column(self, name: str) -> Sequence[Any]:
+        """The raw column list (read-only by convention)."""
+        return self._columns[self.schema.index_of(name)]
+
+    def row(self, i: int) -> tuple[Any, ...]:
+        if not (0 <= i < len(self)):
+            raise StorageError(f"row index {i} out of range for {self.name!r}")
+        return tuple(column[i] for column in self._columns)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def scan_pages(
+        self,
+        columns: Sequence[str] | None = None,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ) -> Iterator[Page]:
+        """Iterate the table as pages, optionally projecting columns.
+
+        This is the physical scan the engine's scan stage drives; the
+        projection happens here so pages carry only the needed data.
+        """
+        if page_rows < 1:
+            raise StorageError(f"page_rows must be >= 1, got {page_rows}")
+        if columns is None:
+            cols = self._columns
+        else:
+            cols = [self._columns[self.schema.index_of(c)] for c in columns]
+        n = len(self)
+        for start in range(0, n, page_rows):
+            end = min(start + page_rows, n)
+            rows = list(zip(*(col[start:end] for col in cols)))
+            if rows:
+                yield Page(rows)
+
+    def projected_schema(self, columns: Sequence[str] | None) -> Schema:
+        return self.schema if columns is None else self.schema.project(columns)

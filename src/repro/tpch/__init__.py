@@ -1,0 +1,17 @@
+"""TPC-H substrate: schemas, deterministic dbgen, and query plans.
+
+:mod:`repro.tpch.generator` builds the memory-resident database; the
+query plan builders for the paper's suite (Q1, Q4, Q6, Q13) live in
+:mod:`repro.tpch.queries` (engine plans plus matching model specs).
+"""
+
+from repro.tpch.generator import END_DATE, START_DATE, GeneratorConfig, generate
+from repro.tpch.schema import ALL_TABLES
+
+__all__ = [
+    "generate",
+    "GeneratorConfig",
+    "START_DATE",
+    "END_DATE",
+    "ALL_TABLES",
+]

@@ -1,0 +1,331 @@
+"""Extended TPC-H suite beyond the paper's four queries.
+
+The paper evaluates on Q1/Q4/Q6/Q13; a system a downstream user would
+adopt needs broader coverage. These builders add four more decision-
+support queries exercising the engine features the paper's suite
+doesn't touch — multi-join chains, top-N (sort + limit), conditional
+aggregation, and post-aggregation arithmetic:
+
+* **Q3** shipping priority: customer ⋈ orders ⋈ lineitem, revenue per
+  order, top 10.
+* **Q10** returned-item reporting: a three-join chain with revenue per
+  customer, top 20.
+* **Q12** shipping modes and order priority: lineitem-orders join with
+  conditional counts per ship mode.
+* **Q14** promotion effect: aggregate arithmetic over a lineitem-part
+  join.
+
+Each carries a sharing pivot like the paper's suite, so all of the
+policy machinery applies to them unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import and_, col, eq, in_, lt, mul, sub, udf
+from repro.engine.plan import (
+    AggSpec,
+    aggregate,
+    filter_,
+    hash_join,
+    limit,
+    project,
+    scan,
+    sort,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.schema import DataType, date_to_ordinal
+from repro.tpch.queries import TpchQuery
+
+__all__ = ["q3", "q10", "q12", "q14", "EXTENDED_QUERIES", "build_extended"]
+
+_F = DataType.FLOAT
+_I = DataType.INT
+_S = DataType.STR
+
+
+def _revenue_expr():
+    return mul(col("l_extendedprice"), sub(1.0, col("l_discount")))
+
+
+def q3(catalog: Catalog) -> TpchQuery:
+    """Shipping priority: top 10 undelivered orders by revenue."""
+    cutoff = date_to_ordinal(1995, 3, 15)
+    customers = project(
+        filter_(
+            scan(catalog, "customer", columns=["c_custkey", "c_mktsegment"],
+                 op_id="q3_customer_scan"),
+            eq(col("c_mktsegment"), "BUILDING"),
+            op_id="q3_customer_filter",
+        ),
+        [("c_custkey", col("c_custkey"), _I)],
+        op_id="q3_customer_project",
+    )
+    orders = project(
+        filter_(
+            scan(catalog, "orders",
+                 columns=["o_orderkey", "o_custkey", "o_orderdate",
+                          "o_shippriority"],
+                 op_id="q3_orders_scan"),
+            lt(col("o_orderdate"), cutoff),
+            op_id="q3_orders_filter",
+        ),
+        [
+            ("o_orderkey", col("o_orderkey"), _I),
+            ("o_custkey", col("o_custkey"), _I),
+            ("o_orderdate", col("o_orderdate"), _I),
+            ("o_shippriority", col("o_shippriority"), _I),
+        ],
+        op_id="q3_orders_project",
+    )
+    # Orders of BUILDING customers (semi join keeps the orders schema).
+    building_orders = hash_join(
+        build=customers, probe=orders,
+        build_key="c_custkey", probe_key="o_custkey",
+        join_type="semi", op_id="q3_cust_join",
+    )
+    lineitems = project(
+        filter_(
+            scan(catalog, "lineitem",
+                 columns=["l_orderkey", "l_extendedprice", "l_discount",
+                          "l_shipdate"],
+                 op_id="q3_lineitem_scan"),
+            lt(cutoff, col("l_shipdate")),
+            op_id="q3_lineitem_filter",
+        ),
+        [
+            ("l_orderkey", col("l_orderkey"), _I),
+            ("revenue", _revenue_expr(), _F),
+        ],
+        op_id="q3_lineitem_project",
+    )
+    joined = hash_join(
+        build=building_orders, probe=lineitems,
+        build_key="o_orderkey", probe_key="l_orderkey",
+        join_type="inner", op_id="q3_join",
+    )
+    grouped = aggregate(
+        joined,
+        group_by=["o_orderkey", "o_orderdate", "o_shippriority"],
+        aggs=[AggSpec("sum", "revenue", col("revenue"))],
+        op_id="q3_agg",
+    )
+    top = limit(
+        sort(grouped, [("revenue", False), ("o_orderdate", True)],
+             op_id="q3_sort"),
+        10,
+        op_id="q3_limit",
+    )
+    return TpchQuery(name="q3", plan=top, pivot="q3_join", kind="join-heavy")
+
+
+def q10(catalog: Catalog) -> TpchQuery:
+    """Returned item reporting: top 20 customers by lost revenue."""
+    date_lo = date_to_ordinal(1993, 10, 1)
+    date_hi = date_to_ordinal(1994, 1, 1)
+    returned = project(
+        filter_(
+            scan(catalog, "lineitem",
+                 columns=["l_orderkey", "l_extendedprice", "l_discount",
+                          "l_returnflag"],
+                 op_id="q10_lineitem_scan"),
+            eq(col("l_returnflag"), "R"),
+            op_id="q10_lineitem_filter",
+        ),
+        [
+            ("l_orderkey", col("l_orderkey"), _I),
+            ("revenue", _revenue_expr(), _F),
+        ],
+        op_id="q10_lineitem_project",
+    )
+    orders = project(
+        filter_(
+            scan(catalog, "orders",
+                 columns=["o_orderkey", "o_custkey", "o_orderdate"],
+                 op_id="q10_orders_scan"),
+            and_(lt(date_lo - 1, col("o_orderdate")),
+                 lt(col("o_orderdate"), date_hi)),
+            op_id="q10_orders_filter",
+        ),
+        [
+            ("o_orderkey", col("o_orderkey"), _I),
+            ("o_custkey", col("o_custkey"), _I),
+        ],
+        op_id="q10_orders_project",
+    )
+    order_revenue = hash_join(
+        build=orders, probe=returned,
+        build_key="o_orderkey", probe_key="l_orderkey",
+        join_type="inner", op_id="q10_join",
+    )
+    per_customer = aggregate(
+        order_revenue,
+        group_by=["o_custkey"],
+        aggs=[AggSpec("sum", "revenue", col("revenue"))],
+        op_id="q10_agg",
+    )
+    customers = project(
+        scan(catalog, "customer",
+             columns=["c_custkey", "c_name", "c_acctbal"],
+             op_id="q10_customer_scan"),
+        [
+            ("c_custkey", col("c_custkey"), _I),
+            ("c_name", col("c_name"), _S),
+            ("c_acctbal", col("c_acctbal"), _F),
+        ],
+        op_id="q10_customer_project",
+    )
+    named = hash_join(
+        build=per_customer, probe=customers,
+        build_key="o_custkey", probe_key="c_custkey",
+        join_type="inner", op_id="q10_name_join",
+    )
+    top = limit(
+        sort(named, [("revenue", False), ("c_custkey", True)],
+             op_id="q10_sort"),
+        20,
+        op_id="q10_limit",
+    )
+    return TpchQuery(name="q10", plan=top, pivot="q10_join",
+                     kind="join-heavy")
+
+
+def q12(catalog: Catalog) -> TpchQuery:
+    """Shipping modes: high/low-priority line counts per ship mode."""
+    date_lo = date_to_ordinal(1994, 1, 1)
+    date_hi = date_to_ordinal(1995, 1, 1)
+    lineitems = project(
+        filter_(
+            scan(catalog, "lineitem",
+                 columns=["l_orderkey", "l_shipmode", "l_commitdate",
+                          "l_receiptdate", "l_shipdate"],
+                 op_id="q12_lineitem_scan"),
+            and_(
+                in_(col("l_shipmode"), ("MAIL", "SHIP")),
+                lt(col("l_commitdate"), col("l_receiptdate")),
+                lt(col("l_shipdate"), col("l_commitdate")),
+                lt(date_lo - 1, col("l_receiptdate")),
+                lt(col("l_receiptdate"), date_hi),
+            ),
+            op_id="q12_lineitem_filter",
+        ),
+        [
+            ("l_orderkey", col("l_orderkey"), _I),
+            ("l_shipmode", col("l_shipmode"), _S),
+        ],
+        op_id="q12_lineitem_project",
+    )
+    orders = project(
+        scan(catalog, "orders", columns=["o_orderkey", "o_orderpriority"],
+             op_id="q12_orders_scan"),
+        [
+            ("o_orderkey2", col("o_orderkey"), _I),
+            ("o_orderpriority", col("o_orderpriority"), _S),
+        ],
+        op_id="q12_orders_project",
+    )
+    joined = hash_join(
+        build=orders, probe=lineitems,
+        build_key="o_orderkey2", probe_key="l_orderkey",
+        join_type="inner", op_id="q12_join",
+    )
+
+    def is_high(priority):
+        return 1 if priority in ("1-URGENT", "2-HIGH") else 0
+
+    def is_low(priority):
+        return 0 if priority in ("1-URGENT", "2-HIGH") else 1
+
+    counted = aggregate(
+        joined,
+        group_by=["l_shipmode"],
+        aggs=[
+            AggSpec("sum", "high_line_count",
+                    udf("is_high_priority", is_high, col("o_orderpriority"))),
+            AggSpec("sum", "low_line_count",
+                    udf("is_low_priority", is_low, col("o_orderpriority"))),
+        ],
+        op_id="q12_agg",
+    )
+    plan = sort(counted, [("l_shipmode", True)], op_id="q12_sort")
+    return TpchQuery(name="q12", plan=plan, pivot="q12_join",
+                     kind="join-heavy")
+
+
+def q14(catalog: Catalog) -> TpchQuery:
+    """Promotion effect: percent of revenue from PROMO parts."""
+    date_lo = date_to_ordinal(1995, 9, 1)
+    date_hi = date_to_ordinal(1995, 10, 1)
+    lineitems = project(
+        filter_(
+            scan(catalog, "lineitem",
+                 columns=["l_partkey", "l_extendedprice", "l_discount",
+                          "l_shipdate"],
+                 op_id="q14_lineitem_scan"),
+            and_(lt(date_lo - 1, col("l_shipdate")),
+                 lt(col("l_shipdate"), date_hi)),
+            op_id="q14_lineitem_filter",
+        ),
+        [
+            ("l_partkey", col("l_partkey"), _I),
+            ("revenue", _revenue_expr(), _F),
+        ],
+        op_id="q14_lineitem_project",
+    )
+    parts = project(
+        scan(catalog, "part", columns=["p_partkey", "p_type"],
+             op_id="q14_part_scan"),
+        [
+            ("p_partkey", col("p_partkey"), _I),
+            ("p_type", col("p_type"), _S),
+        ],
+        op_id="q14_part_project",
+    )
+    joined = hash_join(
+        build=parts, probe=lineitems,
+        build_key="p_partkey", probe_key="l_partkey",
+        join_type="inner", op_id="q14_join",
+    )
+
+    def promo_part(revenue, p_type):
+        return revenue if p_type == "PROMO" else 0.0
+
+    sums = aggregate(
+        joined,
+        group_by=[],
+        aggs=[
+            AggSpec("sum", "promo",
+                    udf("promo_revenue", promo_part, col("revenue"),
+                        col("p_type"))),
+            AggSpec("sum", "total", col("revenue")),
+        ],
+        op_id="q14_agg",
+    )
+
+    def percent(promo, total):
+        if not total:
+            return 0.0
+        return 100.0 * promo / total
+
+    plan = project(
+        sums,
+        [("promo_revenue",
+          udf("promo_percent", percent, col("promo"), col("total")), _F)],
+        op_id="q14_percent",
+    )
+    return TpchQuery(name="q14", plan=plan, pivot="q14_join",
+                     kind="join-heavy")
+
+
+EXTENDED_QUERIES = {"q3": q3, "q10": q10, "q12": q12, "q14": q14}
+
+
+def build_extended(name: str, catalog: Catalog) -> TpchQuery:
+    """Build one of the extended-suite queries by name."""
+    try:
+        builder = EXTENDED_QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extended query {name!r}; "
+            f"available: {sorted(EXTENDED_QUERIES)}"
+        ) from None
+    return builder(catalog)

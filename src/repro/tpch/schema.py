@@ -1,0 +1,125 @@
+"""TPC-H table schemas (TPC Benchmark H, revision 2.6.0).
+
+All eight tables are defined; the paper's query suite (Q1, Q4, Q6,
+Q13) touches LINEITEM, ORDERS and CUSTOMER, but the generator
+populates the full schema so further TPC-H queries can be added
+without touching the substrate. Column subsets irrelevant to any
+implemented query keep the spec's names and types.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import DataType, Schema
+
+__all__ = [
+    "REGION",
+    "NATION",
+    "SUPPLIER",
+    "CUSTOMER",
+    "PART",
+    "PARTSUPP",
+    "ORDERS",
+    "LINEITEM",
+    "ALL_TABLES",
+]
+
+_I = DataType.INT
+_F = DataType.FLOAT
+_S = DataType.STR
+_D = DataType.DATE
+
+REGION = Schema([
+    ("r_regionkey", _I),
+    ("r_name", _S),
+    ("r_comment", _S),
+])
+
+NATION = Schema([
+    ("n_nationkey", _I),
+    ("n_name", _S),
+    ("n_regionkey", _I),
+    ("n_comment", _S),
+])
+
+SUPPLIER = Schema([
+    ("s_suppkey", _I),
+    ("s_name", _S),
+    ("s_address", _S),
+    ("s_nationkey", _I),
+    ("s_phone", _S),
+    ("s_acctbal", _F),
+    ("s_comment", _S),
+])
+
+CUSTOMER = Schema([
+    ("c_custkey", _I),
+    ("c_name", _S),
+    ("c_address", _S),
+    ("c_nationkey", _I),
+    ("c_phone", _S),
+    ("c_acctbal", _F),
+    ("c_mktsegment", _S),
+    ("c_comment", _S),
+])
+
+PART = Schema([
+    ("p_partkey", _I),
+    ("p_name", _S),
+    ("p_mfgr", _S),
+    ("p_brand", _S),
+    ("p_type", _S),
+    ("p_size", _I),
+    ("p_container", _S),
+    ("p_retailprice", _F),
+    ("p_comment", _S),
+])
+
+PARTSUPP = Schema([
+    ("ps_partkey", _I),
+    ("ps_suppkey", _I),
+    ("ps_availqty", _I),
+    ("ps_supplycost", _F),
+    ("ps_comment", _S),
+])
+
+ORDERS = Schema([
+    ("o_orderkey", _I),
+    ("o_custkey", _I),
+    ("o_orderstatus", _S),
+    ("o_totalprice", _F),
+    ("o_orderdate", _D),
+    ("o_orderpriority", _S),
+    ("o_clerk", _S),
+    ("o_shippriority", _I),
+    ("o_comment", _S),
+])
+
+LINEITEM = Schema([
+    ("l_orderkey", _I),
+    ("l_partkey", _I),
+    ("l_suppkey", _I),
+    ("l_linenumber", _I),
+    ("l_quantity", _F),
+    ("l_extendedprice", _F),
+    ("l_discount", _F),
+    ("l_tax", _F),
+    ("l_returnflag", _S),
+    ("l_linestatus", _S),
+    ("l_shipdate", _D),
+    ("l_commitdate", _D),
+    ("l_receiptdate", _D),
+    ("l_shipinstruct", _S),
+    ("l_shipmode", _S),
+    ("l_comment", _S),
+])
+
+ALL_TABLES = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}

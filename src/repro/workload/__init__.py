@@ -1,0 +1,14 @@
+"""Workload harnesses: closed-system (Little's law) and open-system
+(Poisson arrivals) drivers over the sharing coordinator."""
+
+from repro.workload.driver import ClosedSystemResult, run_closed_system
+from repro.workload.mixes import WorkloadMix
+from repro.workload.open_driver import OpenSystemResult, run_open_system
+
+__all__ = [
+    "ClosedSystemResult",
+    "run_closed_system",
+    "OpenSystemResult",
+    "run_open_system",
+    "WorkloadMix",
+]

@@ -1,0 +1,74 @@
+"""Workload mixes: which query each client submits next.
+
+Figure 6 varies "the relative frequency of Q4" in a Q1/Q4 mix; a
+:class:`WorkloadMix` generalizes that to arbitrary weighted mixes with
+a deterministic per-client sequence (seeded), so experiment runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadMix"]
+
+
+class WorkloadMix:
+    """A weighted distribution over query names."""
+
+    def __init__(self, weights: Mapping[str, float], seed: int = 0) -> None:
+        if not weights:
+            raise WorkloadError("mix needs at least one query")
+        for name, weight in weights.items():
+            if weight < 0:
+                raise WorkloadError(
+                    f"negative weight for {name!r}: {weight!r}"
+                )
+        total = sum(weights.values())
+        if total <= 0:
+            raise WorkloadError("mix weights must sum to > 0")
+        self.weights = {name: w / total for name, w in weights.items()}
+        self.seed = seed
+        self._names: Sequence[str] = tuple(self.weights)
+        self._cum: list[float] = []
+        acc = 0.0
+        for name in self._names:
+            acc += self.weights[name]
+            self._cum.append(acc)
+
+    @classmethod
+    def single(cls, name: str, seed: int = 0) -> "WorkloadMix":
+        return cls({name: 1.0}, seed=seed)
+
+    @classmethod
+    def two_way(cls, a: str, b: str, fraction_b: float,
+                seed: int = 0) -> "WorkloadMix":
+        """The Figure 6 shape: fraction ``fraction_b`` of query ``b``."""
+        if not (0.0 <= fraction_b <= 1.0):
+            raise WorkloadError(
+                f"fraction must be in [0, 1], got {fraction_b!r}"
+            )
+        if fraction_b == 0.0:
+            return cls.single(a, seed=seed)
+        if fraction_b == 1.0:
+            return cls.single(b, seed=seed)
+        return cls({a: 1.0 - fraction_b, b: fraction_b}, seed=seed)
+
+    def stream(self, client_id: int):
+        """Infinite deterministic query-name stream for one client."""
+        rng = random.Random((self.seed << 16) ^ client_id)
+        while True:
+            x = rng.random()
+            for name, cum in zip(self._names, self._cum):
+                if x <= cum:
+                    yield name
+                    break
+            else:  # pragma: no cover - cum ends at 1.0
+                yield self._names[-1]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={w:.2f}" for n, w in self.weights.items())
+        return f"WorkloadMix({inner})"

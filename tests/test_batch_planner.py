@@ -1,0 +1,127 @@
+"""Tests for the offline MQO-style batch planner (Section 8.2)."""
+
+import pytest
+
+from repro.engine import Engine, execute_reference
+from repro.errors import PolicyError
+from repro.policies import BatchPlanner
+from repro.profiling import QueryProfiler
+from repro.sim import Simulator
+from repro.tpch.generator import generate
+from repro.tpch.queries import build
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate(scale_factor=0.0005, seed=71)
+
+
+@pytest.fixture(scope="module")
+def specs(catalog):
+    profiler = QueryProfiler(catalog)
+    result = {}
+    for name in ("q1", "q4", "q6"):
+        query = build(name, catalog)
+        profile = profiler.profile(query.plan, query.pivot, label=name)
+        result[name] = (profile.to_query_spec(), query.pivot)
+    return result
+
+
+class TestPlanning:
+    def test_one_cpu_merges_everything(self, catalog, specs):
+        planner = BatchPlanner(specs, processors=1)
+        batch = [build("q6", catalog)] * 12
+        plan = planner.plan(batch)
+        (cluster,) = plan.clusters
+        assert cluster.group_size == 12
+        assert cluster.n_groups == 1
+
+    def test_many_cpus_split_scan_heavy(self, catalog, specs):
+        planner = BatchPlanner(specs, processors=32)
+        plan = planner.plan([build("q6", catalog)] * 12)
+        (cluster,) = plan.clusters
+        assert cluster.group_size == 1
+        assert cluster.n_groups == 12
+
+    def test_mixed_batch_clusters_by_type(self, catalog, specs):
+        # Enough q4 members that their processor share saturates —
+        # the precondition for sharing to win (Section 6).
+        planner = BatchPlanner(specs, processors=32)
+        batch = [build("q1", catalog)] * 6 + [build("q4", catalog)] * 24
+        plan = planner.plan(batch)
+        by_name = {c.query_name: c for c in plan.clusters}
+        assert set(by_name) == {"q1", "q4"}
+        # Scan-heavy stays solo; join-heavy merges.
+        assert by_name["q1"].group_size == 1
+        assert by_name["q4"].group_size > 1
+
+    def test_processor_shares_cover_machine(self, catalog, specs):
+        planner = BatchPlanner(specs, processors=32)
+        batch = [build("q1", catalog)] * 4 + [build("q4", catalog)] * 8
+        plan = planner.plan(batch)
+        assert sum(c.processor_share for c in plan.clusters) == (
+            pytest.approx(32.0)
+        )
+
+    def test_render(self, catalog, specs):
+        planner = BatchPlanner(specs, processors=8)
+        text = planner.plan([build("q6", catalog)] * 3).render()
+        assert "q6" in text and "group" in text
+
+    def test_empty_batch_rejected(self, specs):
+        with pytest.raises(PolicyError):
+            BatchPlanner(specs, processors=4).plan([])
+
+    def test_unknown_query_rejected(self, catalog, specs):
+        planner = BatchPlanner(specs, processors=4)
+        with pytest.raises(PolicyError):
+            planner.plan([build("q13", catalog)])
+
+    def test_invalid_construction(self, specs):
+        with pytest.raises(PolicyError):
+            BatchPlanner({}, processors=4)
+        with pytest.raises(PolicyError):
+            BatchPlanner(specs, processors=0)
+
+
+class TestExecution:
+    def run_batch(self, catalog, specs, batch, processors):
+        planner = BatchPlanner(specs, processors=processors)
+        sim = Simulator(processors=processors)
+        engine = Engine(catalog, sim)
+        groups = planner.execute(engine, batch)
+        sim.run()
+        return sim, groups
+
+    def test_all_queries_complete_with_correct_answers(self, catalog, specs):
+        batch = [build("q6", catalog)] * 5 + [build("q4", catalog)] * 5
+        sim, groups = self.run_batch(catalog, specs, batch, processors=8)
+        references = {
+            name: execute_reference(build(name, catalog).plan, catalog)
+            for name in ("q6", "q4")
+        }
+        completed = 0
+        for group in groups:
+            assert group.done
+            for handle in group.handles:
+                name = handle.label.split("/")[1].split("#")[0]
+                assert handle.rows == references[name]
+                completed += 1
+        assert completed == 10
+
+    def test_planned_batch_beats_naive_always_share_on_cmp(self, catalog,
+                                                           specs):
+        """On 32 cpus a single merged Q6 group is the always-share
+        disaster; the planner's solo plan must finish far sooner."""
+        batch = [build("q6", catalog)] * 12
+
+        sim_planned, _ = self.run_batch(catalog, specs, batch, processors=32)
+
+        q6 = build("q6", catalog)
+        sim_naive = Simulator(processors=32)
+        engine = Engine(catalog, sim_naive)
+        engine.execute_group([q6.plan] * 12, pivot_op_id=q6.pivot,
+                             labels=[f"n{i}" for i in range(12)])
+        sim_naive.run()
+
+        assert sim_planned.now < 0.5 * sim_naive.now

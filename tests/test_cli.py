@@ -1,0 +1,31 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_section4_runs(self, capsys):
+        assert main(["section4"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 4.4 worked example" in out
+        assert "[section4 completed" in out
+
+    def test_fig4_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4 (left)" in out
+
+    def test_multiple_experiments_deduplicated(self, capsys):
+        assert main(["section4", "section4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Section 4.4 worked example") == 1
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,62 @@
+"""Unit tests for the contention model (repro.core.contention)."""
+
+import pytest
+
+from repro.core.contention import (
+    NO_CONTENTION,
+    CallableContention,
+    PowerLawContention,
+    resolve,
+)
+from repro.errors import SpecError
+
+
+class TestPowerLaw:
+    def test_identity_at_kappa_one(self):
+        assert NO_CONTENTION.effective(32) == pytest.approx(32.0)
+
+    def test_sublinear(self):
+        model = PowerLawContention(kappa=0.5)
+        assert model.effective(16) == pytest.approx(4.0)
+
+    def test_one_processor_unaffected(self):
+        model = PowerLawContention(kappa=0.3)
+        assert model.effective(1) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kappa", [0.0, -0.5, 1.5, float("nan")])
+    def test_invalid_kappa_rejected(self, kappa):
+        with pytest.raises(SpecError):
+            PowerLawContention(kappa=kappa)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(SpecError):
+            PowerLawContention(kappa=0.9).effective(-1)
+
+
+class TestResolve:
+    def test_none_is_no_contention(self):
+        assert resolve(None).effective(8) == pytest.approx(8.0)
+
+    def test_float_is_kappa(self):
+        assert resolve(0.5).effective(16) == pytest.approx(4.0)
+
+    def test_model_passthrough(self):
+        model = PowerLawContention(kappa=0.8)
+        assert resolve(model) is model
+
+    def test_callable_wrapped(self):
+        model = resolve(lambda n: n * 0.75)
+        assert isinstance(model, CallableContention)
+        assert model.effective(8) == pytest.approx(6.0)
+
+    def test_callable_cannot_create_processors(self):
+        with pytest.raises(SpecError):
+            resolve(lambda n: n * 2).effective(4)
+
+    def test_callable_must_be_finite(self):
+        with pytest.raises(SpecError):
+            resolve(lambda n: float("nan")).effective(4)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(SpecError):
+            resolve("lots of contention")

@@ -1,0 +1,99 @@
+"""Unit tests for parameter estimation (repro.core.estimation)."""
+
+import pytest
+
+from repro.core.estimation import (
+    Observation,
+    estimate_many,
+    estimate_operator,
+)
+from repro.errors import EstimationError
+
+
+def synthetic_runs(w, s, sharer_counts, units=1000.0):
+    """Observations generated exactly by the linear cost model."""
+    return [
+        Observation(busy_time=(w + s * m) * units, units=units, consumers=m)
+        for m in sharer_counts
+    ]
+
+
+class TestObservation:
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(EstimationError):
+            Observation(busy_time=1.0, units=0.0)
+
+    def test_negative_busy_time_rejected(self):
+        with pytest.raises(EstimationError):
+            Observation(busy_time=-1.0, units=1.0)
+
+    def test_zero_consumers_rejected(self):
+        with pytest.raises(EstimationError):
+            Observation(busy_time=1.0, units=1.0, consumers=0)
+
+
+class TestEstimateOperator:
+    def test_recovers_exact_parameters(self):
+        est = estimate_operator(synthetic_runs(9.66, 10.34, [1, 2, 4, 8]))
+        assert est.work == pytest.approx(9.66, abs=1e-9)
+        assert est.output_cost == pytest.approx(10.34, abs=1e-9)
+        assert est.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_runs_suffice(self):
+        est = estimate_operator(synthetic_runs(6.0, 1.0, [1, 4]))
+        assert est.work == pytest.approx(6.0)
+        assert est.output_cost == pytest.approx(1.0)
+
+    def test_single_consumer_count_attributes_all_to_work(self):
+        est = estimate_operator(synthetic_runs(6.0, 1.0, [1, 1, 1]))
+        assert est.work == pytest.approx(7.0)
+        assert est.output_cost == 0.0
+
+    def test_noisy_observations_average_out(self):
+        clean = synthetic_runs(5.0, 2.0, [1, 2, 3, 4, 5, 6])
+        noisy = [
+            Observation(
+                busy_time=obs.busy_time * (1 + (0.01 if i % 2 else -0.01)),
+                units=obs.units,
+                consumers=obs.consumers,
+            )
+            for i, obs in enumerate(clean)
+        ]
+        est = estimate_operator(noisy)
+        assert est.work == pytest.approx(5.0, rel=0.05)
+        assert est.output_cost == pytest.approx(2.0, rel=0.05)
+        assert est.residual > 0
+
+    def test_estimates_clamped_nonnegative(self):
+        # Pathological data sloping downward in consumers yields s < 0;
+        # the estimate clamps it to 0.
+        obs = [
+            Observation(busy_time=10.0, units=1.0, consumers=1),
+            Observation(busy_time=1.0, units=1.0, consumers=8),
+        ]
+        est = estimate_operator(obs)
+        assert est.output_cost == 0.0
+        assert est.work >= 0.0
+
+    def test_p_helper(self):
+        est = estimate_operator(synthetic_runs(6.0, 1.0, [1, 4]))
+        assert est.p(5) == pytest.approx(11.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_operator([])
+
+
+class TestEstimateMany:
+    def test_groups_by_name(self):
+        samples = [
+            ("scan", obs) for obs in synthetic_runs(9.66, 10.34, [1, 2, 4])
+        ] + [("agg", obs) for obs in synthetic_runs(0.97, 0.0, [1, 1])]
+        estimates = estimate_many(samples)
+        assert set(estimates) == {"scan", "agg"}
+        assert estimates["scan"].work == pytest.approx(9.66)
+        assert estimates["agg"].work == pytest.approx(0.97)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_many([])

@@ -1,0 +1,83 @@
+"""Unit tests for Section 4.1 pipeline metrics (repro.core.metrics)."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.sensitivity import baseline_query
+from repro.core.spec import QuerySpec, chain, op
+
+
+@pytest.fixture
+def q6():
+    """The paper's TPC-H Q6 model: scan (w=9.66, s=10.34) -> agg (p=0.97)."""
+    return QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)), label="q6")
+
+
+class TestQ6Metrics:
+    def test_p_max_is_scan(self, q6):
+        assert metrics.p_max(q6) == pytest.approx(20.0)
+
+    def test_bottleneck_is_scan(self, q6):
+        assert metrics.bottleneck(q6).name == "scan"
+
+    def test_peak_rate(self, q6):
+        assert metrics.peak_rate(q6) == pytest.approx(1 / 20.0)
+
+    def test_total_work(self, q6):
+        # The paper rounds u' to 21; the exact value is 20.97.
+        assert metrics.total_work(q6) == pytest.approx(20.97)
+
+    def test_utilization(self, q6):
+        assert metrics.utilization(q6) == pytest.approx(20.97 / 20.0)
+
+
+class TestBaselineMetrics:
+    """Figure 3 baseline: p=10 below, pivot w=6 s=1, p=10 above."""
+
+    def test_p_max(self):
+        assert metrics.p_max(baseline_query()) == pytest.approx(10.0)
+
+    def test_total_work(self):
+        assert metrics.total_work(baseline_query()) == pytest.approx(27.0)
+
+    def test_utilization_is_2_7(self):
+        # "each query requires 2.7 processors for peak throughput"
+        assert metrics.utilization(baseline_query()) == pytest.approx(2.7)
+
+
+class TestGeneralMetrics:
+    def test_single_operator_query(self):
+        q = QuerySpec(op("scan", 5.0), label="s")
+        assert metrics.p_max(q) == pytest.approx(5.0)
+        assert metrics.utilization(q) == pytest.approx(1.0)
+
+    def test_operator_p_with_consumers(self):
+        node = op("pivot", 6.0, 1.0)
+        assert metrics.operator_p(node, consumers=5) == pytest.approx(11.0)
+
+    def test_bushy_plan_p_max(self):
+        q = QuerySpec(
+            op("join", 4.0, 0.5, op("left", 7.0), op("right", 2.0)), label="j"
+        )
+        assert metrics.p_max(q) == pytest.approx(7.0)
+        assert metrics.total_work(q) == pytest.approx(4.5 + 7.0 + 2.0)
+
+    def test_blocking_plan_rejected(self):
+        q = QuerySpec(chain(op("scan", 1.0), op("sort", 2.0, blocking=True)))
+        for fn in (
+            metrics.p_max,
+            metrics.bottleneck,
+            metrics.peak_rate,
+            metrics.total_work,
+            metrics.utilization,
+        ):
+            with pytest.raises(Exception, match="stop-&-go"):
+                fn(q)
+
+    def test_utilization_can_exceed_one(self):
+        q = QuerySpec(chain(op("a", 10.0), op("b", 10.0), op("c", 10.0)))
+        assert metrics.utilization(q) == pytest.approx(3.0)
+
+    def test_root_output_cost_counts_once(self):
+        q = QuerySpec(op("scan", 3.0, 2.0), label="s")
+        assert metrics.p_max(q) == pytest.approx(5.0)

@@ -1,0 +1,156 @@
+"""Unit tests for stop-&-go decomposition (repro.core.phases)."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.phases import PHASE_INTERNAL, PHASE_PIPELINE, PhasedQuery, decompose
+from repro.core.spec import QuerySpec, chain, op
+from repro.errors import SpecError
+
+
+def sort_query(run=3.0, merge=2.0, replay=0.5):
+    root = chain(
+        op("scan", 10.0),
+        op("sort", run, 1.0, blocking=True, internal_work=merge, emit_work=replay),
+        op("agg", 4.0),
+    )
+    return QuerySpec(root, label="sortq")
+
+
+class TestDecompose:
+    def test_pipelined_query_single_phase(self):
+        q = QuerySpec(chain(op("scan", 1.0), op("agg", 2.0)), label="q")
+        phases = decompose(q)
+        assert len(phases) == 1
+        assert phases[0].kind == PHASE_PIPELINE
+        assert phases[0].source is None
+        assert phases[0].query.operator_names() == q.operator_names()
+
+    def test_sort_decomposes_to_three_phases(self):
+        phases = decompose(sort_query())
+        assert [p.kind for p in phases] == [
+            PHASE_PIPELINE,
+            PHASE_INTERNAL,
+            PHASE_PIPELINE,
+        ]
+        assert phases[0].source == "sort"
+        assert phases[1].source == "sort"
+        assert phases[2].source is None
+
+    def test_consume_phase_contents(self):
+        phases = decompose(sort_query())
+        consume = phases[0].query
+        assert consume.root.name == "sort#consume"
+        assert consume.root.work == pytest.approx(3.0)
+        assert [n.name for n in consume.root.children] == ["scan"]
+
+    def test_internal_phase_isolated(self):
+        phases = decompose(sort_query())
+        internal = phases[1].query
+        assert internal.operator_names() == ("sort#internal",)
+        assert internal.root.work == pytest.approx(2.0)
+
+    def test_final_phase_replays_sorted_output(self):
+        phases = decompose(sort_query())
+        final = phases[-1].query
+        assert final.operator_names() == ("agg", "sort#replay")
+        replay = final["sort#replay"]
+        assert replay.work == pytest.approx(0.5)
+        assert replay.output_cost == pytest.approx(1.0)
+
+    def test_zero_internal_work_skips_internal_phase(self):
+        q = QuerySpec(
+            chain(
+                op("scan", 10.0),
+                op("sort", 3.0, blocking=True, emit_work=0.5),
+                op("agg", 4.0),
+            ),
+            label="q",
+        )
+        phases = decompose(q)
+        assert [p.kind for p in phases] == [PHASE_PIPELINE, PHASE_PIPELINE]
+
+    def test_all_phases_are_pipelined(self):
+        for phase in decompose(sort_query()):
+            assert phase.query.is_pipelined()
+
+    def test_two_blocking_nodes_merge_join_shape(self):
+        left = op("sortL", 2.0, blocking=True, emit_work=0.1)
+        right = op("sortR", 3.0, blocking=True, emit_work=0.2)
+        root = op(
+            "merge",
+            1.0,
+            0.0,
+            left.with_children((op("scanL", 5.0),)),
+            right.with_children((op("scanR", 6.0),)),
+        )
+        phases = decompose(QuerySpec(root, label="mj"))
+        # sortL consume, sortR consume, final merge over two replays.
+        assert len(phases) == 3
+        final = phases[-1].query
+        assert set(final.operator_names()) == {"merge", "sortL#replay", "sortR#replay"}
+
+    def test_nested_blocking_processed_innermost_first(self):
+        inner = op("sortA", 2.0, blocking=True, emit_work=0.1)
+        outer = op("sortB", 3.0, blocking=True, emit_work=0.2)
+        root = outer.with_children(
+            (op("mid", 1.0, 0.0, inner.with_children((op("scan", 4.0),))),)
+        )
+        phases = decompose(QuerySpec(root, label="nested"))
+        assert phases[0].source == "sortA"
+        assert phases[1].source == "sortB"
+        # sortB's consume phase sees sortA replaced by its replay leaf.
+        assert "sortA#replay" in phases[1].query
+
+    def test_invalid_volume_rejected(self):
+        with pytest.raises(SpecError):
+            decompose(sort_query(), volume=0.0)
+
+    def test_work_conservation(self):
+        """Decomposition keeps every cost component exactly once."""
+        q = sort_query(run=3.0, merge=2.0, replay=0.5)
+        phases = decompose(q)
+        total = sum(metrics.total_work(p.query) for p in phases)
+        # scan 10 + sort consume 3 + internal 2 + replay (0.5 + s 1.0) + agg 4
+        assert total == pytest.approx(10 + 3 + 2 + 1.5 + 4)
+
+
+class TestPhasedQuery:
+    def test_single_phase_matches_plain_model(self):
+        q = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)), label="q6")
+        pq = PhasedQuery(q)
+        assert len(pq.phases) == 1
+        z_direct = pq.sharing_benefit("scan", m=32, n=1)
+        assert z_direct > 1.0
+
+    def test_unshared_time_decreases_with_processors(self):
+        pq = PhasedQuery(sort_query())
+        t2 = pq.unshared_time(m=8, n=2)
+        t8 = pq.unshared_time(m=8, n=8)
+        assert t8 < t2
+
+    def test_shared_time_only_shares_phase_containing_pivot(self):
+        pq = PhasedQuery(sort_query())
+        # scan lives in the consume phase only.
+        t = pq.shared_time("scan", m=4, n=1)
+        assert t > 0
+
+    def test_sharing_benefit_positive(self):
+        pq = PhasedQuery(sort_query())
+        z = pq.sharing_benefit("scan", m=8, n=1)
+        assert z > 0
+
+    def test_sharing_scan_on_one_cpu_helps_sort_query(self):
+        pq = PhasedQuery(sort_query())
+        assert pq.sharing_benefit("scan", m=16, n=1) > 1.0
+
+    def test_invalid_m_rejected(self):
+        pq = PhasedQuery(sort_query())
+        with pytest.raises(SpecError):
+            pq.unshared_time(m=0, n=1)
+        with pytest.raises(SpecError):
+            pq.shared_time("scan", m=0, n=1)
+
+    def test_total_work_matches_decomposition(self):
+        pq = PhasedQuery(sort_query())
+        assert pq.total_work() == pytest.approx(10 + 3 + 2 + 1.5 + 4)

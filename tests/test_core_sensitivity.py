@@ -1,0 +1,147 @@
+"""Unit tests for the Section 6 sensitivity sweeps (Figure 4)."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.sensitivity import (
+    baseline_query,
+    staged_query,
+    sweep_output_cost,
+    sweep_processors,
+    sweep_work_below_pivot,
+    work_eliminated_fraction,
+)
+from repro.errors import SpecError
+
+
+class TestBaselineQuery:
+    def test_shape(self):
+        q = baseline_query()
+        assert q.operator_names() == ("top", "pivot", "bottom")
+
+    def test_eliminates_nearly_sixty_percent(self):
+        # "Work sharing therefore eliminates nearly 60% of the work"
+        frac = work_eliminated_fraction(baseline_query(), "pivot")
+        assert frac == pytest.approx(16 / 27, abs=1e-9)
+        assert 0.55 < frac < 0.62
+
+
+class TestStagedQuery:
+    def test_all_stages_present(self):
+        q = staged_query(2)
+        names = set(q.operator_names())
+        assert {"bottom", "pivot", "below0", "below1", "above0", "above1",
+                "above2"} <= names
+
+    def test_total_work_constant_across_splits(self):
+        totals = {metrics.total_work(staged_query(k)) for k in range(6)}
+        assert len(totals) == 1
+
+    def test_fraction_eliminated_matches_figure_labels(self):
+        # Figure 4 (right) labels: 0/5 -> 28%, ..., 5/5 -> 98%.
+        # Total work = 10 + (6 + 1) + 5*8 = 57; eliminated = 16 + 8k.
+        fractions = [
+            work_eliminated_fraction(staged_query(k), "pivot") for k in range(6)
+        ]
+        for k, frac in enumerate(fractions):
+            assert frac == pytest.approx((16 + 8 * k) / 57)
+        assert round(fractions[0] * 100) == 28
+        assert round(fractions[5] * 100) == 98
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(SpecError):
+            staged_query(6)
+        with pytest.raises(SpecError):
+            staged_query(-1)
+
+
+class TestSweepProcessors:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_processors(clients=range(1, 41))
+
+    def test_series_keys(self, sweep):
+        assert set(sweep.series) == {1.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0}
+
+    def test_one_cpu_sharing_always_helps_at_load(self, sweep):
+        row = dict(zip(sweep.clients, sweep.series[1.0]))
+        assert row[40] > 1.5
+
+    def test_32_cpu_sharing_never_helps(self, sweep):
+        # "the model can help predict whether work sharing is always
+        # (4 CPU), never (32 CPU), or sometimes (16 CPU) worthwhile"
+        assert not sweep.ever_beneficial(32.0)
+
+    def test_4_cpu_sharing_eventually_helps(self, sweep):
+        assert sweep.ever_beneficial(4.0)
+
+    def test_16_cpu_sometimes(self, sweep):
+        row = sweep.series[16.0]
+        assert any(z > 1.0 for z in row)
+        assert any(z < 1.0 for z in row)
+
+    def test_few_processors_benefit_most(self, sweep):
+        # At heavy load, fewer processors -> larger benefit from sharing.
+        at_40 = {n: dict(zip(sweep.clients, row))[40]
+                 for n, row in sweep.series.items()}
+        # 1 and 8 CPUs are both fully CPU-bound at m=40, so Z ties there;
+        # the ordering is non-strict on the left and strict vs 32 CPUs.
+        assert at_40[1.0] >= at_40[8.0] > at_40[32.0]
+        # At lighter load the machine-size effect separates strictly.
+        at_10 = {n: dict(zip(sweep.clients, row))[10]
+                 for n, row in sweep.series.items()}
+        assert at_10[1.0] > at_10[32.0]
+
+    def test_best_client_count_helper(self, sweep):
+        assert 1 <= sweep.best_client_count(1.0) <= 40
+
+
+class TestSweepOutputCost:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_output_cost(clients=range(1, 41))
+
+    def test_zero_cost_saturates_and_wins(self, sweep):
+        # s=0: no serialization; sharing saturates the machine by ~30
+        # queries and eventually wins.
+        row = dict(zip(sweep.clients, sweep.series[0.0]))
+        assert row[40] > 1.0
+
+    def test_high_cost_never_wins_on_32_cores(self, sweep):
+        assert not sweep.ever_beneficial(4.0)
+
+    def test_benefit_decreases_with_s(self, sweep):
+        at_40 = {s: dict(zip(sweep.clients, row))[40]
+                 for s, row in sweep.series.items()}
+        ordered = [at_40[s] for s in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)]
+        assert ordered == sorted(ordered, reverse=True)
+
+
+class TestSweepWorkBelowPivot:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_work_below_pivot(clients=range(1, 41))
+
+    def test_six_series(self, sweep):
+        assert set(sweep.series) == {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_more_work_below_pivot_helps_more_until_last(self, sweep):
+        # Figure 4 (right): each stage moved below the pivot increases
+        # speedup, except the last one (diminishing return from the
+        # parallelism cap).
+        at_40 = {k: dict(zip(sweep.clients, row))[40]
+                 for k, row in sweep.series.items()}
+        assert at_40[0.0] < at_40[1.0] < at_40[2.0] < at_40[3.0] < at_40[4.0]
+
+    def test_last_stage_diminishing_return(self, sweep):
+        at_40 = {k: dict(zip(sweep.clients, row))[40]
+                 for k, row in sweep.series.items()}
+        gain_4 = at_40[4.0] - at_40[3.0]
+        gain_5 = at_40[5.0] - at_40[4.0]
+        assert gain_5 < gain_4
+
+    def test_speedup_far_below_work_elimination_bound(self, sweep):
+        # Eliminating 98% of work suggests 50x; parallelism loss caps
+        # the benefit to a small multiple on 8 processors.
+        at_40 = dict(zip(sweep.clients, sweep.series[5.0]))[40]
+        assert at_40 < 10.0

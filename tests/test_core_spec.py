@@ -1,0 +1,199 @@
+"""Unit tests for model-level plan specs (repro.core.spec)."""
+
+import pytest
+
+from repro.core.spec import OperatorSpec, QuerySpec, chain, op
+from repro.errors import PivotError, SpecError
+
+
+def q6_spec():
+    return QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)), label="q6")
+
+
+class TestOperatorSpec:
+    def test_p_single_consumer(self):
+        node = op("scan", 9.66, 10.34)
+        assert node.p(1) == pytest.approx(20.0)
+
+    def test_p_multiple_consumers(self):
+        node = op("scan", 9.66, 10.34)
+        assert node.p(3) == pytest.approx(9.66 + 3 * 10.34)
+
+    def test_p_zero_consumers_drops_output_cost(self):
+        node = op("scan", 9.66, 10.34)
+        assert node.p(0) == pytest.approx(9.66)
+
+    def test_p_negative_consumers_rejected(self):
+        with pytest.raises(SpecError):
+            op("scan", 1.0).p(-1)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SpecError):
+            op("scan", -1.0)
+
+    def test_negative_output_cost_rejected(self):
+        with pytest.raises(SpecError):
+            op("scan", 1.0, -0.5)
+
+    def test_nan_work_rejected(self):
+        with pytest.raises(SpecError):
+            op("scan", float("nan"))
+
+    def test_infinite_work_rejected(self):
+        with pytest.raises(SpecError):
+            op("scan", float("inf"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            op("", 1.0)
+
+    def test_non_numeric_work_rejected(self):
+        with pytest.raises(SpecError):
+            OperatorSpec(name="scan", work="ten")
+
+    def test_bool_work_rejected(self):
+        with pytest.raises(SpecError):
+            OperatorSpec(name="scan", work=True)
+
+    def test_internal_work_requires_blocking(self):
+        with pytest.raises(SpecError):
+            op("sort", 1.0, internal_work=2.0)
+
+    def test_emit_work_requires_blocking(self):
+        with pytest.raises(SpecError):
+            op("sort", 1.0, emit_work=0.5)
+
+    def test_blocking_fields_accepted(self):
+        node = op("sort", 3.0, blocking=True, internal_work=2.0, emit_work=0.5)
+        assert node.blocking
+        assert node.internal_work == 2.0
+        assert node.emit_work == 0.5
+
+    def test_walk_preorder(self):
+        tree = op("join", 1.0, 0.0, op("left", 2.0), op("right", 3.0))
+        assert [n.name for n in tree.walk()] == ["join", "left", "right"]
+
+    def test_structurally_equal_true(self):
+        a = op("scan", 2.0, 1.0)
+        b = op("scan", 2.0, 1.0)
+        assert a.structurally_equal(b)
+
+    def test_structurally_equal_differs_on_work(self):
+        assert not op("scan", 2.0).structurally_equal(op("scan", 3.0))
+
+    def test_structurally_equal_differs_on_children(self):
+        a = op("f", 1.0, 0.0, op("scan", 2.0))
+        b = op("f", 1.0, 0.0, op("scan", 9.0))
+        assert not a.structurally_equal(b)
+
+    def test_structurally_equal_differs_on_blocking(self):
+        a = op("sort", 1.0, blocking=True)
+        b = op("sort", 1.0)
+        assert not a.structurally_equal(b)
+
+    def test_relabeled_preserves_costs(self):
+        node = op("sort", 3.0, 1.5, blocking=True, internal_work=2.0, emit_work=0.5)
+        copy = node.relabeled("sort2")
+        assert copy.name == "sort2"
+        assert copy.work == node.work
+        assert copy.output_cost == node.output_cost
+        assert copy.internal_work == node.internal_work
+        assert copy.emit_work == node.emit_work
+
+    def test_with_children_replaces_inputs(self):
+        node = op("agg", 1.0)
+        child = op("scan", 5.0)
+        updated = node.with_children((child,))
+        assert updated.children == (child,)
+        assert node.children == ()
+
+
+class TestChain:
+    def test_chain_builds_linear_pipeline(self):
+        root = chain(op("scan", 1.0), op("filter", 2.0), op("agg", 3.0))
+        assert root.name == "agg"
+        assert root.children[0].name == "filter"
+        assert root.children[0].children[0].name == "scan"
+
+    def test_chain_single_node(self):
+        root = chain(op("scan", 1.0))
+        assert root.name == "scan"
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(SpecError):
+            chain()
+
+    def test_chain_rejects_nodes_with_children(self):
+        parent = op("join", 1.0, 0.0, op("scan", 1.0))
+        with pytest.raises(SpecError):
+            chain(op("scan2", 1.0), parent)
+
+
+class TestQuerySpec:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError):
+            QuerySpec(chain(op("scan", 1.0), op("scan", 2.0)))
+
+    def test_operator_lookup(self):
+        q = q6_spec()
+        assert q["scan"].work == pytest.approx(9.66)
+        assert "agg" in q
+        assert "sort" not in q
+
+    def test_unknown_pivot_raises(self):
+        with pytest.raises(PivotError):
+            q6_spec()["missing"]
+
+    def test_operators_preorder_from_root(self):
+        assert q6_spec().operator_names() == ("agg", "scan")
+
+    def test_below_pivot(self):
+        q = QuerySpec(
+            chain(op("scan", 1.0), op("filter", 2.0), op("agg", 3.0)), label="q"
+        )
+        assert [n.name for n in q.below("filter")] == ["scan"]
+        assert q.below("scan") == ()
+
+    def test_above_pivot(self):
+        q = QuerySpec(
+            chain(op("scan", 1.0), op("filter", 2.0), op("agg", 3.0)), label="q"
+        )
+        assert [n.name for n in q.above("filter")] == ["agg"]
+        assert [n.name for n in q.above("agg")] == []
+
+    def test_above_and_below_partition_plan(self):
+        q = QuerySpec(
+            op("join", 1.0, 0.0, chain(op("s1", 1.0), op("f1", 1.0)), op("s2", 2.0)),
+            label="q",
+        )
+        for pivot in q.operator_names():
+            names = {n.name for n in q.below(pivot)}
+            names |= {n.name for n in q.above(pivot)}
+            names |= {n.name for n in q[pivot].walk()} - {
+                n.name for n in q.below(pivot)
+            }
+            assert names == set(q.operator_names())
+
+    def test_is_pipelined(self):
+        assert q6_spec().is_pipelined()
+        blocked = QuerySpec(
+            chain(op("scan", 1.0), op("sort", 2.0, blocking=True), op("agg", 1.0))
+        )
+        assert not blocked.is_pipelined()
+        assert [n.name for n in blocked.blocking_operators()] == ["sort"]
+
+    def test_require_pipelined_raises_with_names(self):
+        blocked = QuerySpec(
+            chain(op("scan", 1.0), op("sort", 2.0, blocking=True)), label="qs"
+        )
+        with pytest.raises(SpecError, match="sort"):
+            blocked.require_pipelined("test")
+
+    def test_relabeled(self):
+        q = q6_spec().relabeled("q6-copy")
+        assert q.label == "q6-copy"
+        assert q.root is q6_spec().root or q.root.structurally_equal(q6_spec().root)
+
+    def test_root_must_be_operator(self):
+        with pytest.raises(SpecError):
+            QuerySpec(root="scan")

@@ -1,0 +1,99 @@
+"""End-to-end determinism: identical runs produce identical results.
+
+Reproducibility is a design requirement (DESIGN.md): the same seed
+must regenerate every figure bit-for-bit. These tests pin it across
+the whole stack — engine runs, profiled parameters, closed-system
+throughput, and experiment cells.
+"""
+
+import pytest
+
+from repro.engine import Engine
+from repro.experiments.common import batch_speedup
+from repro.policies import AlwaysShare, ModelGuidedPolicy
+from repro.profiling import QueryProfiler
+from repro.sim import Simulator
+from repro.tpch.generator import generate
+from repro.tpch.queries import build
+from repro.workload import WorkloadMix, run_closed_system
+
+SCALE = 0.0005
+SEED = 99
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate(scale_factor=SCALE, seed=SEED)
+
+
+def test_engine_run_timeline_identical(catalog):
+    query = build("q4", catalog)
+
+    def run():
+        sim = Simulator(processors=8)
+        engine = Engine(catalog, sim)
+        group = engine.execute_group(
+            [query.plan] * 4, pivot_op_id=query.pivot,
+            labels=[f"q{i}" for i in range(4)],
+        )
+        sim.run()
+        return sim.now, [h.finished_at for h in group.handles]
+
+    assert run() == run()
+
+
+def test_profiles_identical(catalog):
+    query = build("q6", catalog)
+
+    def profile():
+        result = QueryProfiler(catalog).profile(query.plan, query.pivot)
+        return {
+            op_id: (est.work, est.output_cost)
+            for op_id, est in result.estimates.items()
+        }
+
+    assert profile() == profile()
+
+
+def test_batch_speedup_identical(catalog):
+    query = build("q13", catalog)
+    assert batch_speedup(catalog, query, 6, 8) == (
+        batch_speedup(catalog, query, 6, 8)
+    )
+
+
+def test_closed_system_run_identical(catalog):
+    def run():
+        result = run_closed_system(
+            catalog, AlwaysShare(), WorkloadMix.single("q6", seed=3),
+            n_clients=6, processors=4, warmup=30_000.0, window=120_000.0,
+        )
+        return (result.completions, result.throughput,
+                dict(result.completions_by_query))
+
+    assert run() == run()
+
+
+def test_model_policy_run_identical(catalog):
+    query = build("q4", catalog)
+    profile = QueryProfiler(catalog).profile(query.plan, query.pivot,
+                                             label="q4")
+    specs = {"q4": (profile.to_query_spec(), query.pivot)}
+
+    def run():
+        result = run_closed_system(
+            catalog, ModelGuidedPolicy(specs),
+            WorkloadMix.single("q4", seed=3),
+            n_clients=6, processors=8, warmup=30_000.0, window=120_000.0,
+        )
+        return (result.completions, result.shared_submissions,
+                result.solo_submissions)
+
+    assert run() == run()
+
+
+def test_catalog_regeneration_identical():
+    a = generate(scale_factor=SCALE, seed=SEED)
+    b = generate(scale_factor=SCALE, seed=SEED)
+    for name in a.names():
+        assert list(a.table(name).rows()) == list(b.table(name).rows())

@@ -1,0 +1,253 @@
+"""Integration tests: staged execution vs the reference executor."""
+
+import pytest
+
+from repro.engine import (
+    AggSpec,
+    Engine,
+    aggregate,
+    execute_reference,
+    filter_,
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    project,
+    scan,
+    sort,
+)
+from repro.engine.expressions import col, eq, gt, lt, mul
+from repro.errors import EngineError, PivotError
+from repro.sim import Simulator
+from repro.storage import Catalog, DataType, Schema
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    items = cat.create("items", Schema([
+        ("id", DataType.INT), ("grp", DataType.INT), ("price", DataType.FLOAT),
+    ]))
+    for i in range(300):
+        items.insert((i, i % 7, float(i % 50) + 0.25))
+    tags = cat.create("tags", Schema([
+        ("tag_id", DataType.INT), ("weight", DataType.FLOAT),
+    ]))
+    for i in range(0, 300, 3):
+        tags.insert((i, float(i) / 10.0))
+    return cat
+
+
+def run_staged(catalog, plan, processors=4, label="q"):
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim)
+    handle = engine.execute(plan, label)
+    sim.run()
+    assert handle.done
+    return handle
+
+
+class TestSingleQueryEquivalence:
+    def test_scan(self, catalog):
+        plan = scan(catalog, "items")
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_fused_scan(self, catalog):
+        plan = scan(
+            catalog, "items", columns=["id", "price"],
+            predicate=lt(col("id"), 100),
+            outputs=[("v", mul(col("price"), 2.0), DataType.FLOAT)],
+        )
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_filter_project_aggregate(self, catalog):
+        plan = aggregate(
+            project(
+                filter_(scan(catalog, "items"), gt(col("price"), 10.0)),
+                [("grp", col("grp"), DataType.INT),
+                 ("v", mul(col("price"), col("price")), DataType.FLOAT)],
+            ),
+            ["grp"],
+            [AggSpec("sum", "total", col("v")), AggSpec("count", "n"),
+             AggSpec("min", "lo", col("v")), AggSpec("max", "hi", col("v")),
+             AggSpec("avg", "mean", col("v"))],
+        )
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_sort_multi_key_mixed_directions(self, catalog):
+        plan = sort(scan(catalog, "items"), [("grp", True), ("price", False)])
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_inner_hash_join(self, catalog):
+        plan = hash_join(
+            build=scan(catalog, "tags"), probe=scan(catalog, "items"),
+            build_key="tag_id", probe_key="id",
+        )
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_semi_and_anti_join_partition(self, catalog):
+        semi = hash_join(
+            build=scan(catalog, "tags"), probe=scan(catalog, "items"),
+            build_key="tag_id", probe_key="id", join_type="semi",
+        )
+        anti = hash_join(
+            build=scan(catalog, "tags"), probe=scan(catalog, "items"),
+            build_key="tag_id", probe_key="id", join_type="anti",
+        )
+        semi_rows = run_staged(catalog, semi).rows
+        anti_rows = run_staged(catalog, anti).rows
+        assert semi_rows == execute_reference(semi, catalog)
+        assert anti_rows == execute_reference(anti, catalog)
+        # semi + anti partition the probe input
+        assert len(semi_rows) + len(anti_rows) == 300
+
+    def test_left_join_pads_nulls(self, catalog):
+        plan = hash_join(
+            build=scan(catalog, "tags"), probe=scan(catalog, "items"),
+            build_key="tag_id", probe_key="id", join_type="left",
+        )
+        rows = run_staged(catalog, plan).rows
+        assert rows == execute_reference(plan, catalog)
+        unmatched = [r for r in rows if r[3] is None]
+        assert unmatched  # ids not divisible by 3
+        assert all(r[4] is None for r in unmatched)
+
+    def test_nested_loop_join(self, catalog):
+        small = filter_(scan(catalog, "items"), lt(col("id"), 20))
+        plan = nested_loop_join(
+            small,
+            scan(catalog, "tags"),
+            predicate=eq(col("id"), col("tag_id")),
+        )
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_merge_join_on_sorted_inputs(self, catalog):
+        left = sort(scan(catalog, "items"), [("id", True)])
+        right = sort(scan(catalog, "tags"), [("tag_id", True)])
+        plan = merge_join(left, right, left_key="id", right_key="tag_id")
+        assert run_staged(catalog, plan).rows == execute_reference(plan, catalog)
+
+    def test_results_independent_of_processor_count(self, catalog):
+        plan = aggregate(
+            filter_(scan(catalog, "items"), gt(col("price"), 5.0)),
+            ["grp"], [AggSpec("count", "n")],
+        )
+        results = {
+            n: run_staged(catalog, plan, processors=n).rows
+            for n in (1, 2, 8, 32)
+        }
+        reference = execute_reference(plan, catalog)
+        assert all(rows == reference for rows in results.values())
+
+
+class TestSharedExecution:
+    def make_query(self, catalog):
+        pivot = filter_(scan(catalog, "items"), gt(col("price"), 10.0),
+                        op_id="pivot")
+        return aggregate(pivot, ["grp"], [AggSpec("count", "n")],
+                         op_id="agg")
+
+    def test_all_members_get_full_results(self, catalog):
+        plan = self.make_query(catalog)
+        reference = execute_reference(plan, catalog)
+        sim = Simulator(processors=4)
+        engine = Engine(catalog, sim)
+        group = engine.execute_group([plan] * 5, pivot_op_id="pivot",
+                                     labels=[f"m{i}" for i in range(5)])
+        sim.run()
+        assert group.done
+        assert group.size == 5
+        assert group.shared
+        for handle in group.handles:
+            assert handle.rows == reference
+
+    def test_sharing_at_root(self, catalog):
+        plan = self.make_query(catalog)
+        reference = execute_reference(plan, catalog)
+        sim = Simulator(processors=4)
+        engine = Engine(catalog, sim)
+        group = engine.execute_group([plan] * 3, pivot_op_id="agg")
+        sim.run()
+        for handle in group.handles:
+            assert handle.rows == reference
+
+    def test_sharing_eliminates_work(self, catalog):
+        """Total busy time of a shared group is far below m independent
+        runs (work below the pivot runs once)."""
+        plan = self.make_query(catalog)
+
+        def busy(shared):
+            sim = Simulator(processors=4)
+            engine = Engine(catalog, sim)
+            if shared:
+                engine.execute_group([plan] * 6, pivot_op_id="pivot")
+            else:
+                for i in range(6):
+                    engine.execute(plan, f"q{i}")
+            sim.run()
+            return sim.total_busy_time
+
+        assert busy(shared=True) < 0.5 * busy(shared=False)
+
+    def test_mismatched_pivots_rejected(self, catalog):
+        a = self.make_query(catalog)
+        b = aggregate(
+            filter_(scan(catalog, "items"), gt(col("price"), 11.0),
+                    op_id="pivot"),
+            ["grp"], [AggSpec("count", "n")],
+        )
+        sim = Simulator(processors=2)
+        engine = Engine(catalog, sim)
+        with pytest.raises(PivotError, match="disagree below pivot"):
+            engine.execute_group([a, b], pivot_op_id="pivot")
+
+    def test_multi_query_group_requires_pivot(self, catalog):
+        plan = self.make_query(catalog)
+        engine = Engine(catalog, Simulator(processors=2))
+        with pytest.raises(EngineError, match="requires a pivot"):
+            engine.execute_group([plan, plan], pivot_op_id=None)
+
+    def test_empty_group_rejected(self, catalog):
+        engine = Engine(catalog, Simulator(processors=2))
+        with pytest.raises(EngineError):
+            engine.execute_group([], pivot_op_id=None)
+
+    def test_labels_must_match(self, catalog):
+        plan = self.make_query(catalog)
+        engine = Engine(catalog, Simulator(processors=2))
+        with pytest.raises(EngineError):
+            engine.execute_group([plan], pivot_op_id=None, labels=["a", "b"])
+
+
+class TestHandles:
+    def test_response_time_requires_completion(self, catalog):
+        plan = scan(catalog, "items")
+        sim = Simulator(processors=1)
+        engine = Engine(catalog, sim)
+        handle = engine.execute(plan, "q")
+        with pytest.raises(EngineError):
+            handle.response_time()
+        sim.run()
+        assert handle.response_time() > 0
+
+    def test_on_complete_callback(self, catalog):
+        plan = scan(catalog, "items")
+        sim = Simulator(processors=1)
+        engine = Engine(catalog, sim)
+        seen = []
+        engine.execute(plan, "q", on_complete=lambda h: seen.append(h.label))
+        sim.run()
+        assert seen == ["q"]
+
+    def test_group_completion_time(self, catalog):
+        plan = scan(catalog, "items")
+        sim = Simulator(processors=1)
+        engine = Engine(catalog, sim)
+        group = engine.execute_group([plan], pivot_op_id=None)
+        sim.run()
+        assert group.completion_time() == pytest.approx(
+            group.handles[0].finished_at
+        )
+
+    def test_invalid_queue_capacity(self, catalog):
+        with pytest.raises(EngineError):
+            Engine(catalog, Simulator(processors=1), queue_capacity=0)

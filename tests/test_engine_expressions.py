@@ -1,0 +1,134 @@
+"""Unit tests for the expression language (repro.engine.expressions)."""
+
+import pytest
+
+from repro.engine.expressions import (
+    add,
+    and_,
+    between,
+    col,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lit,
+    lt,
+    mul,
+    ne,
+    not_,
+    or_,
+    sub,
+    udf,
+)
+from repro.errors import PlanError, SchemaError
+from repro.storage import DataType, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        ("a", DataType.INT),
+        ("b", DataType.FLOAT),
+        ("s", DataType.STR),
+    ])
+
+
+ROW = (3, 2.5, "hello")
+
+
+class TestBasics:
+    def test_column_ref(self, schema):
+        assert col("a").compile(schema)(ROW) == 3
+
+    def test_unknown_column_fails_at_compile(self, schema):
+        with pytest.raises(SchemaError):
+            col("ghost").compile(schema)
+
+    def test_literal(self, schema):
+        assert lit(42).compile(schema)(ROW) == 42
+
+    def test_arithmetic(self, schema):
+        assert add(col("a"), 1).compile(schema)(ROW) == 4
+        assert sub(col("a"), 1).compile(schema)(ROW) == 2
+        assert mul(col("a"), col("b")).compile(schema)(ROW) == 7.5
+
+    def test_arithmetic_with_null_yields_null(self, schema):
+        fn = add(col("a"), col("b")).compile(schema)
+        assert fn((None, 2.5, "x")) is None
+        assert fn((3, None, "x")) is None
+
+
+class TestComparisons:
+    def test_ordering_ops(self, schema):
+        assert lt(col("a"), 4).compile(schema)(ROW)
+        assert not lt(col("a"), 3).compile(schema)(ROW)
+        assert le(col("a"), 3).compile(schema)(ROW)
+        assert gt(col("a"), 2).compile(schema)(ROW)
+        assert ge(col("a"), 3).compile(schema)(ROW)
+        assert eq(col("s"), "hello").compile(schema)(ROW)
+        assert ne(col("a"), 5).compile(schema)(ROW)
+
+    def test_null_comparisons_false(self, schema):
+        row = (None, 2.5, "x")
+        for expr in (lt(col("a"), 4), eq(col("a"), 3), ge(col("a"), 0),
+                     ne(col("a"), 3)):
+            assert expr.compile(schema)(row) is False
+
+    def test_between_inclusive(self, schema):
+        fn = between(col("a"), 3, 5).compile(schema)
+        assert fn(ROW)
+        assert fn((5, 0.0, ""))
+        assert not fn((6, 0.0, ""))
+        assert not fn((None, 0.0, ""))
+
+    def test_in_set(self, schema):
+        fn = in_(col("s"), ["hello", "world"]).compile(schema)
+        assert fn(ROW)
+        assert not fn((1, 1.0, "nope"))
+
+
+class TestBoolean:
+    def test_and(self, schema):
+        fn = and_(lt(col("a"), 4), gt(col("b"), 2.0)).compile(schema)
+        assert fn(ROW)
+        assert not fn((5, 2.5, ""))
+
+    def test_or(self, schema):
+        fn = or_(lt(col("a"), 0), gt(col("b"), 2.0)).compile(schema)
+        assert fn(ROW)
+        assert not fn((5, 1.0, ""))
+
+    def test_not(self, schema):
+        assert not_(lt(col("a"), 0)).compile(schema)(ROW)
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(PlanError):
+            and_()
+        with pytest.raises(PlanError):
+            or_()
+
+
+class TestUdf:
+    def test_udf_evaluates(self, schema):
+        fn = udf("upper", str.upper, col("s")).compile(schema)
+        assert fn(ROW) == "HELLO"
+
+    def test_udf_signature_uses_name(self):
+        expr = udf("upper", str.upper, col("s"))
+        assert "udf:upper" in expr.signature()
+
+
+class TestSignatures:
+    def test_equal_expressions_equal_signatures(self):
+        a = and_(lt(col("x"), 5), between(col("y"), 1, 2))
+        b = and_(lt(col("x"), 5), between(col("y"), 1, 2))
+        assert a.signature() == b.signature()
+
+    def test_different_constants_different_signatures(self):
+        assert lt(col("x"), 5).signature() != lt(col("x"), 6).signature()
+
+    def test_operand_order_matters(self):
+        assert lt(col("x"), col("y")).signature() != (
+            lt(col("y"), col("x")).signature()
+        )

@@ -1,0 +1,82 @@
+"""Tests for stage reports (repro.engine.stats)."""
+
+import pytest
+
+from repro.engine import Engine, stage_report
+from repro.sim import Simulator
+from repro.tpch.generator import generate
+from repro.tpch.queries import build
+
+
+@pytest.fixture(scope="module")
+def run():
+    catalog = generate(scale_factor=0.0005, seed=51)
+    query = build("q6", catalog)
+    sim = Simulator(processors=4)
+    engine = Engine(catalog, sim)
+    group = engine.execute_group(
+        [query.plan] * 3, pivot_op_id=query.pivot,
+        labels=["a", "b", "c"],
+    )
+    sim.run()
+    return sim, engine, group, query
+
+
+class TestStageReport:
+    def test_covers_all_operators(self, run):
+        sim, _, _, query = run
+        report = stage_report(sim)
+        assert {s.op_id for s in report.stages} == {
+            node.op_id for node in query.plan.walk()
+        }
+
+    def test_bottleneck_is_shared_scan(self, run):
+        sim, _, _, query = run
+        assert stage_report(sim).bottleneck().op_id == query.pivot
+
+    def test_shares_sum_to_one(self, run):
+        sim, _, _, _ = run
+        report = stage_report(sim)
+        assert sum(s.busy_share for s in report.stages) == pytest.approx(1.0)
+
+    def test_instance_counts(self, run):
+        sim, _, _, query = run
+        report = stage_report(sim)
+        # The shared scan ran once; the aggregate once per member.
+        assert report.stage(query.pivot).instances == 1
+        assert report.stage("q6_agg").instances == 3
+
+    def test_sinks_excluded_by_default(self, run):
+        sim, _, _, _ = run
+        report = stage_report(sim)
+        assert all(s.op_id != "sink" for s in report.stages)
+        with_sinks = stage_report(sim, include_sinks=True)
+        assert any(s.op_id == "sink" for s in with_sinks.stages)
+
+    def test_group_task_source(self, run):
+        _, engine, group, query = run
+        report = stage_report(engine.group_tasks[group.group_id])
+        assert report.stage(query.pivot).busy_time > 0
+
+    def test_prefix_filter(self, run):
+        sim, _, _, _ = run
+        report = stage_report(sim, group_prefix="a/")
+        # Only query a's private stages (agg) match the prefix.
+        assert {s.op_id for s in report.stages} == {"q6_agg"}
+
+    def test_render_contains_bars(self, run):
+        sim, _, _, _ = run
+        text = stage_report(sim).render()
+        assert "#" in text
+        assert "q6_scan" in text
+
+    def test_unknown_stage(self, run):
+        sim, _, _, _ = run
+        with pytest.raises(KeyError):
+            stage_report(sim).stage("ghost")
+
+    def test_empty_report(self):
+        report = stage_report([])
+        assert report.stages == ()
+        with pytest.raises(ValueError):
+            report.bottleneck()

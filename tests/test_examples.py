@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs clean as a subprocess.
+
+Examples are the library's public face; a refactor that breaks one
+should fail CI, not a reader.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "warehouse_consolidation.py",
+        "policy_comparison.py",
+        "custom_query_modeling.py",
+        "adaptive_runtime.py",
+    }
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reaches_conclusion():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "SHARE" in result.stdout
+    assert "run independently" in result.stdout

@@ -1,0 +1,128 @@
+"""Tests pinning the paper's narrative claims about the model itself.
+
+Section 6.1 describes "three phases of behavior" for work sharing as
+load grows; Section 1.2 derives the throttling implication of Little's
+law; Section 4.4 observes bounded shared utilization. Each narrative
+gets a test against the model implementation.
+"""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.model import shared_metrics, shared_rate, sharing_benefit, unshared_rate
+from repro.core.sensitivity import baseline_query
+from repro.core.spec import QuerySpec, chain, op
+from repro.experiments.fig5 import ValidationPoint
+
+
+def group_of(query, m):
+    return [query.relabeled(f"{query.label}#{i}") for i in range(m)]
+
+
+class TestThreePhasesOfBehavior:
+    """Section 6.1: 'For a given number of available processors there
+    are (up to) three phases of behavior for work sharing. At first
+    there is not enough work to saturate the machine even without work
+    sharing; so the latter cannot improve performance. As the load
+    increases the limited parallelism available through work sharing
+    actually hurts performance. Finally, as load increases still
+    further, the elimination of extra work due to work sharing achieves
+    a net speedup for some values of n.'"""
+
+    def test_phase_boundaries_on_16_cpus(self):
+        query = baseline_query()
+        zs = {m: sharing_benefit(group_of(query, m), "pivot", 16)
+              for m in range(1, 41)}
+        # Phase 1: unsaturated — sharing neither helps nor hurts much.
+        assert zs[1] == pytest.approx(1.0)
+        assert zs[4] == pytest.approx(1.0)
+        # Phase 2: limited parallelism hurts.
+        assert zs[6] < 1.0
+        # Phase 3: enough load that eliminating work wins.
+        assert zs[20] > 1.0
+        # And the phases appear in that order.
+        first_below = min(m for m, z in zs.items() if z < 1.0 - 1e-9)
+        first_above_after = min(
+            m for m, z in zs.items() if m > first_below and z > 1.0 + 1e-9
+        )
+        assert first_below < first_above_after
+
+    def test_always_never_sometimes_machines(self):
+        query = baseline_query()
+        z_at = lambda n: [
+            sharing_benefit(group_of(query, m), "pivot", n)
+            for m in range(2, 41)
+        ]
+        # 4 CPUs: never materially harmful (paper: "always").
+        assert all(z > 0.95 for z in z_at(4))
+        # 32 CPUs: never beneficial.
+        assert all(z <= 1.0 + 1e-9 for z in z_at(32))
+        # 16 CPUs: sometimes.
+        zs = z_at(16)
+        assert any(z < 1.0 for z in zs) and any(z > 1.0 for z in zs)
+
+
+class TestLittlesLawThrottling:
+    """Section 1.2: 'throttling queries lowers throughput even if the
+    amount of work in the system is reduced at the same time.'
+
+    Construct a case where sharing removes work yet the pivot's
+    serialization throttles the group below unshared throughput."""
+
+    def test_less_work_but_lower_rate(self):
+        q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
+                       label="q6")
+        group = group_of(q6, 16)
+        n = 32
+        shared = shared_metrics(group, "scan")
+        unshared_work = sum(metrics.total_work(q) for q in group)
+        # Sharing removes most of the work...
+        assert shared.total_work < 0.6 * unshared_work
+        # ...yet delivers a lower rate on this machine.
+        assert shared_rate(group, "scan", n) < unshared_rate(group, n)
+
+
+class TestBoundedSharedUtilization:
+    """Section 4.4: shared Q6 'only utilizes slightly more than one
+    processor no matter how many sharers are added to the mix', while
+    Section 6.1's baseline caps near 10 cores."""
+
+    def test_q6_utilization_cap(self):
+        q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
+                       label="q6")
+        utilizations = [
+            shared_metrics(group_of(q6, m), "scan").utilization
+            for m in (4, 16, 48, 128)
+        ]
+        assert all(1.0 < u < 1.2 for u in utilizations)
+        # Monotone approach to the asymptote 11.31/10.34.
+        assert utilizations == sorted(utilizations)
+
+    def test_baseline_utilization_cap_near_ten(self):
+        query = baseline_query()
+        u = shared_metrics(group_of(query, 40), "pivot").utilization
+        assert 9.0 < u < 11.0
+
+
+class TestDecisionBand:
+    """Figure 5's binary-agreement metric uses an indifference band
+    around Z = 1 (either decision costs ~nothing there)."""
+
+    def make(self, predicted, measured):
+        return ValidationPoint(query="q", kind="scan-heavy", processors=1,
+                               clients=2, predicted=predicted,
+                               measured=measured)
+
+    def test_clear_agreement(self):
+        assert self.make(1.5, 1.4).decision_agrees
+        assert self.make(0.5, 0.6).decision_agrees
+
+    def test_clear_disagreement(self):
+        assert not self.make(1.5, 0.5).decision_agrees
+
+    def test_band_tolerates_near_one(self):
+        assert self.make(1.05, 0.8).decision_agrees
+        assert self.make(0.8, 1.05).decision_agrees
+
+    def test_relative_error(self):
+        assert self.make(1.2, 1.0).relative_error == pytest.approx(0.2)

@@ -1,0 +1,85 @@
+"""Tests for the open-system (Poisson arrival) driver."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.policies import AlwaysShare, NeverShare
+from repro.tpch.generator import generate
+from repro.workload import WorkloadMix, run_open_system
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate(scale_factor=0.0005, seed=61)
+
+
+class TestOpenSystem:
+    def test_light_load_is_stable(self, catalog):
+        result = run_open_system(
+            catalog, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 50_000.0, processors=8,
+            horizon=600_000.0, drain=100_000.0, seed=1,
+        )
+        assert result.submitted > 3
+        assert result.stable
+        assert result.mean_response_time > 0
+        assert result.max_response_time >= result.mean_response_time
+
+    def test_overload_builds_backlog(self, catalog):
+        """Arrivals far above service capacity leave a backlog."""
+        result = run_open_system(
+            catalog, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 500.0, processors=1,
+            horizon=100_000.0, drain=0.0, seed=1,
+        )
+        assert result.backlog > 0
+        assert not result.stable
+
+    def test_sharing_raises_sustainable_load_on_small_machine(self, catalog):
+        """On one processor, sharing eliminates work, so the same
+        arrival rate produces a smaller backlog under always-share."""
+        kwargs = dict(
+            catalog=catalog, mix=WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 4_000.0, processors=1,
+            horizon=400_000.0, drain=0.0, seed=2,
+        )
+        shared = run_open_system(policy=AlwaysShare(), **kwargs)
+        unshared = run_open_system(policy=NeverShare(), **kwargs)
+        assert shared.completed > unshared.completed
+
+    def test_throughput_tracks_arrivals_when_stable(self, catalog):
+        """Open-system property: response time does not set throughput;
+        the arrival process does."""
+        result = run_open_system(
+            catalog, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 40_000.0, processors=8,
+            horizon=800_000.0, drain=200_000.0, seed=3,
+        )
+        expected = result.horizon * result.arrival_rate
+        assert result.submitted == pytest.approx(expected, rel=0.5)
+        assert result.completed == result.submitted
+
+    def test_deterministic(self, catalog):
+        kwargs = dict(
+            catalog=catalog, policy=NeverShare(),
+            mix=WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 20_000.0, processors=4,
+            horizon=300_000.0, drain=100_000.0, seed=7,
+        )
+        a = run_open_system(**kwargs)
+        b = run_open_system(**kwargs)
+        assert (a.submitted, a.completed, a.mean_response_time) == (
+            b.submitted, b.completed, b.mean_response_time
+        )
+
+    def test_invalid_parameters(self, catalog):
+        mix = WorkloadMix.single("q6")
+        with pytest.raises(WorkloadError):
+            run_open_system(catalog, NeverShare(), mix, arrival_rate=0.0,
+                            processors=1, horizon=1.0)
+        with pytest.raises(WorkloadError):
+            run_open_system(catalog, NeverShare(), mix, arrival_rate=1.0,
+                            processors=1, horizon=0.0)
+        with pytest.raises(WorkloadError):
+            run_open_system(catalog, NeverShare(), mix, arrival_rate=1.0,
+                            processors=1, horizon=1.0, drain=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the phase-aware model extension (Sections 5.2/5.3 used
+for prediction, not just decomposition)."""
+
+import pytest
+
+from repro.core.model import sharing_benefit
+from repro.core.phases import PhasedQuery
+from repro.experiments.common import batch_speedup, shared_catalog
+from repro.profiling import QueryProfiler
+from repro.tpch.queries import build
+
+SCALE = 0.0005
+SEED = 31
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return shared_catalog(SCALE, SEED)
+
+
+@pytest.fixture(scope="module")
+def q13_profile(catalog):
+    query = build("q13", catalog)
+    return query, QueryProfiler(catalog).profile(query.plan, query.pivot,
+                                                 label="q13")
+
+
+class TestMarkBlocking:
+    def test_blocking_flags_on_aggregates_and_sorts(self, q13_profile):
+        query, profile = q13_profile
+        spec = profile.to_query_spec(mark_blocking=True)
+        blocking = {node.name for node in spec.blocking_operators()}
+        assert "q13_precount" in blocking
+        assert "q13_distribution" in blocking
+        assert "q13_sort" in blocking
+        assert "q13_join" not in blocking
+
+    def test_default_stays_pipelined(self, q13_profile):
+        _, profile = q13_profile
+        assert profile.to_query_spec().is_pipelined()
+
+
+class TestPhaseAwareSharedTime:
+    def test_below_pivot_phases_execute_once(self, q13_profile):
+        """The orders-side pre-aggregation consume phase lies below the
+        join pivot, so the group pays it once: shared time must be far
+        below m independent copies."""
+        query, profile = q13_profile
+        phased = PhasedQuery(profile.to_query_spec(mark_blocking=True))
+        m = 8
+        shared = phased.shared_time(query.pivot, m=m, n=1)
+        unshared = phased.unshared_time(m=m, n=1)
+        assert shared < 0.5 * unshared
+
+    def test_phased_prediction_closer_than_simple_for_q13(self, catalog,
+                                                          q13_profile):
+        """The known weak spot of the simple model (q13 at 8 cpus):
+        phase-awareness must reduce the error."""
+        query, profile = q13_profile
+        simple_spec = profile.to_query_spec()
+        phased = PhasedQuery(profile.to_query_spec(mark_blocking=True))
+        for m, n in ((8, 8), (16, 8), (16, 32)):
+            group = [simple_spec.relabeled(f"x{i}") for i in range(m)]
+            z_simple = sharing_benefit(group, query.pivot, n,
+                                       closed_system=True)
+            z_phased = phased.sharing_benefit(query.pivot, m, n)
+            z_measured = batch_speedup(catalog, query, m, n)
+            err_simple = abs(z_simple - z_measured) / z_measured
+            err_phased = abs(z_phased - z_measured) / z_measured
+            assert err_phased <= err_simple + 1e-9, (m, n)
+            assert err_phased < 0.25, (m, n)
+
+    def test_phased_equals_simple_for_pipelined_queries(self, catalog):
+        """Q6 has no blocking operator below its pivot; marking
+        blocking must not change its predictions materially."""
+        query = build("q6", catalog)
+        profile = QueryProfiler(catalog).profile(query.plan, query.pivot,
+                                                 label="q6")
+        simple_spec = profile.to_query_spec()
+        phased = PhasedQuery(profile.to_query_spec(mark_blocking=True))
+        for m, n in ((8, 1), (16, 32)):
+            group = [simple_spec.relabeled(f"x{i}") for i in range(m)]
+            z_simple = sharing_benefit(group, query.pivot, n,
+                                       closed_system=True)
+            z_phased = phased.sharing_benefit(query.pivot, m, n)
+            assert z_phased == pytest.approx(z_simple, rel=0.15)
+
+    def test_zero_work_phases_skipped(self, q13_profile):
+        """Replay leaves with zero cost produce zero-work phases; the
+        time model must not divide by their zero p_max."""
+        query, profile = q13_profile
+        phased = PhasedQuery(profile.to_query_spec(mark_blocking=True))
+        assert phased.shared_time(query.pivot, m=4, n=4) > 0
+        assert phased.unshared_time(m=4, n=4) > 0

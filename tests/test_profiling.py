@@ -1,0 +1,110 @@
+"""Tests for the engine profiler (repro.profiling)."""
+
+import pytest
+
+from repro.core import metrics
+from repro.engine import AggSpec, aggregate, filter_, scan
+from repro.engine.expressions import col, gt
+from repro.errors import EstimationError
+from repro.profiling import QueryProfiler
+from repro.storage import Catalog, DataType, Schema
+from repro.tpch.generator import generate
+from repro.tpch.queries import build
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    items = cat.create("items", Schema([
+        ("id", DataType.INT), ("grp", DataType.INT), ("v", DataType.FLOAT),
+    ]))
+    for i in range(400):
+        items.insert((i, i % 5, float(i % 90)))
+    return cat
+
+
+@pytest.fixture(scope="module")
+def simple_plan(catalog):
+    pivot = filter_(scan(catalog, "items"), gt(col("v"), 10.0), op_id="pivot")
+    return aggregate(pivot, ["grp"], [AggSpec("count", "n")], op_id="agg")
+
+
+class TestProfiler:
+    def test_profile_produces_all_operators(self, catalog, simple_plan):
+        profile = QueryProfiler(catalog).profile(simple_plan, "pivot")
+        assert set(profile.estimates) == {
+            node.op_id for node in simple_plan.walk()
+        }
+
+    def test_pivot_separates_w_and_s(self, catalog, simple_plan):
+        profile = QueryProfiler(catalog).profile(simple_plan, "pivot",
+                                                 sharer_counts=(1, 2, 4))
+        pivot = profile.operator("pivot")
+        assert pivot.work > 0
+        assert pivot.output_cost > 0
+        # The linear model should fit engine measurements near-exactly:
+        # costs are deterministic per pass.
+        assert pivot.residual < 0.05 * (pivot.work + pivot.output_cost)
+
+    def test_non_pivot_operators_fold_s_into_w(self, catalog, simple_plan):
+        profile = QueryProfiler(catalog).profile(simple_plan, "pivot")
+        agg = profile.operator("agg")
+        assert agg.output_cost == 0.0
+        assert agg.work > 0
+
+    def test_profile_independent_of_processor_count(self, catalog,
+                                                    simple_plan):
+        p4 = QueryProfiler(catalog, processors=4).profile(simple_plan, "pivot")
+        p16 = QueryProfiler(catalog, processors=16).profile(simple_plan,
+                                                            "pivot")
+        for op_id in p4.estimates:
+            assert p4.estimates[op_id].work == pytest.approx(
+                p16.estimates[op_id].work, rel=1e-9
+            )
+
+    def test_to_query_spec_mirrors_plan(self, catalog, simple_plan):
+        profile = QueryProfiler(catalog).profile(simple_plan, "pivot")
+        spec = profile.to_query_spec()
+        assert set(spec.operator_names()) == set(profile.estimates)
+        assert metrics.total_work(spec) > 0
+
+    def test_unknown_operator_rejected(self, catalog, simple_plan):
+        profile = QueryProfiler(catalog).profile(simple_plan, "pivot")
+        with pytest.raises(EstimationError):
+            profile.operator("ghost")
+
+    def test_invalid_sharer_counts(self, catalog, simple_plan):
+        profiler = QueryProfiler(catalog)
+        with pytest.raises(EstimationError):
+            profiler.profile(simple_plan, "pivot", sharer_counts=())
+        with pytest.raises(EstimationError):
+            profiler.profile(simple_plan, "pivot", sharer_counts=(0, 2))
+
+
+class TestTpchProfiles:
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return generate(scale_factor=0.0005, seed=3)
+
+    def test_scan_heavy_pivot_has_large_s(self, tpch):
+        """Q6's profiled scan stage spends output work comparable to its
+        input work — the paper's measured regime (w=9.66, s=10.34)."""
+        q = build("q6", tpch)
+        profile = QueryProfiler(tpch).profile(q.plan, q.pivot, label="q6")
+        pivot = profile.operator(q.pivot)
+        assert 0.3 < pivot.output_cost / pivot.work < 3.0
+
+    def test_join_heavy_pivot_has_small_s(self, tpch):
+        """Q4's join pivot output is insignificant vs. the work below."""
+        q = build("q4", tpch)
+        profile = QueryProfiler(tpch).profile(q.plan, q.pivot, label="q4")
+        spec = profile.to_query_spec()
+        pivot = profile.operator(q.pivot)
+        assert pivot.output_cost < 0.05 * metrics.total_work(spec)
+
+    def test_q6_utilization_near_paper(self, tpch):
+        """The paper's Q6 had u = 21/20 = 1.05; ours lands close."""
+        q = build("q6", tpch)
+        profile = QueryProfiler(tpch).profile(q.plan, q.pivot, label="q6")
+        u = metrics.utilization(profile.to_query_spec())
+        assert 1.0 < u < 1.4

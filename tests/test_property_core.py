@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the analytical model.
+
+These pin the model's structural invariants over randomized plans:
+rates are positive and monotone in processors, sharing with zero
+output cost on one processor never loses, decomposition conserves
+work, and estimation is an exact inverse of the cost model on
+noise-free data.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.core.estimation import Observation, estimate_operator
+from repro.core.model import shared_metrics, shared_rate, sharing_benefit, unshared_rate
+from repro.core.phases import decompose
+from repro.core.spec import QuerySpec, chain, op
+
+costs = st.floats(min_value=0.01, max_value=100.0, allow_nan=False,
+                  allow_infinity=False)
+small_costs = st.floats(min_value=0.0, max_value=20.0, allow_nan=False,
+                        allow_infinity=False)
+client_counts = st.integers(min_value=1, max_value=48)
+cpu_counts = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def linear_queries(draw, min_ops=2, max_ops=6):
+    """A random linear pipeline with a designated middle pivot."""
+    n_ops = draw(st.integers(min_value=min_ops, max_value=max_ops))
+    nodes = [op(f"op{i}", draw(costs), draw(small_costs)) for i in range(n_ops)]
+    pivot_index = draw(st.integers(min_value=0, max_value=n_ops - 1))
+    query = QuerySpec(chain(*nodes), label="rand")
+    return query, f"op{pivot_index}"
+
+
+def make_group(query, m):
+    return [query.relabeled(f"rand#{i}") for i in range(m)]
+
+
+@given(linear_queries(), client_counts, cpu_counts)
+@settings(max_examples=60, deadline=None)
+def test_rates_positive_and_finite(query_pivot, m, n):
+    query, pivot = query_pivot
+    group = make_group(query, m)
+    for rate in (unshared_rate(group, n), shared_rate(group, pivot, n)):
+        assert rate > 0
+        assert math.isfinite(rate)
+
+
+@given(linear_queries(), client_counts)
+@settings(max_examples=40, deadline=None)
+def test_unshared_rate_monotone_in_processors(query_pivot, m):
+    query, _ = query_pivot
+    group = make_group(query, m)
+    rates = [unshared_rate(group, n) for n in (1, 2, 4, 8, 16, 32)]
+    for lo, hi in zip(rates, rates[1:]):
+        assert hi >= lo - 1e-12
+
+
+@given(linear_queries(), client_counts)
+@settings(max_examples=40, deadline=None)
+def test_shared_rate_monotone_in_processors(query_pivot, m):
+    query, pivot = query_pivot
+    group = make_group(query, m)
+    rates = [shared_rate(group, pivot, n) for n in (1, 2, 4, 8, 16, 32)]
+    for lo, hi in zip(rates, rates[1:]):
+        assert hi >= lo - 1e-12
+
+
+@given(linear_queries(), client_counts, cpu_counts)
+@settings(max_examples=60, deadline=None)
+def test_benefit_is_ratio(query_pivot, m, n):
+    query, pivot = query_pivot
+    group = make_group(query, m)
+    z = sharing_benefit(group, pivot, n)
+    assert z > 0
+    expected = shared_rate(group, pivot, n) / unshared_rate(group, n)
+    assert math.isclose(z, expected, rel_tol=1e-9)
+
+
+@given(
+    st.integers(min_value=2, max_value=6).flatmap(
+        lambda n_ops: st.tuples(
+            st.lists(costs, min_size=n_ops, max_size=n_ops),
+            st.integers(min_value=0, max_value=n_ops - 1),
+        )
+    ),
+    client_counts,
+)
+@settings(max_examples=60, deadline=None)
+def test_zero_output_cost_single_cpu_sharing_never_loses(params, m):
+    """With s=0 everywhere, sharing only removes work; on one processor
+    (no parallelism to lose) it can never hurt."""
+    works, pivot_index = params
+    nodes = [op(f"op{i}", w, 0.0) for i, w in enumerate(works)]
+    query = QuerySpec(chain(*nodes), label="zs")
+    group = make_group(query, m)
+    assert sharing_benefit(group, f"op{pivot_index}", 1) >= 1.0 - 1e-9
+
+
+@given(linear_queries(), client_counts)
+@settings(max_examples=40, deadline=None)
+def test_shared_total_work_not_more_than_unshared(query_pivot, m):
+    """Sharing must never *add* work to the system: u'_shared <= m * u'
+    whenever per-consumer output cost equals the unshared output cost
+    (the multiplexed copies replace per-query outputs)."""
+    query, pivot = query_pivot
+    group = make_group(query, m)
+    shared = shared_metrics(group, pivot)
+    unshared_total = sum(metrics.total_work(q) for q in group)
+    assert shared.total_work <= unshared_total + 1e-9
+
+
+@given(linear_queries())
+@settings(max_examples=40, deadline=None)
+def test_shared_metrics_match_unshared_for_single_query(query_pivot):
+    """A 'group' of one query performs the same total work shared or
+    not (nothing is eliminated, one consumer to feed)."""
+    query, pivot = query_pivot
+    shared = shared_metrics([query], pivot)
+    assert math.isclose(
+        shared.total_work, metrics.total_work(query), rel_tol=1e-9
+    )
+    assert math.isclose(shared.p_max, metrics.p_max(query), rel_tol=1e-9)
+
+
+@given(
+    costs,
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    costs,
+    small_costs,
+    costs,
+)
+@settings(max_examples=60, deadline=None)
+def test_decompose_conserves_work(scan_w, run_w, merge_w, replay_w, top_w):
+    """Every cost component of a sort plan appears in exactly one phase."""
+    root = chain(
+        op("scan", scan_w),
+        op("sort", run_w, 0.5, blocking=True, internal_work=merge_w,
+           emit_work=replay_w),
+        op("top", top_w),
+    )
+    phases = decompose(QuerySpec(root, label="pq"))
+    total = sum(metrics.total_work(p.query) for p in phases)
+    expected = scan_w + run_w + merge_w + (replay_w + 0.5) + top_w
+    assert math.isclose(total, expected, rel_tol=1e-9)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=0.0, max_value=50.0),
+    st.lists(st.integers(min_value=1, max_value=32), min_size=2, max_size=8,
+             unique=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimation_inverts_cost_model(w, s, consumer_counts):
+    """On noise-free synthetic data the least-squares fit is exact."""
+    obs = [
+        Observation(busy_time=(w + s * m) * 100.0, units=100.0, consumers=m)
+        for m in consumer_counts
+    ]
+    est = estimate_operator(obs)
+    assert math.isclose(est.work, w, rel_tol=1e-6, abs_tol=1e-6)
+    assert math.isclose(est.output_cost, s, rel_tol=1e-6, abs_tol=1e-6)

@@ -1,0 +1,150 @@
+"""Property-based tests: staged engine == reference executor.
+
+Randomized tables, predicates and plans; whatever the scheduler does,
+the staged answer must equal the naive answer, and sharing must never
+change any member's result.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    AggSpec,
+    Engine,
+    aggregate,
+    execute_reference,
+    filter_,
+    hash_join,
+    project,
+    scan,
+    sort,
+)
+from repro.engine.expressions import add, col, gt, lt, mul
+from repro.sim import Simulator
+from repro.storage import Catalog, DataType, Schema
+
+
+def make_catalog(rows, tag_rows):
+    cat = Catalog()
+    items = cat.create("items", Schema([
+        ("id", DataType.INT), ("grp", DataType.INT), ("v", DataType.FLOAT),
+    ]))
+    for i, (grp, v) in enumerate(rows):
+        items.insert((i, grp, v))
+    tags = cat.create("tags", Schema([
+        ("tid", DataType.INT), ("w", DataType.FLOAT),
+    ]))
+    for tid, w in tag_rows:
+        tags.insert((tid, w))
+    return cat
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5),
+              st.floats(min_value=-100, max_value=100, allow_nan=False)),
+    min_size=0, max_size=120,
+)
+tags_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=60),
+              st.floats(min_value=0, max_value=10, allow_nan=False)),
+    min_size=0, max_size=40,
+    unique_by=lambda t: t[0],
+)
+
+
+def staged(catalog, plan, processors, page_rows=16, capacity=2):
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, page_rows=page_rows,
+                    queue_capacity=capacity)
+    handle = engine.execute(plan, "q")
+    sim.run()
+    return handle.rows
+
+
+@given(rows_strategy, st.floats(min_value=-50, max_value=50,
+                                allow_nan=False),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_filter_aggregate_equivalence(rows, threshold, processors):
+    catalog = make_catalog(rows, [])
+    plan = aggregate(
+        filter_(scan(catalog, "items"), gt(col("v"), threshold)),
+        ["grp"],
+        [AggSpec("count", "n"), AggSpec("sum", "total", col("v")),
+         AggSpec("avg", "mean", col("v"))],
+    )
+    assert staged(catalog, plan, processors) == execute_reference(plan, catalog)
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_sort_equivalence_any_page_size(rows, processors, page_rows, capacity):
+    catalog = make_catalog(rows, [])
+    plan = sort(scan(catalog, "items"), [("grp", True), ("v", False)])
+    assert staged(catalog, plan, processors, page_rows, capacity) == (
+        execute_reference(plan, catalog)
+    )
+
+
+@given(rows_strategy, tags_strategy, st.integers(min_value=1, max_value=8),
+       st.sampled_from(["inner", "left", "semi", "anti"]))
+@settings(max_examples=40, deadline=None)
+def test_hash_join_equivalence(rows, tag_rows, processors, join_type):
+    catalog = make_catalog(rows, tag_rows)
+    plan = hash_join(
+        build=scan(catalog, "tags"), probe=scan(catalog, "items"),
+        build_key="tid", probe_key="id", join_type=join_type,
+    )
+    assert staged(catalog, plan, processors) == execute_reference(plan, catalog)
+
+
+@given(rows_strategy, st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_sharing_preserves_every_members_answer(rows, members, processors):
+    catalog = make_catalog(rows, [])
+    pivot = project(
+        filter_(scan(catalog, "items"), lt(col("v"), 10.0)),
+        [("grp", col("grp"), DataType.INT),
+         ("u", add(mul(col("v"), 2.0), 1.0), DataType.FLOAT)],
+        op_id="pivot",
+    )
+    plan = aggregate(pivot, ["grp"], [AggSpec("sum", "s", col("u"))])
+    reference = execute_reference(plan, catalog)
+
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, page_rows=16, queue_capacity=2)
+    group = engine.execute_group(
+        [plan] * members, pivot_op_id="pivot",
+        labels=[f"m{i}" for i in range(members)],
+    )
+    sim.run()
+    for handle in group.handles:
+        assert handle.rows == reference
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_shared_busy_time_never_exceeds_unshared(rows):
+    """Sharing removes work; with equal cost models the group's total
+    busy time can never exceed independent execution's."""
+    catalog = make_catalog(rows, [])
+    plan = aggregate(
+        filter_(scan(catalog, "items"), gt(col("v"), -1000.0), op_id="pivot"),
+        ["grp"], [AggSpec("count", "n")],
+    )
+
+    def busy(shared):
+        sim = Simulator(processors=4)
+        engine = Engine(catalog, sim, page_rows=16)
+        if shared:
+            engine.execute_group([plan] * 4, pivot_op_id="pivot")
+        else:
+            for i in range(4):
+                engine.execute(plan, f"q{i}")
+        sim.run()
+        return sim.total_busy_time
+
+    assert busy(True) <= busy(False) + 1e-6

@@ -1,0 +1,152 @@
+"""Property-based tests for the simulator's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CLOSED, Close, Compute, Get, Put, Simulator
+
+costs = st.floats(min_value=0.01, max_value=10.0, allow_nan=False,
+                  allow_infinity=False)
+
+
+@given(
+    st.lists(costs, min_size=1, max_size=20),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_makespan_bounds(task_costs, processors):
+    """Makespan is at least the critical path / perfect-parallel bound
+    and at most the serial sum."""
+    sim = Simulator(processors=processors)
+
+    def body(c):
+        yield Compute(c)
+
+    for i, c in enumerate(task_costs):
+        sim.spawn(body(c), name=f"t{i}")
+    sim.run()
+    total = sum(task_costs)
+    lower = max(max(task_costs), total / processors)
+    assert sim.now >= lower - 1e-9
+    assert sim.now <= total + 1e-9
+
+
+@given(
+    st.lists(costs, min_size=1, max_size=15),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_no_tuples_lost_in_pipeline(item_costs, processors, capacity):
+    """Every produced item is consumed exactly once, in order."""
+    sim = Simulator(processors=processors)
+    q = sim.queue("q", capacity=capacity)
+    received = []
+
+    def producer():
+        for i, c in enumerate(item_costs):
+            yield Compute(c)
+            yield Put(q, i)
+        yield Close(q)
+
+    def consumer():
+        while True:
+            item = yield Get(q)
+            if item is CLOSED:
+                return
+            yield Compute(0.1)
+            received.append(item)
+
+    sim.spawn(producer(), name="p")
+    sim.spawn(consumer(), name="c")
+    sim.run()
+    assert received == list(range(len(item_costs)))
+    assert q.total_enqueued == q.total_dequeued == len(item_costs)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_multiplexed_consumers_each_get_every_item(n_consumers, n_items,
+                                                   processors):
+    """A producer multiplexing to per-consumer queues (the pivot
+    pattern) delivers the full stream to every consumer."""
+    sim = Simulator(processors=processors)
+    queues = [sim.queue(f"q{i}", capacity=2) for i in range(n_consumers)]
+    received = {i: [] for i in range(n_consumers)}
+
+    def producer():
+        for j in range(n_items):
+            yield Compute(1.0)
+            for q in queues:
+                yield Compute(0.2)  # per-consumer output cost s
+                yield Put(q, j)
+        for q in queues:
+            yield Close(q)
+
+    def consumer(i):
+        while True:
+            item = yield Get(queues[i])
+            if item is CLOSED:
+                return
+            yield Compute(0.5)
+            received[i].append(item)
+
+    sim.spawn(producer(), name="p")
+    for i in range(n_consumers):
+        sim.spawn(consumer(i), name=f"c{i}")
+    sim.run()
+    for i in range(n_consumers):
+        assert received[i] == list(range(n_items))
+
+
+@given(
+    st.lists(costs, min_size=2, max_size=10),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_utilization_never_exceeds_one(task_costs, processors):
+    sim = Simulator(processors=processors)
+
+    def body(c):
+        for _ in range(3):
+            yield Compute(c / 3)
+
+    for i, c in enumerate(task_costs):
+        sim.spawn(body(c), name=f"t{i}")
+    sim.run()
+    assert 0.0 < sim.utilization() <= 1.0 + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=32))
+@settings(max_examples=20, deadline=None)
+def test_time_monotonic_across_until_slices(processors):
+    """Slicing a run into until= windows never moves time backwards and
+    produces the same final makespan as a single run."""
+    def build():
+        sim = Simulator(processors=processors)
+
+        def body(i):
+            for _ in range(4):
+                yield Compute(1.0 + i * 0.3)
+
+        for i in range(6):
+            sim.spawn(body(i), name=f"t{i}")
+        return sim
+
+    sliced = build()
+    checkpoints = []
+    t = 0.0
+    for _ in range(50):
+        t += 1.5
+        sliced.run(until=t)
+        checkpoints.append(sliced.now)
+    sliced.run()
+    assert checkpoints == sorted(checkpoints)
+
+    single = build()
+    single.run()
+    assert abs(single.now - sliced.now) < 1e-9

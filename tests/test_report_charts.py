@@ -1,0 +1,50 @@
+"""Tests for the ASCII chart renderer (repro.experiments.report)."""
+
+import pytest
+
+from repro.experiments.report import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_chart_shape(self):
+        chart = ascii_chart(
+            {"up": [0.5, 1.0, 1.5, 2.0], "down": [2.0, 1.5, 1.0, 0.5]},
+            x_values=[1, 2, 4, 8],
+            height=6,
+        )
+        lines = chart.splitlines()
+        # 6 plot rows + axis + labels + legend
+        assert len(lines) == 9
+        assert "o=up" in lines[-1] and "x=down" in lines[-1]
+
+    def test_marker_line_present(self):
+        chart = ascii_chart({"s": [0.5, 2.0]}, x_values=[1, 2],
+                            marker_line=1.0)
+        assert "-" in chart
+
+    def test_marker_can_be_disabled(self):
+        chart = ascii_chart({"s": [0.5, 2.0]}, x_values=[1, 2],
+                            marker_line=None)
+        assert "-" not in chart.replace("+-", "+").splitlines()[0]
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": [1.0, 1.0, 1.0]}, x_values=[1, 2, 3])
+        assert "o" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}, x_values=[]) == "(no data)"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart({"s": [1.0]}, x_values=[1, 2])
+
+    def test_too_small_height_rejected(self):
+        with pytest.raises(ValueError, match="height"):
+            ascii_chart({"s": [1.0, 2.0]}, x_values=[1, 2], height=2)
+
+    def test_extreme_values_land_on_boundary_rows(self):
+        chart = ascii_chart({"s": [0.0, 10.0]}, x_values=[0, 1], height=5,
+                            marker_line=None)
+        lines = chart.splitlines()
+        assert "o" in lines[0]      # max on top row
+        assert "o" in lines[4]      # min on bottom row

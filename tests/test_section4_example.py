@@ -1,0 +1,106 @@
+"""Golden tests pinning the paper's Section 4.4 worked example.
+
+TPC-H Q6 on the authors' machine: scan w = 9.66, s = 10.34; aggregate
+p = 0.97; contention k = 1. The paper derives:
+
+    p_max               = p_scan = 20
+    u'_unshared(M)      = 21 * M            (rounded; exact 20.97 M)
+    x_unshared(M, n)    = min(M/20, n/21)
+    p_max_shared(M)     = 9.66 + 10.34 M
+    u'_shared(M)        = 9.66 + 11.31 M
+    x_shared(M, n)      = min(1/(9.66/M + 10.34), n/(9.66/M + 11.31))
+
+and observes that shared execution "only utilizes slightly more than
+one processor no matter how many sharers are added".
+"""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.model import shared_metrics, shared_rate, unshared_rate
+from repro.core.spec import QuerySpec, chain, op
+
+SCAN_W = 9.66
+SCAN_S = 10.34
+AGG_P = 0.97
+
+
+@pytest.fixture
+def q6():
+    return QuerySpec(chain(op("scan", SCAN_W, SCAN_S), op("agg", AGG_P)), label="q6")
+
+
+def group(q6, m):
+    return [q6.relabeled(f"q6#{i}") for i in range(m)]
+
+
+def test_p_max_is_twenty(q6):
+    assert metrics.p_max(q6) == pytest.approx(20.0)
+
+
+def test_unshared_total_work_near_21_per_query(q6):
+    assert metrics.total_work(q6) == pytest.approx(20.97)
+
+
+@pytest.mark.parametrize("m", [1, 2, 5, 10, 20, 48])
+@pytest.mark.parametrize("n", [1, 2, 8, 32])
+def test_unshared_rate_closed_form(q6, m, n):
+    assert unshared_rate(group(q6, m), n) == pytest.approx(
+        min(m / 20.0, n / 20.97)
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2, 5, 10, 20, 48])
+def test_shared_p_max_closed_form(q6, m):
+    assert shared_metrics(group(q6, m), "scan").p_max == pytest.approx(
+        SCAN_W + SCAN_S * m
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2, 5, 10, 20, 48])
+def test_shared_total_work_closed_form(q6, m):
+    assert shared_metrics(group(q6, m), "scan").total_work == pytest.approx(
+        9.66 + 11.31 * m
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2, 5, 10, 20, 48])
+@pytest.mark.parametrize("n", [1, 2, 8, 32])
+def test_shared_rate_closed_form(q6, m, n):
+    expected = min(1.0 / (9.66 / m + 10.34), n / (9.66 / m + 11.31))
+    assert shared_rate(group(q6, m), "scan", n) == pytest.approx(expected)
+
+
+def test_shared_utilization_barely_exceeds_one(q6):
+    """Sharing caps Q6's utilization near (9.66 + 11.31M)/(9.66 + 10.34M)
+    -> ~1.09: 'slightly more than one processor no matter how many
+    sharers are added'."""
+    for m in (4, 16, 48):
+        u = shared_metrics(group(q6, m), "scan").utilization
+        assert 1.0 < u < 1.2
+
+
+def test_unshared_scales_until_all_processors_used(q6):
+    """Unshared performance scales linearly until n processors saturate."""
+    n = 32
+    rates = [unshared_rate(group(q6, m), n) for m in range(1, 40)]
+    saturation = n / 20.97
+    for m, rate in enumerate(rates, start=1):
+        if m / 20.0 < saturation:
+            assert rate == pytest.approx(m / 20.0)
+    assert rates[-1] == pytest.approx(saturation)
+
+
+def test_sharing_attractive_only_on_one_processor(q6):
+    """'Work sharing is only attractive when one processor is
+    available' — check the binary verdict across the paper's processor
+    counts at a loaded client count."""
+    m = 32
+    verdicts = {}
+    for n in (1, 2, 8, 32):
+        z = shared_rate(group(q6, m), "scan", n) / unshared_rate(group(q6, m), n)
+        verdicts[n] = z > 1.0
+    assert verdicts[1] is True
+    assert verdicts[2] is False
+    assert verdicts[8] is False
+    assert verdicts[32] is False

@@ -1,0 +1,97 @@
+"""Tests for Simulator.call_soon and same-instant event ordering."""
+
+import pytest
+
+from repro.sim import Compute, Simulator
+
+
+class TestCallSoon:
+    def test_runs_at_current_time(self):
+        sim = Simulator(processors=1)
+        times = []
+
+        def body():
+            yield Compute(5.0)
+
+        sim.spawn(body(), name="t",
+                  on_done=lambda t: sim.call_soon(
+                      lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [pytest.approx(5.0)]
+
+    def test_ordering_preserved_across_callbacks(self):
+        """Several call_soon callbacks scheduled at one instant run in
+        scheduling order."""
+        sim = Simulator(processors=1)
+        order = []
+
+        def body():
+            yield Compute(1.0)
+
+        def finish(_task):
+            sim.call_soon(lambda: order.append("first"))
+            sim.call_soon(lambda: order.append("second"))
+
+        sim.spawn(body(), name="t", on_done=finish)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_call_soon_can_spawn_tasks(self):
+        sim = Simulator(processors=1)
+        done = []
+
+        def late():
+            yield Compute(2.0)
+            done.append(sim.now)
+
+        def body():
+            yield Compute(3.0)
+
+        sim.spawn(body(), name="t",
+                  on_done=lambda t: sim.call_soon(
+                      lambda: sim.spawn(late(), name="late")))
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_call_soon_respects_run_until(self):
+        sim = Simulator(processors=1)
+        fired = []
+
+        def body():
+            yield Compute(10.0)
+
+        sim.spawn(body(), name="t",
+                  on_done=lambda t: sim.call_soon(lambda: fired.append(1)))
+        sim.run(until=5.0)
+        assert not fired
+        sim.run()
+        assert fired == [1]
+
+    def test_mass_completions_coalesce(self):
+        """The coordinator's pattern: many on_done callbacks at one
+        instant, one deferred handler sees them all."""
+        sim = Simulator(processors=4)
+        arrived = []
+        routed = []
+        scheduled = {"flag": False}
+
+        def route():
+            scheduled["flag"] = False
+            routed.append(list(arrived))
+            arrived.clear()
+
+        def on_done(task):
+            arrived.append(task.name)
+            if not scheduled["flag"]:
+                scheduled["flag"] = True
+                sim.call_soon(route)
+
+        def body():
+            yield Compute(3.0)
+
+        for i in range(4):
+            sim.spawn(body(), name=f"t{i}", on_done=on_done)
+        sim.run()
+        # All four completed at t=3 on 4 processors -> one routing batch.
+        assert len(routed) == 1
+        assert sorted(routed[0]) == ["t0", "t1", "t2", "t3"]

@@ -1,0 +1,73 @@
+"""Unit tests for measurement windows (repro.sim.stats)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Compute, Simulator, ThroughputMeter
+
+
+def closed_loop_client(sim, cost, name_prefix, counter):
+    """Spawn a task that re-submits itself forever (closed system)."""
+
+    def body():
+        yield Compute(cost)
+
+    def resubmit(task):
+        counter["n"] += 1
+        sim.spawn(body(), name=f"{name_prefix}-{counter['n']}", on_done=resubmit)
+
+    sim.spawn(body(), name=f"{name_prefix}-0", on_done=resubmit)
+
+
+class TestThroughputMeter:
+    def test_throughput_of_closed_loop(self):
+        sim = Simulator(processors=1)
+        closed_loop_client(sim, cost=2.0, name_prefix="c", counter={"n": 0})
+        meter = ThroughputMeter(sim)
+        meter.warmup(10.0)
+        stats = meter.measure(100.0)
+        assert stats.throughput == pytest.approx(0.5, rel=0.05)
+        assert stats.utilization == pytest.approx(1.0, rel=0.01)
+        assert stats.duration == pytest.approx(100.0)
+
+    def test_two_clients_two_cpus_double_throughput(self):
+        sim = Simulator(processors=2)
+        closed_loop_client(sim, 2.0, "a", {"n": 0})
+        closed_loop_client(sim, 2.0, "b", {"n": 0})
+        meter = ThroughputMeter(sim)
+        meter.warmup(10.0)
+        stats = meter.measure(100.0)
+        assert stats.throughput == pytest.approx(1.0, rel=0.05)
+
+    def test_completions_counted_in_window_only(self):
+        sim = Simulator(processors=1)
+        closed_loop_client(sim, 1.0, "c", {"n": 0})
+        meter = ThroughputMeter(sim)
+        meter.warmup(5.0)
+        before = len(sim.completions)
+        stats = meter.measure(10.0)
+        assert stats.completions == len(sim.completions) - before
+
+    def test_invalid_durations(self):
+        sim = Simulator(processors=1)
+        meter = ThroughputMeter(sim)
+        with pytest.raises(SimulationError):
+            meter.warmup(-1.0)
+        with pytest.raises(SimulationError):
+            meter.measure(0.0)
+
+    def test_end_without_start_rejected(self):
+        sim = Simulator(processors=1)
+        with pytest.raises(SimulationError):
+            ThroughputMeter(sim).end_window()
+
+    def test_completed_in_window_helper(self):
+        sim = Simulator(processors=1)
+
+        def body():
+            yield Compute(3.0)
+
+        sim.spawn(body(), name="t")
+        sim.run()
+        assert sim.completed_in_window(0.0) == 1
+        assert sim.completed_in_window(5.0) == 0

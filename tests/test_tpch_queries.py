@@ -1,0 +1,118 @@
+"""Tests for the paper's TPC-H query suite (repro.tpch.queries)."""
+
+import pytest
+
+from repro.engine import Engine, execute_reference
+from repro.sim import Simulator
+from repro.tpch.generator import generate
+from repro.tpch.queries import QUERIES, build
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate(scale_factor=0.001, seed=11)
+
+
+@pytest.fixture(scope="module")
+def references(catalog):
+    return {
+        name: execute_reference(build(name, catalog).plan, catalog)
+        for name in QUERIES
+    }
+
+
+class TestSuiteShape:
+    def test_four_queries(self):
+        assert set(QUERIES) == {"q1", "q4", "q6", "q13"}
+
+    def test_unknown_query_rejected(self, catalog):
+        with pytest.raises(KeyError, match="unknown TPC-H query"):
+            build("q99", catalog)
+
+    def test_kinds(self, catalog):
+        assert build("q1", catalog).kind == "scan-heavy"
+        assert build("q6", catalog).kind == "scan-heavy"
+        assert build("q4", catalog).kind == "join-heavy"
+        assert build("q13", catalog).kind == "join-heavy"
+
+    def test_pivots_exist_in_plans(self, catalog):
+        for name in QUERIES:
+            q = build(name, catalog)
+            assert q.pivot_node().op_id == q.pivot
+
+    def test_scan_heavy_share_at_scan(self, catalog):
+        assert build("q1", catalog).pivot_node().kind == "scan"
+        assert build("q6", catalog).pivot_node().kind == "scan"
+
+    def test_join_heavy_share_at_join(self, catalog):
+        assert build("q4", catalog).pivot_node().kind == "hash_join"
+        assert build("q13", catalog).pivot_node().kind == "hash_join"
+
+    def test_identical_builds_are_mergeable(self, catalog):
+        for name in QUERIES:
+            a, b = build(name, catalog), build(name, catalog)
+            assert (
+                a.pivot_node().signature == b.pivot_node().signature
+            )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+class TestAnswers:
+    def test_staged_matches_reference(self, name, catalog, references):
+        q = build(name, catalog)
+        sim = Simulator(processors=8)
+        engine = Engine(catalog, sim)
+        handle = engine.execute(q.plan, name)
+        sim.run()
+        assert handle.rows == references[name]
+
+    def test_shared_group_matches_reference(self, name, catalog, references):
+        q = build(name, catalog)
+        sim = Simulator(processors=8)
+        engine = Engine(catalog, sim)
+        group = engine.execute_group(
+            [q.plan] * 4, pivot_op_id=q.pivot,
+            labels=[f"{name}#{i}" for i in range(4)],
+        )
+        sim.run()
+        for handle in group.handles:
+            assert handle.rows == references[name]
+
+
+class TestResultSanity:
+    def test_q1_groups(self, references):
+        rows = references["q1"]
+        # returnflag x linestatus combinations; our generator yields up
+        # to 6 groups (A/N/R x O/F).
+        assert 1 <= len(rows) <= 6
+        for row in rows:
+            flag, status = row[0], row[1]
+            assert flag in {"A", "N", "R"}
+            assert status in {"O", "F"}
+            assert row[2] > 0  # sum_qty
+            assert row[9] > 0  # count_order
+
+    def test_q4_priorities_sorted(self, references):
+        rows = references["q4"]
+        priorities = [r[0] for r in rows]
+        assert priorities == sorted(priorities)
+        assert all(r[1] > 0 for r in rows)
+
+    def test_q6_single_revenue_row(self, references):
+        rows = references["q6"]
+        assert len(rows) == 1
+        assert rows[0][0] > 0
+
+    def test_q13_distribution_accounts_for_all_customers(self, catalog,
+                                                         references):
+        rows = references["q13"]
+        total_customers = sum(r[1] for r in rows)
+        assert total_customers == len(catalog.table("customer"))
+        # The zero-order spike must exist (a third of customers).
+        zero = [r for r in rows if r[0] == 0]
+        assert zero and zero[0][1] > 0
+
+    def test_q13_sorted_by_custdist_desc(self, references):
+        rows = references["q13"]
+        dists = [r[1] for r in rows]
+        assert dists == sorted(dists, reverse=True)
