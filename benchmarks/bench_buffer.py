@@ -1,0 +1,90 @@
+"""Benchmarks of the memory-governance layer.
+
+Sweeps buffer-pool capacity x eviction policy on a repeated-scan
+workload and ``work_mem`` on the spilling hybrid hash join, asserting
+the qualitative shapes the subsystem exists to produce: hit rates grow
+with capacity, spill traffic shrinks monotonically as memory grows,
+and the join's answer never changes. Also tracks the host-side
+overhead of the pool's bookkeeping, which sits on the scan hot path
+whenever a pool is attached.
+"""
+
+from repro.engine import Engine, IO_AWARE_COST_MODEL, MemoryBroker, resource_report
+from repro.sim import Simulator
+from repro.storage import BufferPool, table_page_key
+from repro.tpch.queries import build
+
+WORK_MEMS = (64, 16, 4)
+CAPACITIES = (16, 64, 256)
+POLICIES = ("lru", "clock", "mru")
+
+
+def _run_query(catalog, query, pool=None, memory=None, processors=8):
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=IO_AWARE_COST_MODEL,
+                    buffer_pool=pool, memory=memory)
+    handle = engine.execute(query.plan, query.name)
+    sim.run()
+    return handle, engine
+
+
+def test_pool_access_overhead(benchmark):
+    """Raw bookkeeping cost: 100k accesses over a 256-frame LRU pool."""
+
+    def run():
+        pool = BufferPool(256, "lru")
+        for i in range(100_000):
+            pool.access(table_page_key("t", i % 1024))
+        return pool
+
+    pool = benchmark(run)
+    assert pool.stats.accesses == 100_000
+
+
+def test_hit_rate_grows_with_capacity(benchmark, catalog):
+    """Two q6 passes per (policy, capacity): bigger pools hit more."""
+    query = build("q6", catalog)
+
+    def run():
+        rates = {}
+        for policy in POLICIES:
+            for capacity in CAPACITIES:
+                pool = BufferPool(capacity, policy)
+                _run_query(catalog, query, pool=pool)
+                _run_query(catalog, query, pool=pool)
+                rates[policy, capacity] = pool.stats.hit_rate
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1)
+    for policy in POLICIES:
+        series = [rates[policy, c] for c in CAPACITIES]
+        assert series == sorted(series), (policy, series)
+    # A pool bigger than the table retains everything: the second pass
+    # is all hits, whatever the policy.
+    for policy in POLICIES:
+        assert rates[policy, 256] >= 0.49
+
+
+def test_spill_monotone_under_work_mem(benchmark, catalog):
+    """The q4 join spills more as work_mem shrinks; answers agree."""
+    query = build("q4", catalog)
+
+    def run():
+        points = []
+        for work_mem in WORK_MEMS:
+            handle, engine = _run_query(
+                catalog, query,
+                pool=BufferPool(128, "lru"),
+                memory=MemoryBroker(work_mem),
+            )
+            report = resource_report(engine)
+            points.append(
+                (work_mem, sorted(handle.rows), report.spill_pages_written)
+            )
+        return points
+
+    points = benchmark.pedantic(run, rounds=1)
+    answers = {tuple(rows) for _, rows, _ in points}
+    assert len(answers) == 1
+    spills = [written for _, _, written in points]  # work_mem descending
+    assert spills == sorted(spills)

@@ -9,8 +9,13 @@ per-tuple costs. :mod:`repro.engine.reference` provides a naive
 executor for answer validation.
 """
 
-from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.engine.costs import (
+    DEFAULT_COST_MODEL,
+    IO_AWARE_COST_MODEL,
+    CostModel,
+)
 from repro.engine.engine import Engine
+from repro.engine.memory import MemoryBroker, MemoryGrant, MemorySnapshot
 from repro.engine.packet import GroupHandle, QueryHandle
 from repro.engine.plan import (
     AggSpec,
@@ -26,12 +31,22 @@ from repro.engine.plan import (
     sort,
 )
 from repro.engine.reference import execute_reference
-from repro.engine.stats import StageReport, StageStats, stage_report
+from repro.engine.stats import (
+    ResourceReport,
+    StageReport,
+    StageStats,
+    resource_report,
+    stage_report,
+)
 
 __all__ = [
     "DEFAULT_COST_MODEL",
+    "IO_AWARE_COST_MODEL",
     "CostModel",
     "Engine",
+    "MemoryBroker",
+    "MemoryGrant",
+    "MemorySnapshot",
     "GroupHandle",
     "QueryHandle",
     "AggSpec",
@@ -46,7 +61,9 @@ __all__ = [
     "scan",
     "sort",
     "execute_reference",
+    "ResourceReport",
     "StageReport",
     "StageStats",
+    "resource_report",
     "stage_report",
 ]

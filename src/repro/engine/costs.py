@@ -15,6 +15,15 @@ reproduction's TPC-H queries land in the regimes the paper reports:
 ``output_tuple``/``output_page`` are charged per *consumer*: a shared
 pivot multiplexing to M sharers pays them M times — this is the
 model's *s* made concrete.
+
+Beyond CPU, the model carries two I/O terms for the memory-governed
+storage layer: ``io_page`` (a buffer-pool miss) and ``spill_page`` (a
+spill write by an operator over its memory grant). Both default to 0,
+preserving the seed's memory-resident calibration; pass a model like
+:data:`IO_AWARE_COST_MODEL` together with an engine-level
+:class:`~repro.storage.buffer.BufferPool` /
+:class:`~repro.engine.memory.MemoryBroker` to make cold reads and
+memory pressure visible.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.errors import EngineError
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "IO_AWARE_COST_MODEL"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,19 @@ class CostModel:
         per consumer.
     sink_tuple:
         Delivering one final result tuple to the client.
+    io_page:
+        Reading one page that misses in the buffer pool (a cold read
+        from storage). Charged by the scan stage per missed table page
+        and by spilling operators per spill page re-read that is no
+        longer resident. Defaults to 0 — the seed's memory-resident
+        calibration — so I/O awareness is strictly opt-in; experiments
+        that model a cold cache use :data:`IO_AWARE_COST_MODEL`.
+    spill_page:
+        Writing one page of operator state to a spill file when a
+        memory grant is exceeded (the spilling hybrid hash join's
+        partition writes). Charged write-through at spill time, so
+        total spill cost is proportional to pages spilled and shrinks
+        monotonically as ``work_mem`` grows. Defaults to 0.
     """
 
     scan_tuple: float = 1.0
@@ -81,6 +103,8 @@ class CostModel:
     output_value: float = 0.6
     output_page: float = 8.0
     sink_tuple: float = 0.1
+    io_page: float = 0.0
+    spill_page: float = 0.0
 
     def __post_init__(self) -> None:
         for name, value in self.__dict__.items():
@@ -94,3 +118,9 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+# A cold-storage calibration: one page fetch costs on the order of the
+# CPU work of processing the page (~64 tuples x ~2-3 units/tuple), and
+# a spill write costs slightly more than a read (write amplification).
+# Used by the memory-governed experiments (fig_mem, bench_buffer).
+IO_AWARE_COST_MODEL = CostModel(io_page=160.0, spill_page=200.0)

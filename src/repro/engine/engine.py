@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.engine.memory import MemoryBroker
 from repro.engine.operators import StageContext, build_operator_task
 from repro.engine.packet import GroupHandle, QueryHandle
 from repro.engine.plan import PlanNode
@@ -29,6 +30,7 @@ from repro.errors import EngineError, PivotError
 from repro.sim.events import CLOSED, Compute, Get
 from repro.sim.queues import SimQueue
 from repro.sim.simulator import Simulator
+from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.page import DEFAULT_PAGE_ROWS
 
@@ -51,6 +53,16 @@ class Engine:
         Tuples per exchanged page (Cordoba's ~4K pages).
     queue_capacity:
         Bounded-buffer depth between stages (finite buffering).
+    buffer_pool:
+        Optional :class:`~repro.storage.buffer.BufferPool` fronting
+        table (and spill) pages; scans charge ``costs.io_page`` per
+        miss. ``None`` (default) keeps the seed's free-storage model.
+    memory:
+        Optional :class:`~repro.engine.memory.MemoryBroker` governing
+        operator working memory; the hash join spills when over its
+        grant. When a broker is given without a pool, a pool sized to
+        ``work_mem`` (but at least 16 frames) is created so spill
+        files have somewhere to live.
     """
 
     def __init__(
@@ -60,14 +72,22 @@ class Engine:
         costs: CostModel = DEFAULT_COST_MODEL,
         page_rows: int = DEFAULT_PAGE_ROWS,
         queue_capacity: int = 4,
+        buffer_pool: Optional[BufferPool] = None,
+        memory: Optional[MemoryBroker] = None,
     ) -> None:
         if queue_capacity < 1:
             raise EngineError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
+        if memory is not None and buffer_pool is None:
+            buffer_pool = BufferPool(max(memory.work_mem, 16))
         self.catalog = catalog
         self.sim = simulator
-        self.ctx = StageContext(catalog=catalog, costs=costs, page_rows=page_rows)
+        self.pool = buffer_pool
+        self.memory = memory
+        self.ctx = StageContext(catalog=catalog, costs=costs,
+                                page_rows=page_rows, pool=buffer_pool,
+                                memory=memory)
         self.queue_capacity = queue_capacity
         self.handles: list[QueryHandle] = []
         self.groups: list[GroupHandle] = []

@@ -1,0 +1,196 @@
+"""Working-memory governance for engine operators.
+
+Real engines bound the memory a query operator may hold (PostgreSQL's
+``work_mem``, SQL Server's memory grants); operators that exceed their
+grant spill to disk instead of failing. The seed engine had no such
+bound — a hash join buffered its whole build side unconditionally —
+so memory pressure, the force that makes work sharing attractive when
+it shrinks the aggregate working set, was invisible.
+
+:class:`MemoryBroker` is the engine-wide arbiter: it owns a global
+``work_mem`` budget (in pages) and hands out :class:`MemoryGrant`
+budgets to operators. Grants are *budgets*, not reservations of real
+memory: an operator reports its actual page usage through
+:meth:`MemoryGrant.resize_used`, the broker tracks the aggregate
+high-water mark, and usage beyond the granted budget is recorded as an
+overcommit (the spilling hash join only overcommits at its recursion
+floor, where splitting further cannot help). The broker never raises
+on pressure — degradation is the operators' job (spill), accounting is
+the broker's.
+
+Units are *pages* (the engine's ``page_rows``-tuple exchange unit), so
+budgets compose directly with :class:`~repro.storage.buffer.BufferPool`
+capacities and spill-file page counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EngineError
+
+__all__ = ["MemoryBroker", "MemoryGrant", "GrantSnapshot", "MemorySnapshot"]
+
+
+@dataclass(frozen=True)
+class GrantSnapshot:
+    """Immutable view of one grant, for reports."""
+
+    owner: str
+    pages: int
+    used: int
+    high_water: int
+    closed: bool
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Immutable view of the broker's state, for reports."""
+
+    work_mem: int
+    reserved: int
+    in_use: int
+    high_water: int
+    overcommits: int
+    grants: tuple[GrantSnapshot, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"work_mem {self.work_mem} pages: reserved {self.reserved}, "
+            f"in use {self.in_use}, high-water {self.high_water}, "
+            f"overcommits {self.overcommits}"
+        ]
+        for grant in self.grants:
+            state = "closed" if grant.closed else "open"
+            lines.append(
+                f"  {grant.owner}: budget {grant.pages}, "
+                f"high-water {grant.high_water} ({state})"
+            )
+        return "\n".join(lines)
+
+
+class MemoryGrant:
+    """One operator's working-memory budget.
+
+    ``pages`` is the granted budget; ``used`` is what the operator
+    currently reports holding. Usage above the budget is allowed (the
+    recursion floor of a spilling operator) but counted as an
+    overcommit on the broker.
+    """
+
+    __slots__ = ("broker", "owner", "pages", "used", "high_water",
+                 "closed", "_overcommitted")
+
+    def __init__(self, broker: "MemoryBroker", owner: str, pages: int) -> None:
+        self.broker = broker
+        self.owner = owner
+        self.pages = pages
+        self.used = 0
+        self.high_water = 0
+        self.closed = False
+        self._overcommitted = False
+
+    def resize_used(self, used_pages: int) -> None:
+        """Report the operator's current resident page count."""
+        if self.closed:
+            raise EngineError(f"grant for {self.owner!r} already closed")
+        if used_pages < 0:
+            raise EngineError(f"used pages must be >= 0, got {used_pages}")
+        delta = used_pages - self.used
+        self.used = used_pages
+        self.high_water = max(self.high_water, used_pages)
+        self.broker._adjust(delta)
+        if used_pages > self.pages and not self._overcommitted:
+            self._overcommitted = True
+            self.broker.overcommits += 1
+
+    def close(self) -> None:
+        """Release the budget back to the broker."""
+        if self.closed:
+            return
+        self.resize_used(0)
+        self.closed = True
+        self.broker._release(self)
+
+    def snapshot(self) -> GrantSnapshot:
+        return GrantSnapshot(
+            owner=self.owner,
+            pages=self.pages,
+            used=self.used,
+            high_water=self.high_water,
+            closed=self.closed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryGrant({self.owner!r}, {self.used}/{self.pages} pages, "
+            f"hw={self.high_water})"
+        )
+
+
+class MemoryBroker:
+    """Grants per-operator budgets out of a global ``work_mem``.
+
+    Parameters
+    ----------
+    work_mem:
+        Total working memory available to operators, in pages (>= 1).
+    """
+
+    def __init__(self, work_mem: int) -> None:
+        if work_mem < 1:
+            raise EngineError(f"work_mem must be >= 1 page, got {work_mem}")
+        self.work_mem = int(work_mem)
+        self.reserved = 0
+        self.in_use = 0
+        self.high_water = 0
+        self.overcommits = 0
+        self._grants: list[MemoryGrant] = []
+
+    def available(self) -> int:
+        return max(self.work_mem - self.reserved, 0)
+
+    def grant(self, owner: str, requested: Optional[int] = None) -> MemoryGrant:
+        """Grant up to ``requested`` pages (default: everything left).
+
+        Every operator is guaranteed a budget of at least one page even
+        when ``work_mem`` is exhausted — a starved operator spills
+        rather than deadlocking, so admission control stays a policy
+        question above the engine.
+        """
+        if requested is None:
+            requested = self.work_mem
+        if requested < 1:
+            raise EngineError(f"requested pages must be >= 1, got {requested}")
+        granted = max(min(requested, self.available()), 1)
+        self.reserved += granted
+        grant = MemoryGrant(self, owner, granted)
+        self._grants.append(grant)
+        return grant
+
+    def snapshot(self) -> MemorySnapshot:
+        return MemorySnapshot(
+            work_mem=self.work_mem,
+            reserved=self.reserved,
+            in_use=self.in_use,
+            high_water=self.high_water,
+            overcommits=self.overcommits,
+            grants=tuple(g.snapshot() for g in self._grants),
+        )
+
+    # -- internal, driven by grants --------------------------------------
+
+    def _adjust(self, delta: int) -> None:
+        self.in_use += delta
+        self.high_water = max(self.high_water, self.in_use)
+
+    def _release(self, grant: MemoryGrant) -> None:
+        self.reserved -= grant.pages
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBroker(work_mem={self.work_mem}, "
+            f"reserved={self.reserved}, in_use={self.in_use}, "
+            f"hw={self.high_water})"
+        )

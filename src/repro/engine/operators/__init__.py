@@ -16,11 +16,13 @@ factory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.engine.costs import CostModel
+from repro.engine.memory import MemoryBroker
 from repro.errors import PlanError
 from repro.sim.queues import SimQueue
+from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 
 __all__ = ["StageContext", "build_operator_task"]
@@ -28,11 +30,22 @@ __all__ = ["StageContext", "build_operator_task"]
 
 @dataclass(frozen=True)
 class StageContext:
-    """Everything a stage needs besides its queues."""
+    """Everything a stage needs besides its queues.
+
+    ``pool`` and ``memory`` are the optional resource-governance layer:
+    with a :class:`~repro.storage.buffer.BufferPool` attached, scans
+    charge ``io_page`` per cold page; with a
+    :class:`~repro.engine.memory.MemoryBroker` attached, the hash join
+    takes a working-memory grant and spills partitions when over
+    budget. Both default to ``None`` — the seed's unbounded-memory
+    behavior.
+    """
 
     catalog: Catalog
     costs: CostModel
     page_rows: int
+    pool: Optional[BufferPool] = None
+    memory: Optional[MemoryBroker] = None
 
 
 def build_operator_task(node, in_queues: Sequence[SimQueue],

@@ -11,14 +11,43 @@ phase then streams, emitting per ``join_type``:
 * ``semi``  — probe rows with at least one match, probe columns only
   (TPC-H Q4's EXISTS);
 * ``anti``  — probe rows with no match, probe columns only.
+
+Without memory governance (``ctx.memory is None``) the stage holds its
+entire build side, exactly as the seed did. With a
+:class:`~repro.engine.memory.MemoryBroker` attached it becomes a
+**spilling hybrid hash join** in the style of Jahangiri, Carey &
+Freytag (2021): the build side is split into ``fanout`` partitions;
+while the resident partitions fit the operator's memory grant they
+stay in memory as ready-to-probe hash tables, and when the grant is
+exceeded the largest resident partition is spilled — written page by
+page through the buffer pool (``spill_page`` per page), with later
+build rows for it appended to its spill file. Probe rows for resident
+partitions stream through pipelined as usual; probe rows for spilled
+partitions are spilled alongside. A cleanup phase then joins each
+spilled partition pair, recursing with a fresh hash salt when a
+partition alone still exceeds the grant; at the recursion floor the
+partition is processed in memory regardless (the broker records an
+overcommit), so shrinking ``work_mem`` degrades cost smoothly and can
+never fail the query.
 """
 
 from __future__ import annotations
+
+import zlib
 
 from repro.engine.stage import OutputEmitter
 from repro.sim.events import CLOSED, Compute, Get
 
 __all__ = ["task", "build_table", "probe_rows"]
+
+# Build-side partitions at every level of the hybrid join. The actual
+# fanout is clamped to the memory grant (more partitions than budget
+# pages just forces spills of near-empty partitions).
+DEFAULT_FANOUT = 8
+# Beyond this partitioning depth a partition is joined in memory even
+# if over budget: repeated splitting has failed (heavy key skew), and
+# overcommitting is better than recursing forever.
+MAX_RECURSION_DEPTH = 3
 
 
 def build_table(build_rows, key_index):
@@ -58,6 +87,31 @@ def probe_rows(rows, table, key_index, join_type, build_width):
     return output
 
 
+def _partition_of(key, salt: int, fanout: int) -> int:
+    """Deterministic partition number, independent of PYTHONHASHSEED.
+
+    ``salt`` varies per recursion level so that a partition which does
+    not fit is re-split along a different boundary.
+    """
+    return zlib.crc32(f"{salt}|{key!r}".encode()) % fanout
+
+
+class _Partition:
+    """One build-side partition: resident hash table or spill files."""
+
+    __slots__ = ("table", "rows", "build_file", "probe_file")
+
+    def __init__(self) -> None:
+        self.table: dict | None = {}
+        self.rows = 0
+        self.build_file = None
+        self.probe_file = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.table is None
+
+
 def task(node, in_queues, out_queues, ctx):
     build_q, probe_q = in_queues
     build_schema, probe_schema = (child.schema for child in node.children)
@@ -66,6 +120,14 @@ def task(node, in_queues, out_queues, ctx):
     join_type = node.params["join_type"]
     build_width = len(build_schema)
 
+    if ctx.memory is not None:
+        yield from _hybrid_task(
+            node, build_q, probe_q, out_queues, ctx,
+            build_index, probe_index, join_type, build_width,
+        )
+        return
+
+    # Ungoverned path (the seed behavior): hold the whole build side.
     # Build phase (stop-&-go): drain the build input completely.
     table: dict = {}
     while True:
@@ -89,3 +151,179 @@ def task(node, in_queues, out_queues, ctx):
             yield Compute(ctx.costs.join_emit * len(joined))
             yield from emitter.emit(joined)
     yield from emitter.close()
+
+
+# ----------------------------------------------------------------------
+# Memory-governed hybrid hash join
+# ----------------------------------------------------------------------
+
+
+def _resident_pages(parts, page_rows: int) -> int:
+    """Pages held by resident partitions (each holds its own pages)."""
+    return sum(
+        -(-p.rows // page_rows) for p in parts if not p.spilled and p.rows
+    )
+
+
+def _hybrid_task(node, build_q, probe_q, out_queues, ctx,
+                 build_index, probe_index, join_type, build_width):
+    costs = ctx.costs
+    pool = ctx.pool
+    page_rows = ctx.page_rows
+    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
+    fanout = max(2, min(node.params.get("fanout", DEFAULT_FANOUT), grant.pages))
+    parts = [_Partition() for _ in range(fanout)]
+
+    def spill_largest() -> int:
+        """Evict the largest resident partition; returns pages written."""
+        victim = max(
+            (p for p in parts if not p.spilled and p.rows),
+            key=lambda p: p.rows,
+        )
+        rows = [row for bucket in victim.table.values() for row in bucket]
+        victim.build_file = pool.spill_file(page_rows)
+        written = victim.build_file.append_rows(rows)
+        victim.table = None
+        victim.rows = 0
+        return written
+
+    # Build phase: partition into resident hash tables, spilling the
+    # largest partition whenever the grant is exceeded.
+    while True:
+        page = yield Get(build_q)
+        if page is CLOSED:
+            break
+        cost = costs.hash_build * len(page)
+        for row in page.rows:
+            p = parts[_partition_of(row[build_index], 0, fanout)]
+            if p.spilled:
+                cost += costs.spill_page * p.build_file.append_rows((row,))
+            else:
+                p.table.setdefault(row[build_index], []).append(row)
+                p.rows += 1
+        while _resident_pages(parts, page_rows) > grant.pages:
+            cost += costs.spill_page * spill_largest()
+        grant.resize_used(_resident_pages(parts, page_rows))
+        yield Compute(cost)
+
+    # Seal spilled build files (a partial trailing page still costs a
+    # write when it goes out).
+    seal_cost = sum(
+        costs.spill_page * p.build_file.flush()
+        for p in parts if p.spilled
+    )
+    if seal_cost:
+        yield Compute(seal_cost)
+
+    # Probe phase: resident partitions stream through pipelined;
+    # spilled partitions buffer their probe rows in spill files.
+    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
+                            width=len(node.schema))
+    while True:
+        page = yield Get(probe_q)
+        if page is CLOSED:
+            break
+        cost = costs.hash_probe * len(page)
+        joined = []
+        for row in page.rows:
+            p = parts[_partition_of(row[probe_index], 0, fanout)]
+            if p.spilled:
+                if p.probe_file is None:
+                    p.probe_file = pool.spill_file(page_rows)
+                cost += costs.spill_page * p.probe_file.append_rows((row,))
+            else:
+                joined.extend(
+                    probe_rows((row,), p.table, probe_index, join_type,
+                               build_width)
+                )
+        yield Compute(cost)
+        if joined:
+            yield Compute(costs.join_emit * len(joined))
+            yield from emitter.emit(joined)
+
+    # Resident partitions are fully probed; release their memory before
+    # the cleanup phase claims pages for re-reading spilled runs.
+    for p in parts:
+        if not p.spilled:
+            p.table = None
+            p.rows = 0
+    grant.resize_used(0)
+
+    # Cleanup phase: join every spilled partition pair, recursively.
+    for p in parts:
+        if p.build_file is None:
+            continue
+        if p.probe_file is not None:
+            seal = costs.spill_page * p.probe_file.flush()
+            if seal:
+                yield Compute(seal)
+        yield from _join_spilled(
+            p.build_file, p.probe_file, 1, ctx, grant, emitter,
+            build_index, probe_index, join_type, build_width, fanout,
+        )
+    yield from emitter.close()
+    grant.close()
+
+
+def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
+                  build_index, probe_index, join_type, build_width, fanout):
+    """Join one spilled (build, probe) partition pair."""
+    costs = ctx.costs
+    pool = ctx.pool
+    page_rows = ctx.page_rows
+
+    if probe_file is None or probe_file.row_count == 0:
+        # No probe rows landed here: every join type emits per probe
+        # row, so there is nothing to produce.
+        build_file.drop()
+        if probe_file is not None:
+            probe_file.drop()
+        return
+
+    fits = build_file.page_count <= grant.pages
+    if fits or depth >= MAX_RECURSION_DEPTH or build_file.page_count <= 1:
+        # Re-read the build run, rebuild the hash table, stream the
+        # probe run. At the recursion floor this may exceed the grant;
+        # the broker records the overcommit.
+        pages, misses = build_file.read_all()
+        rows = [row for page in pages for row in page.rows]
+        grant.resize_used(build_file.page_count)
+        yield Compute(costs.io_page * misses + costs.hash_build * len(rows))
+        table = build_table(rows, build_index)
+        probe_pages, probe_misses = probe_file.read_all()
+        if probe_misses:
+            yield Compute(costs.io_page * probe_misses)
+        for page in probe_pages:
+            yield Compute(costs.hash_probe * len(page))
+            joined = probe_rows(page.rows, table, probe_index, join_type,
+                                build_width)
+            if joined:
+                yield Compute(costs.join_emit * len(joined))
+                yield from emitter.emit(joined)
+        grant.resize_used(0)
+        build_file.drop()
+        probe_file.drop()
+        return
+
+    # The partition alone exceeds the grant: re-partition both runs
+    # with this level's hash salt and recurse (Grace-style).
+    sub_build = [pool.spill_file(page_rows) for _ in range(fanout)]
+    sub_probe = [pool.spill_file(page_rows) for _ in range(fanout)]
+    for files, source, key_index in (
+        (sub_build, build_file, build_index),
+        (sub_probe, probe_file, probe_index),
+    ):
+        pages, misses = source.read_all()
+        cost = costs.io_page * misses
+        for page in pages:
+            for row in page.rows:
+                target = files[_partition_of(row[key_index], depth, fanout)]
+                cost += costs.spill_page * target.append_rows((row,))
+        cost += sum(costs.spill_page * f.flush() for f in files)
+        source.drop()
+        yield Compute(cost)
+    for sub_b, sub_p in zip(sub_build, sub_probe):
+        yield from _join_spilled(
+            sub_b, sub_p, depth + 1, ctx, grant, emitter,
+            build_index, probe_index, join_type, build_width, fanout,
+        )

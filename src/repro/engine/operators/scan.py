@@ -7,6 +7,13 @@ expressions (``project_tuple`` per surviving tuple per expression)
 inside the same stage, mirroring the paper's scan stages which apply
 the query's predicates before handing pages to the consumer.
 
+When the engine carries a :class:`~repro.storage.buffer.BufferPool`,
+every table page goes through it: a resident page is a hit (CPU-only,
+as in the seed), a cold page charges ``io_page`` and is admitted. A
+shared scan pivot therefore pays cold misses *once* for all M of its
+consumers — a sharing benefit the CPU-only model cannot see — while M
+independent scans may each miss (subject to what the pool retains).
+
 The scan is the classic sharing pivot for scan-heavy queries: with M
 consumers attached, its emitter multiplexes every page M ways.
 """
@@ -15,6 +22,7 @@ from __future__ import annotations
 
 from repro.engine.stage import OutputEmitter
 from repro.sim.events import Compute
+from repro.storage.buffer import table_page_key
 
 __all__ = ["task", "scan_rows"]
 
@@ -46,10 +54,15 @@ def task(node, in_queues, out_queues, ctx):
     )
 
     cost_factor = node.params.get("cost_factor", 1.0)
+    pool = ctx.pool
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
                             width=len(node.schema))
-    for page in table.scan_pages(columns=list(columns), page_rows=ctx.page_rows):
+    for index, page in enumerate(
+        table.scan_pages(columns=list(columns), page_rows=ctx.page_rows)
+    ):
         cost = ctx.costs.scan_tuple * len(page)
+        if pool is not None and not pool.access(table_page_key(table.name, index)):
+            cost += ctx.costs.io_page
         batch = page.rows
         if predicate_fn is not None:
             cost += ctx.costs.filter_tuple * cost_factor * len(batch)

@@ -5,6 +5,11 @@ operator, giving the per-stage breakdown the paper's profiling
 procedure starts from (Section 3.1) and the first thing an engine
 developer asks for when a pipeline underperforms ("which stage is the
 bottleneck?").
+
+:func:`resource_report` is the storage-side companion: buffer-pool
+hit/miss/eviction counters and the memory broker's grant high-water
+marks and spill traffic, for engines running with the memory
+governance layer (``buffer_pool`` / ``memory``).
 """
 
 from __future__ import annotations
@@ -12,10 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.engine.memory import MemoryBroker, MemorySnapshot
 from repro.sim.simulator import Simulator
 from repro.sim.task import Task
+from repro.storage.buffer import BufferPool, BufferSnapshot
 
-__all__ = ["StageStats", "StageReport", "stage_report"]
+__all__ = [
+    "StageStats",
+    "StageReport",
+    "stage_report",
+    "ResourceReport",
+    "resource_report",
+]
 
 
 @dataclass(frozen=True)
@@ -105,3 +118,57 @@ def stage_report(
         )
     )
     return StageReport(stages=stages, total_busy=total)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Buffer-pool and working-memory counters of one engine run.
+
+    Either side may be ``None`` when the engine runs without that
+    layer (the seed configuration has neither).
+    """
+
+    buffer: Optional[BufferSnapshot]
+    memory: Optional[MemorySnapshot]
+
+    @property
+    def spill_pages_written(self) -> int:
+        return self.buffer.spill_pages_written if self.buffer else 0
+
+    @property
+    def spill_pages_read(self) -> int:
+        return self.buffer.spill_pages_read if self.buffer else 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.buffer.hit_rate if self.buffer else 0.0
+
+    def render(self) -> str:
+        lines = []
+        if self.buffer is not None:
+            lines.append(self.buffer.render())
+        if self.memory is not None:
+            lines.append(self.memory.render())
+        return "\n".join(lines) if lines else "no resource governance attached"
+
+
+def resource_report(
+    source,
+    memory: Optional[MemoryBroker] = None,
+) -> ResourceReport:
+    """Snapshot buffer/memory counters from an engine (or a pool).
+
+    ``source`` is an :class:`~repro.engine.engine.Engine` (its ``pool``
+    and ``memory`` are read), or a :class:`BufferPool` combined with an
+    explicit ``memory`` broker.
+    """
+    if isinstance(source, BufferPool):
+        pool = source
+    else:
+        pool = getattr(source, "pool", None)
+        if memory is None:
+            memory = getattr(source, "memory", None)
+    return ResourceReport(
+        buffer=pool.snapshot() if pool is not None else None,
+        memory=memory.snapshot() if memory is not None else None,
+    )

@@ -4,6 +4,7 @@ Installed as ``repro-experiments``::
 
     repro-experiments fig1          # Figure 1
     repro-experiments fig2 fig4     # several at once
+    repro-experiments fig_mem       # memory-governance experiments
     repro-experiments all           # everything (takes minutes)
     repro-experiments fig1 --quick  # reduced client counts
 
@@ -17,7 +18,15 @@ import argparse
 import sys
 import time
 
-from repro.experiments import fig1, fig2, fig4, fig5, fig6, section4_example
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig_mem,
+    section4_example,
+)
 
 __all__ = ["main"]
 
@@ -51,6 +60,14 @@ def _run_fig6(quick: bool) -> str:
     return fig6.run(fractions=fractions, window=window).render()
 
 
+def _run_fig_mem(quick: bool) -> str:
+    work_mems = (16, 4) if quick else fig_mem.DEFAULT_WORK_MEMS
+    tenants = 8 if quick else 16
+    processors = 4 if quick else 8
+    return fig_mem.run(work_mems=work_mems, tenants=tenants,
+                       processors=processors).render()
+
+
 def _run_section4(quick: bool) -> str:
     return section4_example.run().render()
 
@@ -61,6 +78,7 @@ _EXPERIMENTS = {
     "fig4": _run_fig4,
     "fig5": _run_fig5,
     "fig6": _run_fig6,
+    "fig_mem": _run_fig_mem,
     "section4": _run_section4,
 }
 

@@ -1,0 +1,391 @@
+"""Memory-governance experiments: spilling joins and I/O-aware sharing.
+
+The paper's sharing model is CPU-only; this experiment exercises the
+storage layer that PR adds (buffer pool + memory broker + spilling
+hybrid hash join) along two axes the CPU model cannot see:
+
+**Part A — graceful degradation under memory pressure.** One
+build/probe hash join (orders ⋈ lineitem) runs under a sweep of
+``work_mem`` budgets. As the budget shrinks the join spills more
+partition pages (monotonically), pays ``spill_page``/``io_page`` for
+the extra traffic, and *always* completes with the same answer — the
+degradation is a slope, not a cliff.
+
+**Part B — the sharing decision flips with cache temperature.** A
+consolidation workload: ``m`` tenants run an identical scan+aggregate
+query. Unshared, each tenant scans its *private* replica of the data
+(private caches: no cross-tenant reuse — the model's unshared
+baseline); shared, one scan of the common table feeds all tenants.
+With a **warm** cache the scan is CPU-only and the pivot's per-consumer
+output cost dominates — the model says *don't share* (the paper's
+scan-serialization result). With a **cold** cache every unshared tenant
+pays the full ``io_page`` bill, the shared pivot pays it once, and the
+same model — fed cold-profiled parameters — says *share*. The
+decision flips on cache temperature alone; measured makespans and
+buffer counters from the engine validate both verdicts.
+
+(When the unshared tenants instead scan the *same* table through one
+shared buffer pool, their page-synchronized scans convoy: the first
+toucher misses, the rest hit, and cold unshared execution costs about
+the same as warm — implicit cooperative scanning. The experiment
+reports this configuration too; explicit cooperative scans are a
+ROADMAP follow-up.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.decision import ShareAdvisor, ShareDecision
+from repro.engine import (
+    AggSpec,
+    CostModel,
+    Engine,
+    IO_AWARE_COST_MODEL,
+    MemoryBroker,
+    aggregate,
+    hash_join,
+    scan,
+)
+from repro.engine.expressions import col, lt, mul
+from repro.engine.stats import ResourceReport, resource_report
+from repro.experiments.common import (
+    DEFAULT_SCALE_FACTOR,
+    DEFAULT_SEED,
+    shared_catalog,
+)
+from repro.experiments.report import format_table
+from repro.profiling import QueryProfiler
+from repro.sim.simulator import Simulator
+from repro.storage import BufferPool, Catalog, DataType, Schema
+from repro.storage.page import DEFAULT_PAGE_ROWS
+
+__all__ = [
+    "MemSweepPoint",
+    "FlipConfig",
+    "FigMemResult",
+    "run",
+    "DEFAULT_WORK_MEMS",
+]
+
+DEFAULT_WORK_MEMS = (64, 32, 16, 8, 4, 2)
+# Large enough for every tenant replica to stay resident when warm
+# (16 tenants x ~94 pages); cold runs start empty either way.
+DEFAULT_POOL_PAGES = 2048
+# Cold-storage calibration for this experiment: fetching one page
+# costs a few times the CPU work of scanning it — enough that a cold
+# scan is I/O-bound, as on a disk-resident warehouse.
+FLIP_COSTS = CostModel(io_page=400.0, spill_page=500.0)
+SWEEP_COSTS = IO_AWARE_COST_MODEL
+
+
+# ----------------------------------------------------------------------
+# Part A: work_mem sweep over the spilling hybrid hash join
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemSweepPoint:
+    """One ``work_mem`` setting of the join sweep."""
+
+    work_mem: int
+    makespan: float
+    spill_pages_written: int
+    spill_pages_read: int
+    buffer_hit_rate: float
+    mem_high_water: int
+    overcommits: int
+    rows_out: int
+
+
+def _sweep_join_plan(catalog: Catalog):
+    build = scan(catalog, "orders", columns=["o_orderkey"], op_id="sweep_build")
+    probe = scan(
+        catalog, "lineitem", columns=["l_orderkey", "l_extendedprice"],
+        op_id="sweep_probe",
+    )
+    return hash_join(build, probe, build_key="o_orderkey",
+                     probe_key="l_orderkey", join_type="inner",
+                     op_id="sweep_join")
+
+
+def sweep_work_mem(
+    catalog: Catalog,
+    work_mems: Sequence[int] = DEFAULT_WORK_MEMS,
+    processors: int = 8,
+    pool_pages: int = 128,
+    policy: str = "lru",
+    costs: CostModel = SWEEP_COSTS,
+) -> tuple[MemSweepPoint, ...]:
+    """Run the join once per budget; every run must agree on rows."""
+    plan = _sweep_join_plan(catalog)
+    points = []
+    for work_mem in work_mems:
+        sim = Simulator(processors=processors)
+        engine = Engine(
+            catalog, sim, costs=costs,
+            buffer_pool=BufferPool(pool_pages, policy),
+            memory=MemoryBroker(work_mem),
+        )
+        handle = engine.execute(plan, f"sweep@{work_mem}")
+        sim.run()
+        report = resource_report(engine)
+        points.append(MemSweepPoint(
+            work_mem=work_mem,
+            makespan=sim.now,
+            spill_pages_written=report.spill_pages_written,
+            spill_pages_read=report.spill_pages_read,
+            buffer_hit_rate=report.hit_rate,
+            mem_high_water=report.memory.high_water,
+            overcommits=report.memory.overcommits,
+            rows_out=len(handle.rows),
+        ))
+    return tuple(points)
+
+
+# ----------------------------------------------------------------------
+# Part B: cold/warm sharing-decision flip
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlipConfig:
+    """One cache-temperature configuration of the flip experiment."""
+
+    name: str
+    decision: ShareDecision
+    makespan_unshared: float
+    makespan_shared: float
+    unshared_resources: ResourceReport
+    shared_resources: ResourceReport
+
+    @property
+    def measured_benefit(self) -> float:
+        return self.makespan_unshared / self.makespan_shared
+
+
+FLIP_TABLE = "tenantdata"
+FLIP_ROWS = 6000
+FLIP_SELECTIVITY = 0.25
+
+
+def _flip_catalog(base_rows: int, tenants: int, seed: int) -> Catalog:
+    """A catalog with one common table plus per-tenant replicas.
+
+    Row ``i`` carries ``(k=i, v=deterministic pseudo-uniform [0,1))``;
+    replicas are byte-identical to the common table, so a query is the
+    same work no matter which copy it scans — only cache behavior
+    differs.
+    """
+    catalog = Catalog()
+    schema = Schema([("k", DataType.INT), ("v", DataType.FLOAT)])
+    rows = []
+    state = seed & 0x7FFFFFFF or 1
+    for i in range(base_rows):
+        # Park-Miller LCG: deterministic, independent of PYTHONHASHSEED.
+        state = (state * 48271) % 2147483647
+        rows.append((i, state / 2147483647.0))
+    for name in [FLIP_TABLE] + [f"{FLIP_TABLE}__{t}" for t in range(tenants)]:
+        table = catalog.create(name, schema)
+        table.insert_many(rows)
+    return catalog
+
+
+def _flip_query(catalog: Catalog, table_name: str):
+    """Fused scan (moderate selectivity, two outputs) + tiny aggregate."""
+    pivot = scan(
+        catalog,
+        table_name,
+        columns=["k", "v"],
+        predicate=lt(col("v"), FLIP_SELECTIVITY),
+        outputs=[
+            ("k", col("k"), DataType.INT),
+            ("vv", mul(col("v"), col("v")), DataType.FLOAT),
+        ],
+        op_id=f"flip_scan:{table_name}",
+    )
+    plan = aggregate(
+        pivot,
+        group_by=(),
+        aggs=[AggSpec("sum", "total", col("vv")),
+              AggSpec("count", "n")],
+        op_id=f"flip_agg:{table_name}",
+    )
+    return plan, pivot.op_id
+
+
+def _measure_flip(
+    catalog: Catalog,
+    tenants: int,
+    processors: int,
+    pool_pages: int,
+    page_rows: int,
+    warm: bool,
+    costs: CostModel,
+) -> tuple[float, float, ResourceReport, ResourceReport]:
+    """Measured makespans (unshared-private-replicas, shared-common)."""
+
+    def fresh_pool(table_names):
+        pool = BufferPool(pool_pages)
+        if warm:
+            for name in table_names:
+                pool.prewarm_table(catalog.table(name), page_rows)
+        return pool
+
+    # Unshared: tenant t scans its private replica — a private cache,
+    # exactly the no-cross-query-reuse baseline the model assumes.
+    replica_names = [f"{FLIP_TABLE}__{t}" for t in range(tenants)]
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=costs, page_rows=page_rows,
+                    buffer_pool=fresh_pool(replica_names))
+    for t, name in enumerate(replica_names):
+        plan, _ = _flip_query(catalog, name)
+        engine.execute(plan, f"tenant{t}")
+    sim.run()
+    unshared_makespan, unshared_resources = sim.now, resource_report(engine)
+
+    # Shared: one scan of the common table feeds every tenant.
+    plan, pivot_id = _flip_query(catalog, FLIP_TABLE)
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=costs, page_rows=page_rows,
+                    buffer_pool=fresh_pool([FLIP_TABLE]))
+    engine.execute_group([plan] * tenants, pivot_op_id=pivot_id,
+                         labels=[f"tenant{t}" for t in range(tenants)])
+    sim.run()
+    return (unshared_makespan, sim.now, unshared_resources,
+            resource_report(engine))
+
+
+def run_flip(
+    tenants: int = 16,
+    processors: int = 8,
+    pool_pages: int = DEFAULT_POOL_PAGES,
+    page_rows: int = DEFAULT_PAGE_ROWS,
+    base_rows: int = FLIP_ROWS,
+    seed: int = DEFAULT_SEED,
+    costs: CostModel = FLIP_COSTS,
+) -> tuple[FlipConfig, ...]:
+    """Profile, decide and measure under cold and warm caches."""
+    catalog = _flip_catalog(base_rows, tenants, seed)
+    plan, pivot_id = _flip_query(catalog, FLIP_TABLE)
+
+    configs = []
+    for name in ("cold", "warm"):
+        warm = name == "warm"
+
+        def resources():
+            pool = BufferPool(pool_pages)
+            if warm:
+                pool.prewarm_table(catalog.table(FLIP_TABLE), page_rows)
+            return pool, None
+
+        profiler = QueryProfiler(catalog, costs=costs, page_rows=page_rows,
+                                 resources=resources)
+        profile = profiler.profile(plan, pivot_id, label=f"flip-{name}")
+        spec = profile.to_query_spec()
+        decision = ShareAdvisor(processors=processors).evaluate(
+            [spec] * tenants, pivot_id
+        )
+        (mk_unshared, mk_shared, res_unshared, res_shared) = _measure_flip(
+            catalog, tenants, processors, pool_pages, page_rows, warm, costs,
+        )
+        configs.append(FlipConfig(
+            name=name,
+            decision=decision,
+            makespan_unshared=mk_unshared,
+            makespan_shared=mk_shared,
+            unshared_resources=res_unshared,
+            shared_resources=res_shared,
+        ))
+    return tuple(configs)
+
+
+# ----------------------------------------------------------------------
+# The figure
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FigMemResult:
+    sweep: tuple[MemSweepPoint, ...]
+    flips: tuple[FlipConfig, ...]
+    tenants: int
+    processors: int
+
+    def flip(self, name: str) -> FlipConfig:
+        for config in self.flips:
+            if config.name == name:
+                return config
+        raise KeyError(name)
+
+    def spill_is_monotone(self) -> bool:
+        """Spilled pages never decrease as ``work_mem`` shrinks."""
+        ordered = sorted(self.sweep, key=lambda p: p.work_mem, reverse=True)
+        written = [p.spill_pages_written for p in ordered]
+        return all(a <= b for a, b in zip(written, written[1:]))
+
+    def answers_agree(self) -> bool:
+        return len({p.rows_out for p in self.sweep}) == 1
+
+    def decision_flipped(self) -> bool:
+        return (self.flip("cold").decision.share
+                and not self.flip("warm").decision.share)
+
+    def render(self) -> str:
+        headers = ["work_mem", "makespan", "spill written", "spill read",
+                   "hit rate", "mem high-water", "overcommits"]
+        rows = [
+            [p.work_mem, f"{p.makespan:.0f}", p.spill_pages_written,
+             p.spill_pages_read, f"{p.buffer_hit_rate:.0%}",
+             p.mem_high_water, p.overcommits]
+            for p in self.sweep
+        ]
+        blocks = [
+            "Memory governance — spilling hybrid hash join, work_mem sweep\n"
+            + format_table(headers, rows)
+            + f"\n  identical answers across budgets: {self.answers_agree()};"
+            f"  spill growth monotone: {self.spill_is_monotone()}"
+        ]
+
+        lines = [
+            f"Sharing decision vs cache temperature "
+            f"({self.tenants} tenants on {self.processors} processors)"
+        ]
+        for config in self.flips:
+            d = config.decision
+            lines.append(
+                f"  {config.name:>4}: model says "
+                f"{'SHARE' if d.share else 'DO NOT SHARE'} "
+                f"(predicted Z={d.benefit:.2f}); measured "
+                f"unshared/shared = {config.measured_benefit:.2f} "
+                f"(unshared {config.makespan_unshared:.0f}, "
+                f"shared {config.makespan_shared:.0f})"
+            )
+            lines.append(
+                "        unshared " + config.unshared_resources.render()
+            )
+            lines.append(
+                "        shared   " + config.shared_resources.render()
+            )
+        lines.append(f"  decision flipped cold->warm: {self.decision_flipped()}")
+        blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+
+def run(
+    work_mems: Sequence[int] = DEFAULT_WORK_MEMS,
+    tenants: int = 16,
+    processors: int = 8,
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    seed: int = DEFAULT_SEED,
+) -> FigMemResult:
+    catalog = shared_catalog(scale_factor, seed)
+    sweep = sweep_work_mem(catalog, work_mems, processors=processors)
+    flips = run_flip(tenants=tenants, processors=processors, seed=seed)
+    return FigMemResult(sweep=sweep, flips=flips, tenants=tenants,
+                        processors=processors)
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -10,6 +10,7 @@ from repro.profiling.online import OnlineEstimator
 from repro.profiling.profiler import (
     QueryProfile,
     QueryProfiler,
+    ResourceFactory,
     observations_from_tasks,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "OnlineEstimator",
     "QueryProfile",
     "QueryProfiler",
+    "ResourceFactory",
     "observations_from_tasks",
 ]

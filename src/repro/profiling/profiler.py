@@ -27,20 +27,35 @@ profiling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.estimation import Observation, OperatorEstimate, estimate_many
 from repro.core.spec import OperatorSpec, QuerySpec
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.engine.engine import Engine
+from repro.engine.memory import MemoryBroker
 from repro.engine.plan import PlanNode
+from repro.engine.stats import ResourceReport, resource_report
 from repro.errors import EstimationError
 from repro.sim.simulator import Simulator
+from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.page import DEFAULT_PAGE_ROWS
 
-__all__ = ["QueryProfile", "QueryProfiler", "observations_from_tasks"]
+# A per-run supplier of (buffer pool, memory broker) — called once per
+# profiling invocation so every run starts from the same cache state
+# (cold, or prewarmed by the factory).
+ResourceFactory = Callable[
+    [], Tuple[Optional[BufferPool], Optional[MemoryBroker]]
+]
+
+__all__ = [
+    "QueryProfile",
+    "QueryProfiler",
+    "ResourceFactory",
+    "observations_from_tasks",
+]
 
 
 def observations_from_tasks(
@@ -91,12 +106,18 @@ def observations_from_tasks(
 
 @dataclass(frozen=True)
 class QueryProfile:
-    """Fitted per-operator parameters for one query type."""
+    """Fitted per-operator parameters for one query type.
+
+    ``resources`` carries one ``(sharers, ResourceReport)`` entry per
+    profiling run when the profiler was given a resource factory —
+    the buffer hit/miss and spill counters behind the fitted numbers.
+    """
 
     label: str
     pivot_op_id: str
     estimates: Mapping[str, OperatorEstimate]
     plan: PlanNode
+    resources: Tuple[Tuple[int, ResourceReport], ...] = field(default=())
 
     def operator(self, op_id: str) -> OperatorEstimate:
         try:
@@ -150,12 +171,14 @@ class QueryProfiler:
         page_rows: int = DEFAULT_PAGE_ROWS,
         queue_capacity: int = 4,
         processors: int = 8,
+        resources: Optional[ResourceFactory] = None,
     ) -> None:
         self.catalog = catalog
         self.costs = costs
         self.page_rows = page_rows
         self.queue_capacity = queue_capacity
         self.processors = processors
+        self.resources = resources
 
     def profile(
         self,
@@ -172,21 +195,27 @@ class QueryProfiler:
         plan.find(pivot_op_id)  # validate early
 
         samples: list[tuple[str, Observation]] = []
+        run_resources: list[tuple[int, ResourceReport]] = []
         for m in sharer_counts:
-            samples.extend(self._run_once(plan, pivot_op_id, m))
+            run_samples, report = self._run_once(plan, pivot_op_id, m)
+            samples.extend(run_samples)
+            if report is not None:
+                run_resources.append((m, report))
         estimates = estimate_many(samples)
         return QueryProfile(
             label=label,
             pivot_op_id=pivot_op_id,
             estimates=estimates,
             plan=plan,
+            resources=tuple(run_resources),
         )
 
     # ------------------------------------------------------------------
 
     def _run_once(
         self, plan: PlanNode, pivot_op_id: str, m: int
-    ) -> list[tuple[str, Observation]]:
+    ) -> tuple[list[tuple[str, Observation]], Optional[ResourceReport]]:
+        pool, memory = self.resources() if self.resources is not None else (None, None)
         sim = Simulator(processors=self.processors)
         engine = Engine(
             self.catalog,
@@ -194,6 +223,8 @@ class QueryProfiler:
             costs=self.costs,
             page_rows=self.page_rows,
             queue_capacity=self.queue_capacity,
+            buffer_pool=pool,
+            memory=memory,
         )
         if m == 1:
             engine.execute(plan, "prof#0")
@@ -203,4 +234,9 @@ class QueryProfiler:
                 labels=[f"prof#{i}" for i in range(m)],
             )
         sim.run()
-        return observations_from_tasks(plan, pivot_op_id, m, sim.tasks)
+        report = (
+            resource_report(engine)
+            if engine.pool is not None or engine.memory is not None
+            else None
+        )
+        return observations_from_tasks(plan, pivot_op_id, m, sim.tasks), report

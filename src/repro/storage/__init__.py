@@ -5,8 +5,29 @@ machine); this package provides the equivalent: columnar
 :class:`~repro.storage.table.Table` objects grouped in a
 :class:`~repro.storage.catalog.Catalog`, scanned as tuple
 :class:`~repro.storage.page.Page` batches.
+
+For workloads that do *not* fit (or whose operators must not assume
+they do), :mod:`repro.storage.buffer` adds the memory-governed layer:
+a page-granular :class:`~repro.storage.buffer.BufferPool` with
+pluggable eviction (LRU / CLOCK / MRU) fronting table pages — cold
+reads charge the cost model's ``io_page`` — plus
+:class:`~repro.storage.buffer.SpillFile` runs used by spilling
+operators under :class:`~repro.engine.memory.MemoryBroker` grants.
 """
 
+from repro.storage.buffer import (
+    BufferPool,
+    BufferSnapshot,
+    BufferStats,
+    ClockPolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    SpillFile,
+    make_policy,
+    spill_page_key,
+    table_page_key,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.io import load_catalog, load_table, save_catalog, save_table
 from repro.storage.page import DEFAULT_PAGE_ROWS, Page, paginate
@@ -20,6 +41,17 @@ from repro.storage.schema import (
 from repro.storage.table import Table
 
 __all__ = [
+    "BufferPool",
+    "BufferSnapshot",
+    "BufferStats",
+    "ClockPolicy",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "SpillFile",
+    "make_policy",
+    "spill_page_key",
+    "table_page_key",
     "Catalog",
     "DEFAULT_PAGE_ROWS",
     "Page",

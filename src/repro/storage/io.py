@@ -8,7 +8,10 @@ travel in a sidecar header line, so a directory is self-describing.
 Format: one ``<table>.csv`` per table. Line 1 is the header
 ``name:dtype`` per column; subsequent lines are rows. Strings are
 escaped via :mod:`csv`; dates are stored as ordinals (ints), exactly
-as in memory.
+as in memory. NULLs are written as empty fields and decode back to
+``None`` for INT/FLOAT/DATE columns; for STR columns an empty field is
+indistinguishable from an empty string, so NULL strings reload as
+``""`` (the one lossy corner of the round-trip).
 """
 
 from __future__ import annotations
@@ -29,10 +32,17 @@ def _encode(value) -> str:
 
 
 def _decode(text: str, dtype: DataType):
+    """Inverse of :func:`_encode` for one field.
+
+    NULLs are written as empty fields, so an empty INT/FLOAT/DATE field
+    decodes back to ``None`` (it used to crash in ``int("")``). STR is
+    the one lossy case: CSV cannot distinguish an empty field from an
+    empty string, so a NULL string reloads as ``""``.
+    """
     if dtype is DataType.INT or dtype is DataType.DATE:
-        return int(text)
+        return None if text == "" else int(text)
     if dtype is DataType.FLOAT:
-        return float(text)
+        return None if text == "" else float(text)
     return text
 
 

@@ -33,7 +33,14 @@ class DataType(Enum):
     DATE = "date"
 
     def validate(self, value: Any, column: str) -> Any:
-        """Check/coerce one value; returns the stored representation."""
+        """Check/coerce one value; returns the stored representation.
+
+        ``None`` is SQL NULL and is valid for every type — outer joins
+        produce NULL-padded rows and aggregates skip NULL inputs, so
+        storage must be able to hold (and round-trip) them.
+        """
+        if value is None:
+            return None
         if self is DataType.INT:
             if isinstance(value, bool) or not isinstance(value, int):
                 raise SchemaError(f"column {column!r} expects INT, got {value!r}")

@@ -66,6 +66,32 @@ class TestTableRoundTrip:
         with pytest.raises(StorageError, match="expected 2 fields"):
             load_table(path)
 
+    def test_null_round_trip(self, tmp_path):
+        """Regression: NULLs are written as empty fields and used to
+        crash the decoder (``int("")``) for INT/FLOAT/DATE columns."""
+        t = Table("nullable", Schema([
+            ("id", DataType.INT),
+            ("price", DataType.FLOAT),
+            ("name", DataType.STR),
+            ("shipped", DataType.DATE),
+        ]))
+        t.insert((None, None, "row with nulls", None))
+        t.insert((7, 1.25, "dense row", 730100))
+        loaded = load_table(save_table(t, tmp_path))
+        assert list(loaded.rows()) == [
+            (None, None, "row with nulls", None),
+            (7, 1.25, "dense row", 730100),
+        ]
+
+    def test_null_string_reloads_as_empty(self, tmp_path):
+        """The documented lossy corner: CSV cannot tell a NULL string
+        from an empty one, so NULL STR fields reload as ``""``."""
+        t = Table("strs", Schema([("s", DataType.STR)]))
+        t.insert((None,))
+        t.insert(("",))
+        loaded = load_table(save_table(t, tmp_path))
+        assert list(loaded.rows()) == [("",), ("",)]
+
 
 class TestCatalogRoundTrip:
     def test_round_trip_tpch_subset(self, tmp_path):
