@@ -31,6 +31,7 @@ from repro.engine.plan import (
     sort,
 )
 from repro.engine.reference import execute_reference
+from repro.storage.shared_scan import ScanShareManager
 from repro.engine.stats import (
     ResourceReport,
     StageReport,
@@ -61,6 +62,7 @@ __all__ = [
     "scan",
     "sort",
     "execute_reference",
+    "ScanShareManager",
     "ResourceReport",
     "StageReport",
     "StageStats",

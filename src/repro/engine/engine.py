@@ -19,6 +19,7 @@ identical — merged packets must request the same operation.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
@@ -33,6 +34,7 @@ from repro.sim.simulator import Simulator
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.page import DEFAULT_PAGE_ROWS
+from repro.storage.shared_scan import ScanShareManager
 
 __all__ = ["Engine"]
 
@@ -59,10 +61,22 @@ class Engine:
         miss. ``None`` (default) keeps the seed's free-storage model.
     memory:
         Optional :class:`~repro.engine.memory.MemoryBroker` governing
-        operator working memory; the hash join spills when over its
-        grant. When a broker is given without a pool, a pool sized to
-        ``work_mem`` (but at least 16 frames) is created so spill
-        files have somewhere to live.
+        operator working memory; the hash join and hash aggregate
+        spill when over their grants. When a broker is given without a
+        pool, a pool sized to ``work_mem`` (but at least 16 frames) is
+        created so spill files have somewhere to live.
+    scan_manager:
+        Optional :class:`~repro.storage.shared_scan.ScanShareManager`
+        enabling cooperative (elevator) scan sharing: concurrent scans
+        of a table attach to one circular cursor and share its
+        physical pass, with the manager's async prefetch overlapping
+        reads with CPU work. The manager's pool must be the engine's
+        pool; given a manager without ``buffer_pool``, the engine
+        adopts the manager's. Note that an attached scan emits its
+        rows starting at its attach offset: the row *set* is
+        unchanged but the order rotates, so floating-point aggregates
+        folded over it may differ from an independent run in the last
+        ulp (summation order) — the standard cooperative-scan caveat.
     """
 
     def __init__(
@@ -74,20 +88,30 @@ class Engine:
         queue_capacity: int = 4,
         buffer_pool: Optional[BufferPool] = None,
         memory: Optional[MemoryBroker] = None,
+        scan_manager: Optional[ScanShareManager] = None,
     ) -> None:
         if queue_capacity < 1:
             raise EngineError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
+        if scan_manager is not None:
+            if buffer_pool is None:
+                buffer_pool = scan_manager.pool
+            elif scan_manager.pool is not buffer_pool:
+                raise EngineError(
+                    "scan_manager reads through a different BufferPool "
+                    "than the engine's buffer_pool"
+                )
         if memory is not None and buffer_pool is None:
             buffer_pool = BufferPool(max(memory.work_mem, 16))
         self.catalog = catalog
         self.sim = simulator
         self.pool = buffer_pool
         self.memory = memory
+        self.scan_manager = scan_manager
         self.ctx = StageContext(catalog=catalog, costs=costs,
                                 page_rows=page_rows, pool=buffer_pool,
-                                memory=memory)
+                                memory=memory, scans=scan_manager)
         self.queue_capacity = queue_capacity
         self.handles: list[QueryHandle] = []
         self.groups: list[GroupHandle] = []
@@ -172,8 +196,15 @@ class Engine:
                 self._spawn_sink(sink_q, handle)
         else:
             pivot = plans[0].find(pivot_op_id)
+            # The shared subtree may only ride an elevator cursor if
+            # *every* member is order-insensitive above the pivot.
+            pivot_rotation_ok = all(
+                self._rotation_ok_at(plan, pivot_op_id, True)
+                for plan in plans
+            )
             member_queues = self._build_subplan(
-                pivot, consumers=len(plans), prefix=f"g{group_id}"
+                pivot, consumers=len(plans), prefix=f"g{group_id}",
+                rotation_ok=pivot_rotation_ok,
             )
             for plan, handle, shared_q in zip(plans, handles, member_queues):
                 if plan.op_id == pivot_op_id:
@@ -212,18 +243,50 @@ class Engine:
                     "only identical sub-plans can be merged"
                 )
 
+    # Operators whose semantics depend on their input's row order: a
+    # scan feeding one of these (without an order-restoring barrier in
+    # between) must not attach to a rotated elevator cursor — limit
+    # would keep different rows, merge join would reject or mismatch.
+    _ORDER_SENSITIVE = frozenset({"limit", "merge_join"})
+    # Operators that canonicalize order, making everything below them
+    # safe to rotate again.
+    _ORDER_BARRIERS = frozenset({"sort", "aggregate"})
+
+    def _rotation_ok_at(
+        self, node: PlanNode, target_op_id: str, flag: bool
+    ) -> Optional[bool]:
+        """Whether a rotated scan is safe at ``target_op_id``'s position
+        (None when the target is not in this subtree)."""
+        if node.op_id == target_op_id:
+            return flag
+        if node.kind in self._ORDER_BARRIERS:
+            child_flag = True
+        elif node.kind in self._ORDER_SENSITIVE:
+            child_flag = False
+        else:
+            child_flag = flag
+        for child in node.children:
+            result = self._rotation_ok_at(child, target_op_id, child_flag)
+            if result is not None:
+                return result
+        return None
+
     def _build_subplan(
         self,
         node: PlanNode,
         consumers: int,
         prefix: str,
         substitutions: Optional[dict[str, SimQueue]] = None,
+        rotation_ok: bool = True,
     ) -> list[SimQueue]:
         """Recursively spawn stage tasks; returns the output queues.
 
         ``substitutions`` maps op_ids to externally provided queues —
         used to graft a member's private plan onto the shared pivot's
-        per-member output queue.
+        per-member output queue. ``rotation_ok`` tracks whether a scan
+        at this position may ride a shared elevator cursor (emit its
+        rows rotated to the attach offset): an order-sensitive
+        ancestor clears it, an order-restoring barrier resets it.
         """
         substitutions = substitutions or {}
         out_queues = [
@@ -232,6 +295,12 @@ class Engine:
             )
             for i in range(consumers)
         ]
+        if node.kind in self._ORDER_BARRIERS:
+            child_rotation_ok = True
+        elif node.kind in self._ORDER_SENSITIVE:
+            child_rotation_ok = False
+        else:
+            child_rotation_ok = rotation_ok
         in_queues = []
         for child in node.children:
             if child.op_id in substitutions:
@@ -240,9 +309,14 @@ class Engine:
                 (child_q,) = self._build_subplan(
                     child, consumers=1, prefix=prefix,
                     substitutions=substitutions,
+                    rotation_ok=child_rotation_ok,
                 )
                 in_queues.append(child_q)
-        task_gen = build_operator_task(node, in_queues, out_queues, self.ctx)
+        ctx = self.ctx
+        if (node.kind == "scan" and not rotation_ok
+                and ctx.scans is not None):
+            ctx = replace(ctx, scans=None)
+        task_gen = build_operator_task(node, in_queues, out_queues, ctx)
         self._task_counter += 1
         task = self.sim.spawn(
             task_gen,

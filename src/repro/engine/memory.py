@@ -151,6 +151,23 @@ class MemoryBroker:
     def available(self) -> int:
         return max(self.work_mem - self.reserved, 0)
 
+    def projected_spill(self, pages_each: int, operators: int = 1) -> int:
+        """Pages ``operators`` concurrent operators of ``pages_each``
+        working pages would together spill, given what is free now.
+
+        The projection a memory-aware sharing policy feeds the model:
+        m unshared queries need ``m * pages_each`` pages while a
+        shared group needs them once, so consolidation can turn a
+        projected spill into none (the fig_mem Part B effect).
+        """
+        if pages_each < 0:
+            raise EngineError(
+                f"pages_each must be >= 0, got {pages_each}"
+            )
+        if operators < 1:
+            raise EngineError(f"operators must be >= 1, got {operators}")
+        return max(0, operators * pages_each - self.available())
+
     def grant(self, owner: str, requested: Optional[int] = None) -> MemoryGrant:
         """Grant up to ``requested`` pages (default: everything left).
 

@@ -24,6 +24,7 @@ from repro.errors import PlanError
 from repro.sim.queues import SimQueue
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
+from repro.storage.shared_scan import ScanShareManager
 
 __all__ = ["StageContext", "build_operator_task"]
 
@@ -32,13 +33,17 @@ __all__ = ["StageContext", "build_operator_task"]
 class StageContext:
     """Everything a stage needs besides its queues.
 
-    ``pool`` and ``memory`` are the optional resource-governance layer:
-    with a :class:`~repro.storage.buffer.BufferPool` attached, scans
-    charge ``io_page`` per cold page; with a
+    ``pool``, ``memory`` and ``scans`` are the optional
+    resource-governance layer: with a
+    :class:`~repro.storage.buffer.BufferPool` attached, scans charge
+    ``io_page`` per cold page; with a
     :class:`~repro.engine.memory.MemoryBroker` attached, the hash join
-    takes a working-memory grant and spills partitions when over
-    budget. Both default to ``None`` — the seed's unbounded-memory
-    behavior.
+    and hash aggregate take working-memory grants and spill when over
+    budget; with a
+    :class:`~repro.storage.shared_scan.ScanShareManager` attached,
+    scans ride per-table elevator cursors (cooperative scan sharing
+    with async prefetch). All default to ``None`` — the seed's
+    unbounded-memory behavior.
     """
 
     catalog: Catalog
@@ -46,6 +51,7 @@ class StageContext:
     page_rows: int
     pool: Optional[BufferPool] = None
     memory: Optional[MemoryBroker] = None
+    scans: Optional[ScanShareManager] = None
 
 
 def build_operator_task(node, in_queues: Sequence[SimQueue],

@@ -1,4 +1,4 @@
-"""Hash aggregation stage (stop-&-go).
+"""Hash aggregation stage (stop-&-go), with graceful spilling.
 
 Consumes its entire input, folding rows into per-group accumulators,
 then emits one output row per group. Output groups are ordered by
@@ -7,6 +7,21 @@ group key so results are deterministic regardless of scheduling.
 NULL semantics: aggregate inputs that evaluate to ``None`` are skipped
 (``count(expr)`` counts non-NULL values; ``count(*)`` counts rows) —
 TPC-H Q13's ``count(o_orderkey)`` over a left join depends on this.
+
+Without memory governance (``ctx.memory is None``) the stage buffers
+every group unconditionally, exactly as the seed did. With a
+:class:`~repro.engine.memory.MemoryBroker` attached it takes a
+working-memory grant and becomes a **partitioned spilling aggregate**:
+groups are hashed into partitions, and when the resident group state
+exceeds the grant the largest partition is spilled — its accumulator
+*states* (which merge: sums add, counts add, min/max combine) are
+written through a :class:`~repro.storage.buffer.SpillFile`, and later
+input rows for a spilled partition are folded into singleton states
+and appended. A finalize phase re-reads each spilled partition,
+merges its states (the broker records an overcommit if a single
+partition still exceeds the grant — the recursion floor), and emits
+all groups in global key order, so the answer is identical to the
+unbounded aggregate's at every budget.
 """
 
 from __future__ import annotations
@@ -16,6 +31,10 @@ from repro.errors import PlanError
 from repro.sim.events import CLOSED, Compute, Get
 
 __all__ = ["task", "aggregate_rows", "Accumulator"]
+
+# Group-state partitions of the governed aggregate; clamped to the
+# memory grant like the hybrid hash join's fanout.
+DEFAULT_FANOUT = 8
 
 
 class Accumulator:
@@ -47,6 +66,28 @@ class Accumulator:
             self.best = value if self.best is None else max(self.best, value)
         else:  # pragma: no cover - constructor validates
             raise PlanError(f"unknown aggregate {self.func!r}")
+
+    def state(self) -> tuple:
+        """Serializable partial state, mergeable via :meth:`absorb`."""
+        return (self.total, self.count, self.best)
+
+    def absorb(self, state: tuple) -> None:
+        """Merge another accumulator's partial state into this one.
+
+        Every supported aggregate is decomposable: sums and counts
+        add, min/max combine — which is what makes spilling partial
+        group state (rather than raw input rows) correct.
+        """
+        total, count, best = state
+        self.total += total
+        self.count += count
+        if best is not None:
+            if self.best is None:
+                self.best = best
+            elif self.func == "min":
+                self.best = min(self.best, best)
+            elif self.func == "max":
+                self.best = max(self.best, best)
 
     def result(self):
         if self.func == "count":
@@ -95,6 +136,13 @@ def task(node, in_queues, out_queues, ctx):
         (spec.expr.compile(schema) if spec.expr is not None else (lambda row: True))
         for spec in aggs
     ]
+
+    if ctx.memory is not None:
+        yield from _governed_task(
+            node, in_q, out_queues, ctx, group_idx, value_fns, aggs,
+        )
+        return
+
     groups: dict[tuple, list[Accumulator]] = {}
     while True:
         page = yield Get(in_q)
@@ -119,3 +167,151 @@ def task(node, in_queues, out_queues, ctx):
         row = key + tuple(a.result() for a in groups[key])
         yield from emitter.emit([row])
     yield from emitter.close()
+
+
+# ----------------------------------------------------------------------
+# Memory-governed partitioned aggregate
+# ----------------------------------------------------------------------
+
+
+class _AggPartition:
+    """One partition: resident group map or a spill file of states."""
+
+    __slots__ = ("groups", "file")
+
+    def __init__(self) -> None:
+        self.groups: dict | None = {}
+        self.file = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.groups is None
+
+
+def _group_pages(parts, page_rows: int) -> int:
+    """Pages of resident group state (one group ~ one state row)."""
+    return sum(
+        -(-len(p.groups) // page_rows)
+        for p in parts if not p.spilled and p.groups
+    )
+
+
+def _state_row(key: tuple, accumulators) -> tuple:
+    """Flatten one group's accumulators into a spillable row."""
+    row = list(key)
+    for accumulator in accumulators:
+        row.extend(accumulator.state())
+    return tuple(row)
+
+
+def _absorb_state_row(groups, row, key_width, aggs) -> None:
+    """Merge one spilled state row into a partition's group map."""
+    key = row[:key_width]
+    accumulators = groups.get(key)
+    if accumulators is None:
+        accumulators = [Accumulator(spec.func) for spec in aggs]
+        groups[key] = accumulators
+    offset = key_width
+    for accumulator in accumulators:
+        accumulator.absorb(tuple(row[offset:offset + 3]))
+        offset += 3
+
+
+def _governed_task(node, in_q, out_queues, ctx, group_idx, value_fns, aggs):
+    costs = ctx.costs
+    pool = ctx.pool
+    page_rows = ctx.page_rows
+    key_width = len(group_idx)
+    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
+    fanout = max(2, min(node.params.get("fanout", DEFAULT_FANOUT),
+                        grant.pages))
+    parts = [_AggPartition() for _ in range(fanout)]
+
+    # Reuse the join's deterministic partition hash so both governed
+    # operators split state the same way.
+    from repro.engine.operators.hash_join import _partition_of
+
+    def spill_largest() -> int:
+        """Spill the largest resident partition's state; pages written."""
+        victim = max(
+            (p for p in parts if not p.spilled and p.groups),
+            key=lambda p: len(p.groups),
+        )
+        if victim.file is None:
+            victim.file = pool.spill_file(page_rows)
+        written = victim.file.append_rows(
+            _state_row(key, accumulators)
+            for key, accumulators in victim.groups.items()
+        )
+        victim.groups = None
+        return written
+
+    # Input phase: fold rows into partitioned group state, spilling
+    # the largest partition whenever the grant is exceeded.
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        cost = costs.agg_update * len(page)
+        for row in page.rows:
+            key = tuple(row[i] for i in group_idx)
+            p = parts[_partition_of(key, 0, fanout)]
+            if p.spilled:
+                fresh = [Accumulator(spec.func) for spec in aggs]
+                for accumulator, fn in zip(fresh, value_fns):
+                    accumulator.update(fn(row))
+                cost += costs.spill_page * p.file.append_rows(
+                    (_state_row(key, fresh),)
+                )
+            else:
+                accumulators = p.groups.get(key)
+                if accumulators is None:
+                    accumulators = [Accumulator(spec.func) for spec in aggs]
+                    p.groups[key] = accumulators
+                for accumulator, fn in zip(accumulators, value_fns):
+                    accumulator.update(fn(row))
+        while _group_pages(parts, page_rows) > grant.pages:
+            cost += costs.spill_page * spill_largest()
+        grant.resize_used(_group_pages(parts, page_rows))
+        yield Compute(cost)
+
+    # Finalize: resident partitions emit directly; spilled partitions
+    # re-read and merge their state runs (overcommitting at the floor
+    # if a single partition still exceeds the grant).
+    output = []
+    for p in parts:
+        if not p.spilled:
+            output.extend(
+                key + tuple(a.result() for a in p.groups[key])
+                for key in p.groups
+            )
+            p.groups = None
+            continue
+        seal = costs.spill_page * p.file.flush()
+        if seal:
+            yield Compute(seal)
+        pages, misses = p.file.read_all()
+        grant.resize_used(p.file.page_count)
+        io = costs.io_page * misses
+        merged: dict = {}
+        n_rows = 0
+        for spill_page in pages:
+            for row in spill_page.rows:
+                _absorb_state_row(merged, row, key_width, aggs)
+                n_rows += 1
+        yield Compute(io + costs.agg_update * n_rows, io=io)
+        output.extend(
+            key + tuple(a.result() for a in merged[key])
+            for key in merged
+        )
+        p.file.drop()
+    grant.resize_used(0)
+
+    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
+                            width=len(node.schema))
+    output.sort(key=lambda row: _sort_key(row[:key_width]))
+    if output:
+        yield Compute(costs.agg_emit * len(output))
+    yield from emitter.emit(output)
+    yield from emitter.close()
+    grant.close()

@@ -288,11 +288,13 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
         pages, misses = build_file.read_all()
         rows = [row for page in pages for row in page.rows]
         grant.resize_used(build_file.page_count)
-        yield Compute(costs.io_page * misses + costs.hash_build * len(rows))
+        io = costs.io_page * misses
+        yield Compute(io + costs.hash_build * len(rows), io=io)
         table = build_table(rows, build_index)
         probe_pages, probe_misses = probe_file.read_all()
         if probe_misses:
-            yield Compute(costs.io_page * probe_misses)
+            io = costs.io_page * probe_misses
+            yield Compute(io, io=io)
         for page in probe_pages:
             yield Compute(costs.hash_probe * len(page))
             joined = probe_rows(page.rows, table, probe_index, join_type,
@@ -314,14 +316,15 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
         (sub_probe, probe_file, probe_index),
     ):
         pages, misses = source.read_all()
-        cost = costs.io_page * misses
+        io = costs.io_page * misses
+        cost = io
         for page in pages:
             for row in page.rows:
                 target = files[_partition_of(row[key_index], depth, fanout)]
                 cost += costs.spill_page * target.append_rows((row,))
         cost += sum(costs.spill_page * f.flush() for f in files)
         source.drop()
-        yield Compute(cost)
+        yield Compute(cost, io=io)
     for sub_b, sub_p in zip(sub_build, sub_probe):
         yield from _join_spilled(
             sub_b, sub_p, depth + 1, ctx, grant, emitter,

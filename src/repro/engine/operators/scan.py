@@ -1,4 +1,4 @@
-"""Table scan stage — plain or fused.
+"""Table scan stage — plain, fused, or cooperative (elevator).
 
 Reads a base table page by page (projection pushed into storage),
 charging ``scan_tuple`` per tuple read. A *fused* scan additionally
@@ -13,6 +13,18 @@ as in the seed), a cold page charges ``io_page`` and is admitted. A
 shared scan pivot therefore pays cold misses *once* for all M of its
 consumers — a sharing benefit the CPU-only model cannot see — while M
 independent scans may each miss (subject to what the pool retains).
+
+When the engine additionally carries a
+:class:`~repro.storage.shared_scan.ScanShareManager`, the scan rides
+the table's **elevator cursor** instead of always starting at page 0:
+it attaches at the cursor's current position, walks the table in
+circular order, and completes after one full revolution — so
+concurrent scans of the same table share one physical pass, and the
+cursor's async prefetch overlaps the next pages' reads with this
+page's CPU work (charged as the ``io`` component of the stage's
+``Compute``). The emitted *row set* is identical to an independent
+scan's; only the order rotates to the attach offset, which every
+order-insensitive consumer (aggregation, hash join, sort) absorbs.
 
 The scan is the classic sharing pivot for scan-heavy queries: with M
 consumers attached, its emitter multiplexes every page M ways.
@@ -40,6 +52,19 @@ def scan_rows(table, columns, predicate_fn=None, output_fns=None):
     return rows
 
 
+def _page_cost(page, costs, cost_factor, predicate_fn, output_fns):
+    """CPU cost of one page and its transformed batch."""
+    cost = costs.scan_tuple * len(page)
+    batch = page.rows
+    if predicate_fn is not None:
+        cost += costs.filter_tuple * cost_factor * len(batch)
+        batch = [row for row in batch if predicate_fn(row)]
+    if output_fns is not None and batch:
+        cost += costs.project_tuple * cost_factor * len(batch) * len(output_fns)
+        batch = [tuple(fn(row) for fn in output_fns) for row in batch]
+    return cost, batch
+
+
 def task(node, in_queues, out_queues, ctx):
     table = ctx.catalog.table(node.params["table"])
     columns = node.params["columns"]
@@ -54,26 +79,55 @@ def task(node, in_queues, out_queues, ctx):
     )
 
     cost_factor = node.params.get("cost_factor", 1.0)
-    pool = ctx.pool
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
                             width=len(node.schema))
+    if ctx.scans is not None and ctx.pool is not None and len(table):
+        yield from _elevator_scan(
+            table, columns, ctx, emitter, cost_factor, predicate_fn, output_fns,
+        )
+    else:
+        yield from _sequential_scan(
+            table, columns, ctx, emitter, cost_factor, predicate_fn, output_fns,
+        )
+    yield from emitter.close()
+
+
+def _sequential_scan(table, columns, ctx, emitter, cost_factor,
+                     predicate_fn, output_fns):
+    """The seed's scan: page 0 to the end, synchronous misses."""
+    pool = ctx.pool
     for index, page in enumerate(
         table.scan_pages(columns=list(columns), page_rows=ctx.page_rows)
     ):
-        cost = ctx.costs.scan_tuple * len(page)
+        cost, batch = _page_cost(page, ctx.costs, cost_factor,
+                                 predicate_fn, output_fns)
+        io = 0.0
         if pool is not None and not pool.access(table_page_key(table.name, index)):
-            cost += ctx.costs.io_page
-        batch = page.rows
-        if predicate_fn is not None:
-            cost += ctx.costs.filter_tuple * cost_factor * len(batch)
-            batch = [row for row in batch if predicate_fn(row)]
-        if output_fns is not None and batch:
-            cost += (
-                ctx.costs.project_tuple * cost_factor
-                * len(batch) * len(output_fns)
-            )
-            batch = [tuple(fn(row) for fn in output_fns) for row in batch]
-        yield Compute(cost)
+            io = ctx.costs.io_page
+        yield Compute(cost + io, io=io)
         if batch:
             yield from emitter.emit(batch)
-    yield from emitter.close()
+
+
+def _elevator_scan(table, columns, ctx, emitter, cost_factor,
+                   predicate_fn, output_fns):
+    """Ride the table's shared elevator cursor (see shared_scan)."""
+    manager = ctx.scans
+    columns = list(columns)
+    ticket = manager.attach(table.name, table.page_count(ctx.page_rows))
+    previous_cpu = 0.0
+    try:
+        while not ticket.exhausted:
+            index = ticket.page_index
+            page = table.page_at(index, columns, ctx.page_rows)
+            cost, batch = _page_cost(page, ctx.costs, cost_factor,
+                                     predicate_fn, output_fns)
+            stall = manager.acquire(ticket, ctx.costs.io_page,
+                                    cpu_credit=previous_cpu)
+            yield Compute(cost + stall, io=stall)
+            previous_cpu = cost
+            ticket.advance()
+            if batch:
+                yield from emitter.emit(batch)
+    finally:
+        manager.detach(ticket)

@@ -33,17 +33,29 @@ __all__ = [
 
 @dataclass(frozen=True)
 class StageStats:
-    """Aggregated activity of one operator across all its instances."""
+    """Aggregated activity of one operator across all its instances.
+
+    ``io_time`` is the portion of ``busy_time`` the stage spent
+    stalled on storage (tagged by ``Compute(io=...)``) — nonzero only
+    for stages that read through a buffer pool or spill.
+    """
 
     op_id: str
     instances: int
     busy_time: float
     busy_share: float
+    io_time: float = 0.0
+
+    @property
+    def io_share(self) -> float:
+        """Fraction of this stage's busy time that was I/O stall."""
+        return self.io_time / self.busy_time if self.busy_time else 0.0
 
     def __repr__(self) -> str:
         return (
             f"StageStats({self.op_id}, x{self.instances}, "
-            f"busy={self.busy_time:.6g}, {self.busy_share:.1%})"
+            f"busy={self.busy_time:.6g}, {self.busy_share:.1%}, "
+            f"io={self.io_time:.6g})"
         )
 
 
@@ -89,6 +101,7 @@ def stage_report(
     """
     tasks = source.tasks if isinstance(source, Simulator) else list(source)
     busy: dict[str, float] = {}
+    io: dict[str, float] = {}
     instances: dict[str, int] = {}
     for task in tasks:
         if "/" not in task.name:
@@ -99,6 +112,7 @@ def stage_report(
         if op_id == "sink" and not include_sinks:
             continue
         busy[op_id] = busy.get(op_id, 0.0) + task.busy_time
+        io[op_id] = io.get(op_id, 0.0) + task.io_time
         instances[op_id] = instances.get(op_id, 0) + 1
 
     total = sum(busy.values())
@@ -110,6 +124,7 @@ def stage_report(
                     instances=instances[op_id],
                     busy_time=time,
                     busy_share=(time / total if total else 0.0),
+                    io_time=io[op_id],
                 )
                 for op_id, time in busy.items()
             ),

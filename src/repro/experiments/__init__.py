@@ -5,13 +5,36 @@
 * :mod:`repro.experiments.fig4` — model sensitivity sweeps (Section 6),
 * :mod:`repro.experiments.fig5` — model-vs-measured validation,
 * :mod:`repro.experiments.fig6` — policy comparison in a closed system,
+* :mod:`repro.experiments.fig_mem` — memory governance: spilling join
+  sweep and the cold/warm sharing-decision flip,
+* :mod:`repro.experiments.fig_scan` — cooperative scan sharing:
+  elevator attach, async prefetch, scan-aware eviction,
 * :mod:`repro.experiments.section4_example` — the Q6 worked example.
 
-Run them via the ``repro-experiments`` CLI or the modules'
-``python -m`` entry points; EXPERIMENTS.md records representative
-output next to the paper's reported numbers.
+Run them via the ``repro-experiments`` CLI (``repro-experiments
+list`` prints the registry) or the modules' ``python -m`` entry
+points; EXPERIMENTS.md records representative output next to the
+paper's reported numbers.
 """
 
-from repro.experiments import fig1, fig2, fig4, fig5, fig6, section4_example
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig_mem,
+    fig_scan,
+    section4_example,
+)
 
-__all__ = ["fig1", "fig2", "fig4", "fig5", "fig6", "section4_example"]
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig_mem",
+    "fig_scan",
+    "section4_example",
+]

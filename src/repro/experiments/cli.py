@@ -2,9 +2,11 @@
 
 Installed as ``repro-experiments``::
 
+    repro-experiments list          # every registered experiment
     repro-experiments fig1          # Figure 1
     repro-experiments fig2 fig4     # several at once
     repro-experiments fig_mem       # memory-governance experiments
+    repro-experiments fig_scan      # cooperative scan sharing
     repro-experiments all           # everything (takes minutes)
     repro-experiments fig1 --quick  # reduced client counts
 
@@ -17,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Callable, NamedTuple
 
 from repro.experiments import (
     fig1,
@@ -25,6 +28,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig_mem,
+    fig_scan,
     section4_example,
 )
 
@@ -68,19 +72,43 @@ def _run_fig_mem(quick: bool) -> str:
                        processors=processors).render()
 
 
+def _run_fig_scan(quick: bool) -> str:
+    consumers = (2, 4) if quick else fig_scan.DEFAULT_CONSUMERS
+    staggers = (0.0, 0.5) if quick else fig_scan.DEFAULT_STAGGERS
+    depths = (0, 2) if quick else fig_scan.DEFAULT_PREFETCH_DEPTHS
+    return fig_scan.run(consumers=consumers, staggers=staggers,
+                        prefetch_depths=depths).render()
+
+
 def _run_section4(quick: bool) -> str:
     return section4_example.run().render()
 
 
+class _Experiment(NamedTuple):
+    runner: Callable[[bool], str]
+    description: str
+
+
 _EXPERIMENTS = {
-    "fig1": _run_fig1,
-    "fig2": _run_fig2,
-    "fig4": _run_fig4,
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig_mem": _run_fig_mem,
-    "section4": _run_section4,
+    "fig1": _Experiment(_run_fig1, "Figure 1: sharing speedup vs clients, few cores"),
+    "fig2": _Experiment(_run_fig2, "Figure 2: sharing turns harmful on many cores"),
+    "fig4": _Experiment(_run_fig4, "Figure 4: model-predicted speedup surfaces"),
+    "fig5": _Experiment(_run_fig5, "Figure 5: model vs measured validation"),
+    "fig6": _Experiment(_run_fig6, "Figure 6: policy throughput across workload mixes"),
+    "fig_mem": _Experiment(_run_fig_mem, "Memory governance: spilling join sweep + cold/warm sharing flip"),
+    "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),
+    "section4": _Experiment(_run_section4, "Section 4 worked example of the analytical model"),
 }
+
+
+def _render_list() -> str:
+    width = max(len(name) for name in _EXPERIMENTS)
+    lines = ["registered experiments:"]
+    lines.extend(
+        f"  {name:<{width}}  {exp.description}"
+        for name, exp in sorted(_EXPERIMENTS.items())
+    )
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -92,8 +120,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=[*sorted(_EXPERIMENTS), "all"],
-        help="which figures to regenerate",
+        choices=[*sorted(_EXPERIMENTS), "all", "list"],
+        help="which figures to regenerate ('list' prints the registry)",
     )
     parser.add_argument(
         "--quick",
@@ -102,13 +130,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if "list" in args.experiments:
+        print(_render_list())
+        if set(args.experiments) == {"list"}:
+            return 0
+
     names = (
         sorted(_EXPERIMENTS) if "all" in args.experiments
-        else list(dict.fromkeys(args.experiments))
+        else [n for n in dict.fromkeys(args.experiments) if n != "list"]
     )
     for name in names:
         started = time.time()
-        output = _EXPERIMENTS[name](args.quick)
+        output = _EXPERIMENTS[name].runner(args.quick)
         elapsed = time.time() - started
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]\n")

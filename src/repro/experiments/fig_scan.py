@@ -1,0 +1,427 @@
+"""Cooperative scan sharing: one physical pass serves N scans.
+
+The paper's pivot-sharing machinery merges queries *at submission*;
+``fig_mem`` showed that once a buffer pool is attached, even unshared
+identical scans convoy through it. This experiment exercises the
+subsystem that makes the effect explicit and robust — the
+:class:`~repro.storage.shared_scan.ScanShareManager`'s elevator
+cursors — along three axes:
+
+**Part A — attach sharing.** ``m`` identical scans of one table
+arrive staggered in time. Independently (each scanning a private,
+byte-identical replica: a private cold cache), they pay ``m`` full
+passes of ``io_page``. Cooperatively, each arrival attaches to the
+table's elevator cursor at its current position and wraps around, so
+all ``m`` scans complete with ~one table's worth of physical reads —
+and every consumer's row *set* is identical to its independent scan's
+(the order rotates to the attach offset).
+
+**Part B — async prefetch.** A single cold scan under increasing
+prefetch depth: read-ahead overlaps the next pages' I/O with this
+page's CPU work, so any depth > 0 strictly beats depth 0 (the
+sequential-disk model saturates once the pipeline is covered).
+
+**Part C — scan-aware eviction.** A table larger than the pool,
+scanned twice. Under LRU the first pass flushes exactly the pages the
+second pass needs first (zero reuse); the ``"scan"`` policy detects
+the oversized footprint, switches that table to MRU victims, and the
+second pass hits on the preserved prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine import CostModel, Engine, scan
+from repro.engine.stats import stage_report
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.report import format_table
+from repro.sim.events import Sleep
+from repro.sim.simulator import Simulator
+from repro.storage import (
+    BufferPool,
+    Catalog,
+    DataType,
+    ScanShareManager,
+    Schema,
+    TableScanStats,
+)
+from repro.storage.page import DEFAULT_PAGE_ROWS
+
+__all__ = [
+    "SharePoint",
+    "PrefetchPoint",
+    "EvictionPoint",
+    "FigScanResult",
+    "run",
+    "DEFAULT_CONSUMERS",
+    "DEFAULT_STAGGERS",
+    "DEFAULT_PREFETCH_DEPTHS",
+]
+
+SCAN_TABLE = "scanstream"
+SCAN_ROWS = 6000
+# Cold-storage calibration (as in fig_mem's flip): fetching a page
+# costs a few times the CPU work of scanning it.
+SCAN_COSTS = CostModel(io_page=400.0)
+DEFAULT_CONSUMERS = (2, 4, 8)
+# Arrival stagger as a fraction of one solo cold-scan makespan.
+DEFAULT_STAGGERS = (0.0, 0.25, 0.75)
+DEFAULT_PREFETCH_DEPTHS = (0, 1, 2, 4, 8)
+
+
+def _scan_catalog(base_rows: int, replicas: int, seed: int) -> Catalog:
+    """One common table plus byte-identical per-consumer replicas."""
+    catalog = Catalog()
+    schema = Schema([("k", DataType.INT), ("v", DataType.FLOAT)])
+    rows = []
+    state = seed & 0x7FFFFFFF or 1
+    for i in range(base_rows):
+        # Park-Miller LCG: deterministic, independent of PYTHONHASHSEED.
+        state = (state * 48271) % 2147483647
+        rows.append((i, state / 2147483647.0))
+    for name in [SCAN_TABLE] + [f"{SCAN_TABLE}__{t}" for t in range(replicas)]:
+        catalog.create(name, schema).insert_many(rows)
+    return catalog
+
+
+def _staggered_scans(
+    engine: Engine,
+    table_names: Sequence[str],
+    stagger: float,
+) -> list:
+    """Submit one scan per table name, the i-th delayed by i*stagger.
+
+    Returns the query handles (populated as submitters fire).
+    """
+    handles: list = []
+
+    def submitter(name: str, delay: float, label: str):
+        yield Sleep(delay)
+        plan = scan(engine.catalog, name, columns=["k", "v"],
+                    op_id=f"scan:{name}")
+        handles.append(engine.execute(plan, label))
+
+    for i, name in enumerate(table_names):
+        engine.sim.spawn(
+            submitter(name, i * stagger, f"c{i}"),
+            name=f"submit/c{i}",
+        )
+    return handles
+
+
+def _solo_cold_makespan(catalog: Catalog, pages: int, processors: int) -> float:
+    """One cold scan, no manager — the stagger unit of Part A."""
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=SCAN_COSTS,
+                    buffer_pool=BufferPool(pages * 2))
+    engine.execute(
+        scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="solo"), "solo"
+    )
+    sim.run()
+    return sim.now
+
+
+# ----------------------------------------------------------------------
+# Part A: attach sharing under arrival stagger
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharePoint:
+    """One (consumers, stagger) cell of the sharing sweep."""
+
+    consumers: int
+    stagger_fraction: float
+    table_pages: int
+    cooperative_reads: int
+    independent_reads: int
+    makespan_cooperative: float
+    makespan_independent: float
+    identical_answers: bool
+    max_attach_depth: int
+    pages_per_read: float
+
+    @property
+    def io_ratio(self) -> float:
+        """Cooperative physical reads over one table's pages."""
+        return self.cooperative_reads / self.table_pages
+
+
+def _measure_share_point(
+    catalog: Catalog,
+    consumers: int,
+    stagger: float,
+    stagger_fraction: float,
+    processors: int,
+    page_rows: int,
+    prefetch_depth: int,
+    reference_rows: list,
+) -> tuple[SharePoint, TableScanStats]:
+    pages = catalog.table(SCAN_TABLE).page_count(page_rows)
+
+    # Cooperative: every consumer scans the common table through one
+    # elevator cursor.
+    pool = BufferPool(pages * 2)
+    manager = ScanShareManager(pool, prefetch_depth=prefetch_depth)
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
+                    scan_manager=manager)
+    handles = _staggered_scans(engine, [SCAN_TABLE] * consumers, stagger)
+    sim.run()
+    coop_makespan = sim.now
+    stats = manager.snapshot()[0]
+    identical = len(handles) == consumers and all(
+        sorted(handle.rows) == reference_rows for handle in handles
+    )
+
+    # Independent: consumer t scans its private replica — a private
+    # cold cache, the model's no-cross-query-reuse baseline.
+    replica_names = [f"{SCAN_TABLE}__{t}" for t in range(consumers)]
+    pool = BufferPool(pages * (consumers + 1))
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
+                    buffer_pool=pool)
+    _staggered_scans(engine, replica_names, stagger)
+    sim.run()
+
+    point = SharePoint(
+        consumers=consumers,
+        stagger_fraction=stagger_fraction,
+        table_pages=pages,
+        cooperative_reads=stats.physical_reads,
+        independent_reads=pool.stats.misses,
+        makespan_cooperative=coop_makespan,
+        makespan_independent=sim.now,
+        identical_answers=identical,
+        max_attach_depth=stats.max_attach_depth,
+        pages_per_read=stats.pages_per_read,
+    )
+    return point, stats
+
+
+# ----------------------------------------------------------------------
+# Part B: prefetch depth on a single cold scan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefetchPoint:
+    """One prefetch depth of the cold-scan sweep."""
+
+    depth: int
+    makespan: float
+    io_stall_cost: float
+    io_overlapped_cost: float
+    scan_io_share: float
+
+
+def _measure_prefetch(
+    catalog: Catalog,
+    depth: int,
+    processors: int,
+    page_rows: int,
+) -> PrefetchPoint:
+    pages = catalog.table(SCAN_TABLE).page_count(page_rows)
+    manager = ScanShareManager(BufferPool(pages * 2), prefetch_depth=depth)
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
+                    scan_manager=manager)
+    engine.execute(
+        scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="cold_scan"),
+        f"prefetch@{depth}",
+    )
+    sim.run()
+    stats = manager.snapshot()[0]
+    return PrefetchPoint(
+        depth=depth,
+        makespan=sim.now,
+        io_stall_cost=stats.io_stall_cost,
+        io_overlapped_cost=stats.io_overlapped_cost,
+        scan_io_share=stage_report(sim).stage("cold_scan").io_share,
+    )
+
+
+# ----------------------------------------------------------------------
+# Part C: scan-aware eviction on a table larger than the pool
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvictionPoint:
+    """Two passes over an oversized table under one eviction policy."""
+
+    policy: str
+    pool_pages: int
+    table_pages: int
+    second_pass_hits: int
+    hit_rate: float
+
+
+def _measure_eviction(
+    catalog: Catalog,
+    policy: str,
+    processors: int,
+    page_rows: int,
+) -> EvictionPoint:
+    pages = catalog.table(SCAN_TABLE).page_count(page_rows)
+    pool_pages = max(2, pages // 2)
+    pool = BufferPool(pool_pages, policy)
+    manager = ScanShareManager(pool)
+    sim = Simulator(processors=processors)
+    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
+                    scan_manager=manager)
+    plan = scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="big_scan")
+    engine.execute(plan, "pass1")
+    sim.run()
+    first_pass_hits = pool.stats.hits
+    engine.execute(plan, "pass2")
+    sim.run()
+    return EvictionPoint(
+        policy=policy,
+        pool_pages=pool_pages,
+        table_pages=pages,
+        second_pass_hits=pool.stats.hits - first_pass_hits,
+        hit_rate=pool.stats.hit_rate,
+    )
+
+
+# ----------------------------------------------------------------------
+# The figure
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FigScanResult:
+    share: tuple[SharePoint, ...]
+    prefetch: tuple[PrefetchPoint, ...]
+    eviction: tuple[EvictionPoint, ...]
+    scan_stats: TableScanStats
+    processors: int
+
+    def io_ratio_ok(self, bound: float = 1.2) -> bool:
+        """Every cooperative sweep cell pays <= bound table passes."""
+        return all(p.io_ratio <= bound for p in self.share)
+
+    def answers_identical(self) -> bool:
+        return all(p.identical_answers for p in self.share)
+
+    def independent_pays_n_passes(self) -> bool:
+        return all(
+            p.independent_reads == p.consumers * p.table_pages
+            for p in self.share
+        )
+
+    def prefetch_strictly_helps(self) -> bool:
+        """Any prefetch depth > 0 strictly beats depth 0 (False when
+        the sweep lacks the depth-0 baseline or any deeper point)."""
+        base = next((p for p in self.prefetch if p.depth == 0), None)
+        rest = [p for p in self.prefetch if p.depth > 0]
+        if base is None or not rest:
+            return False
+        return all(p.makespan < base.makespan for p in rest)
+
+    def eviction_point(self, policy: str) -> EvictionPoint:
+        for point in self.eviction:
+            if point.policy == policy:
+                return point
+        raise KeyError(policy)
+
+    def scan_aware_eviction_wins(self) -> bool:
+        return (self.eviction_point("scan").second_pass_hits
+                > self.eviction_point("lru").second_pass_hits)
+
+    def render(self) -> str:
+        headers = ["m", "stagger", "coop reads", "indep reads",
+                   "io ratio", "attach depth", "pages/read",
+                   "coop makespan", "indep makespan", "identical"]
+        rows = [
+            [p.consumers, f"{p.stagger_fraction:.2f}", p.cooperative_reads,
+             p.independent_reads, f"{p.io_ratio:.2f}x", p.max_attach_depth,
+             f"{p.pages_per_read:.2f}", f"{p.makespan_cooperative:.0f}",
+             f"{p.makespan_independent:.0f}",
+             "yes" if p.identical_answers else "NO"]
+            for p in self.share
+        ]
+        blocks = [
+            "Cooperative scans — N staggered consumers, one elevator pass\n"
+            + format_table(headers, rows)
+            + f"\n  io ratio <= 1.2 everywhere: {self.io_ratio_ok()};"
+            f"  answers identical: {self.answers_identical()}"
+        ]
+
+        headers = ["prefetch k", "makespan", "io stall", "io overlapped",
+                   "scan io share"]
+        rows = [
+            [p.depth, f"{p.makespan:.0f}", f"{p.io_stall_cost:.0f}",
+             f"{p.io_overlapped_cost:.0f}", f"{p.scan_io_share:.0%}"]
+            for p in self.prefetch
+        ]
+        blocks.append(
+            "Async prefetch — single cold scan\n"
+            + format_table(headers, rows)
+            + f"\n  prefetch > 0 strictly reduces makespan: "
+            f"{self.prefetch_strictly_helps()}"
+        )
+
+        headers = ["policy", "pool/table pages", "2nd-pass hits", "hit rate"]
+        rows = [
+            [p.policy, f"{p.pool_pages}/{p.table_pages}",
+             p.second_pass_hits, f"{p.hit_rate:.0%}"]
+            for p in self.eviction
+        ]
+        blocks.append(
+            "Scan-aware eviction — two passes over an oversized table\n"
+            + format_table(headers, rows)
+            + f"\n  scan-aware beats LRU on reuse: "
+            f"{self.scan_aware_eviction_wins()}"
+        )
+        blocks.append("Cursor stats (last sweep cell): "
+                      + self.scan_stats.render())
+        return "\n\n".join(blocks)
+
+
+def run(
+    consumers: Sequence[int] = DEFAULT_CONSUMERS,
+    staggers: Sequence[float] = DEFAULT_STAGGERS,
+    prefetch_depths: Sequence[int] = DEFAULT_PREFETCH_DEPTHS,
+    processors: int = 8,
+    base_rows: int = SCAN_ROWS,
+    page_rows: int = DEFAULT_PAGE_ROWS,
+    sweep_prefetch_depth: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> FigScanResult:
+    catalog = _scan_catalog(base_rows, max(consumers), seed)
+    pages = catalog.table(SCAN_TABLE).page_count(page_rows)
+    solo = _solo_cold_makespan(catalog, pages, processors)
+    reference_rows = sorted(catalog.table(SCAN_TABLE).rows())
+
+    share = []
+    last_stats = None
+    for m in consumers:
+        for fraction in staggers:
+            point, last_stats = _measure_share_point(
+                catalog, m, fraction * solo, fraction, processors,
+                page_rows, sweep_prefetch_depth, reference_rows,
+            )
+            share.append(point)
+    prefetch = tuple(
+        _measure_prefetch(catalog, depth, processors, page_rows)
+        for depth in prefetch_depths
+    )
+    eviction = tuple(
+        _measure_eviction(catalog, policy, processors, page_rows)
+        for policy in ("lru", "scan")
+    )
+    return FigScanResult(
+        share=tuple(share),
+        prefetch=prefetch,
+        eviction=eviction,
+        scan_stats=last_stats,
+        processors=processors,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -13,12 +13,15 @@ from repro.policies.coordinator import SharingCoordinator
 from repro.policies.model_guided import ModelGuidedPolicy
 from repro.policies.never import NeverShare
 from repro.policies.online_model import OnlineModelGuidedPolicy
+from repro.policies.resource_outlook import ResourceOutlook, ResourceProfile
 
 __all__ = [
     "AlwaysShare",
     "NeverShare",
     "ModelGuidedPolicy",
     "OnlineModelGuidedPolicy",
+    "ResourceOutlook",
+    "ResourceProfile",
     "BatchPlan",
     "BatchPlanner",
     "SharingPolicy",

@@ -5,17 +5,26 @@ Holds one profiled :class:`~repro.core.spec.QuerySpec` per query type
 Section 3.1 setup) and consults the analytical model on every arrival:
 join the group only if sharing the prospective group beats independent
 execution on this machine.
+
+With a :class:`~repro.policies.resource_outlook.ResourceOutlook`
+attached, the CPU-profiled specs are adjusted per decision with the
+projected cold-scan I/O and spill pressure of the prospective group —
+the fig_mem Part B cold/warm flip, automated: the same warm-profiled
+spec says *don't share* against a warm pool and *share* against a cold
+one, and with cooperative scans active the attach benefit cancels the
+I/O term again.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.core.contention import ContentionLike
 from repro.core.decision import ShareAdvisor
 from repro.core.spec import QuerySpec
 from repro.errors import PolicyError
 from repro.policies.base import SharingPolicy
+from repro.policies.resource_outlook import ResourceOutlook
 
 __all__ = ["ModelGuidedPolicy"]
 
@@ -38,6 +47,11 @@ class ModelGuidedPolicy(SharingPolicy):
         active group to drain before its batch starts), so marginal
         predicted wins lose in practice. The margin absorbs that
         unmodeled cost.
+    outlook:
+        Optional :class:`~repro.policies.resource_outlook.ResourceOutlook`
+        feeding projected I/O and spill effects into each decision.
+        Decisions are no longer cached when an outlook is attached —
+        residency and memory pressure change between arrivals.
     """
 
     name = "model"
@@ -47,12 +61,14 @@ class ModelGuidedPolicy(SharingPolicy):
         specs: Mapping[str, tuple[QuerySpec, str]],
         contention: ContentionLike = None,
         threshold: float = 1.25,
+        outlook: Optional[ResourceOutlook] = None,
     ) -> None:
         if not specs:
             raise PolicyError("model-guided policy needs at least one spec")
         self.specs = dict(specs)
         self.contention = contention
         self.threshold = threshold
+        self.outlook = outlook
         self._decision_cache: dict[tuple[str, int, int], bool] = {}
 
     def should_share(self, query_name: str, prospective_size: int,
@@ -60,9 +76,10 @@ class ModelGuidedPolicy(SharingPolicy):
         if prospective_size < 2:
             return False
         key = (query_name, prospective_size, processors)
-        cached = self._decision_cache.get(key)
-        if cached is not None:
-            return cached
+        if self.outlook is None:
+            cached = self._decision_cache.get(key)
+            if cached is not None:
+                return cached
         try:
             spec, pivot = self.specs[query_name]
         except KeyError:
@@ -70,6 +87,10 @@ class ModelGuidedPolicy(SharingPolicy):
                 f"no model spec for query {query_name!r}; "
                 f"have {sorted(self.specs)}"
             ) from None
+        if self.outlook is not None:
+            spec = self.outlook.adjusted_spec(
+                query_name, spec, pivot, prospective_size
+            )
         advisor = ShareAdvisor(
             processors=processors,
             contention=self.contention,
@@ -80,5 +101,6 @@ class ModelGuidedPolicy(SharingPolicy):
             for i in range(prospective_size)
         ]
         decision = advisor.evaluate(group, pivot).share
-        self._decision_cache[key] = decision
+        if self.outlook is None:
+            self._decision_cache[key] = decision
         return decision

@@ -18,6 +18,7 @@ from repro.core.contention import ContentionLike
 from repro.core.decision import ShareAdvisor
 from repro.errors import PolicyError
 from repro.policies.base import SharingPolicy
+from repro.policies.resource_outlook import ResourceOutlook
 from repro.profiling.online import OnlineEstimator
 from repro.profiling.profiler import QueryProfile
 from repro.tpch.queries import TpchQuery
@@ -42,6 +43,11 @@ class OnlineModelGuidedPolicy(SharingPolicy):
         Optional offline profiles seeding the estimators.
     threshold / contention:
         As in :class:`~repro.policies.model_guided.ModelGuidedPolicy`.
+    outlook:
+        Optional :class:`~repro.policies.resource_outlook.ResourceOutlook`;
+        the live-estimated spec is adjusted with projected cold-scan
+        I/O and spill pressure before each decision, exactly as in the
+        offline policy.
     """
 
     name = "online-model"
@@ -54,6 +60,7 @@ class OnlineModelGuidedPolicy(SharingPolicy):
         contention: ContentionLike = None,
         threshold: float = 1.25,
         window: int = 32,
+        outlook: ResourceOutlook | None = None,
     ) -> None:
         if not queries:
             raise PolicyError("online policy needs at least one query type")
@@ -78,6 +85,7 @@ class OnlineModelGuidedPolicy(SharingPolicy):
         }
         self.contention = contention
         self.threshold = threshold
+        self.outlook = outlook
         self.exploration_shares = 0
 
     # ------------------------------------------------------------------
@@ -98,6 +106,10 @@ class OnlineModelGuidedPolicy(SharingPolicy):
             threshold=self.threshold,
         )
         spec = estimator.current_spec()
+        if self.outlook is not None:
+            spec = self.outlook.adjusted_spec(
+                query_name, spec, self._pivots[query_name], prospective_size
+            )
         group = [
             spec.relabeled(f"{query_name}#{i}")
             for i in range(prospective_size)

@@ -1,0 +1,181 @@
+"""Resource projections feeding the sharing decision.
+
+The Section-4 model prices sharing in CPU terms from profiled
+``(w, s)`` parameters; ``fig_mem`` Part B showed the decision *flips*
+with cache temperature — cold unshared tenants each pay the full
+``io_page`` bill while a shared pivot pays it once — but getting that
+flip required re-profiling the query against a cold pool.
+:class:`ResourceOutlook` automates it: it projects, from the live
+resource layer, the extra work an *unshared* execution of the
+prospective group would pay over a shared one, and folds that
+difference into the pivot's ``w`` before the model runs.
+
+The fold exploits the model's structure: the pivot's ``w`` is counted
+once under sharing and ``m`` times unshared, so adding
+``X = (unshared_extra - shared_extra) / (m - 1)`` to it widens the
+unshared-vs-shared gap by exactly the projected resource delta.
+
+Two projections contribute:
+
+* **Cold-scan I/O** — ``io_page`` times the pivot table's non-resident
+  pages. With a :class:`~repro.storage.shared_scan.ScanShareManager`
+  attached the *unshared* queries also share the physical pass (they
+  attach to the same elevator cursor), so the manager's
+  ``projected_attach_benefit`` shrinks the unshared bill toward the
+  shared one and the decision reverts to CPU terms — cooperative
+  scans make pivot-sharing unnecessary for I/O alone.
+* **Spill pressure** — the :class:`~repro.engine.memory.MemoryBroker`'s
+  ``projected_spill``: m unshared queries each claim the query's
+  working pages while a shared group claims them once; every avoided
+  spill page saves a ``spill_page`` write and an ``io_page`` read-back.
+
+Units: projections are in cost-model units, the same units the
+profiler's busy-time ``w`` values are expressed in at contention-free
+speed — the approximation the experiments validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.spec import OperatorSpec, QuerySpec
+from repro.engine.costs import CostModel
+from repro.engine.memory import MemoryBroker
+from repro.errors import PolicyError
+from repro.storage.buffer import BufferPool
+from repro.storage.shared_scan import ScanShareManager
+
+__all__ = ["ResourceProfile", "ResourceOutlook"]
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Static resource footprint of one query type.
+
+    ``table``/``pages`` describe the pivot's base-table scan;
+    ``work_pages`` the working memory its stateful operators (hash
+    tables, sort buffers) claim.
+    """
+
+    table: str
+    pages: int
+    work_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pages < 0:
+            raise PolicyError(f"pages must be >= 0, got {self.pages}")
+        if self.work_pages < 0:
+            raise PolicyError(
+                f"work_pages must be >= 0, got {self.work_pages}"
+            )
+
+
+class ResourceOutlook:
+    """Projects I/O and memory effects of sharing for the policies.
+
+    Parameters
+    ----------
+    profiles:
+        ``query_name -> ResourceProfile``. Queries without a profile
+        get no adjustment (pure CPU decision).
+    costs:
+        The engine's cost model (``io_page`` / ``spill_page`` terms).
+    pool:
+        The buffer pool whose residency the I/O projection reads.
+    scans:
+        Optional scan-share manager; when present, unshared scans are
+        assumed to attach cooperatively and the I/O penalty shrinks.
+    memory:
+        Optional broker for the spill projection.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, ResourceProfile],
+        costs: CostModel,
+        pool: Optional[BufferPool] = None,
+        scans: Optional[ScanShareManager] = None,
+        memory: Optional[MemoryBroker] = None,
+    ) -> None:
+        if scans is not None and pool is None:
+            pool = scans.pool
+        self.profiles = dict(profiles)
+        self.costs = costs
+        self.pool = pool
+        self.scans = scans
+        self.memory = memory
+
+    # ------------------------------------------------------------------
+
+    def cold_pages(self, profile: ResourceProfile) -> int:
+        """The profile's table pages not currently resident."""
+        if self.pool is None:
+            return 0
+        return max(
+            0, profile.pages - self.pool.resident_pages(profile.table)
+        )
+
+    def pivot_extra_work(self, query_name: str, group_size: int) -> float:
+        """Per-query pivot-``w`` increment encoding the projected
+        resource advantage of sharing a group of ``group_size``.
+
+        Returns 0 when nothing is projected (warm cache, ample
+        memory, unknown query, or a singleton group).
+        """
+        profile = self.profiles.get(query_name)
+        if profile is None or group_size < 2:
+            return 0.0
+        m = group_size
+
+        # Cold-scan I/O: unshared total vs shared total.
+        cold = self.cold_pages(profile)
+        if self.scans is not None:
+            unshared_io = m * self.scans.projected_attach_benefit(
+                profile.table, profile.pages, m
+            )
+        else:
+            unshared_io = float(m * cold)
+        shared_io = float(cold)
+        extra = max(0.0, unshared_io - shared_io) * self.costs.io_page
+
+        # Spill pressure: every avoided spill page saves a write and a
+        # read-back.
+        if self.memory is not None and profile.work_pages:
+            unshared_spill = self.memory.projected_spill(
+                profile.work_pages, operators=m
+            )
+            shared_spill = self.memory.projected_spill(profile.work_pages)
+            extra += max(0, unshared_spill - shared_spill) * (
+                self.costs.spill_page + self.costs.io_page
+            )
+
+        return extra / (m - 1)
+
+    def adjusted_spec(
+        self, query_name: str, spec: QuerySpec, pivot_name: str,
+        group_size: int,
+    ) -> QuerySpec:
+        """Return ``spec`` with the pivot's ``w`` bumped by
+        :meth:`pivot_extra_work` (or ``spec`` itself when zero)."""
+        extra = self.pivot_extra_work(query_name, group_size)
+        if extra <= 0:
+            return spec
+        pivot = spec[pivot_name]  # validates the pivot exists
+
+        def rebuild(node: OperatorSpec) -> OperatorSpec:
+            children = tuple(rebuild(child) for child in node.children)
+            work = node.work + extra if node.name == pivot.name else node.work
+            if work == node.work and children == node.children:
+                return node
+            return OperatorSpec(
+                name=node.name,
+                work=work,
+                output_cost=node.output_cost,
+                children=children,
+                blocking=node.blocking,
+                internal_work=node.internal_work,
+                emit_work=node.emit_work,
+            )
+
+        return QuerySpec(root=rebuild(spec.root), label=spec.label)

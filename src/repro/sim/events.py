@@ -48,13 +48,29 @@ CLOSED = _Closed()
 
 @dataclass(frozen=True)
 class Compute:
-    """Consume ``cost`` units of CPU work on the holding processor."""
+    """Consume ``cost`` units of work on the holding processor.
+
+    ``io`` tags the portion of ``cost`` that is I/O stall rather than
+    CPU work (a buffer-pool miss the task synchronously waits out, or
+    the un-overlapped remainder of a prefetched read). It changes
+    nothing about scheduling — the processor is held either way, as a
+    thread blocked on a synchronous read holds its context — but the
+    simulator accounts it separately on the task (``Task.io_time``),
+    so stage reports can show how much of a stage's busy time was
+    spent waiting for storage versus computing.
+    """
 
     cost: float
+    io: float = 0.0
 
     def __post_init__(self) -> None:
         if not (self.cost >= 0):  # also rejects NaN
             raise SimulationError(f"Compute cost must be >= 0, got {self.cost!r}")
+        if not (0 <= self.io <= self.cost):
+            raise SimulationError(
+                f"Compute io must be within [0, cost], got io={self.io!r} "
+                f"with cost={self.cost!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -238,6 +238,7 @@ class Simulator:
                 duration = request.cost / speed
                 proc.busy_time += duration
                 task.busy_time += duration
+                task.io_time += request.io / speed
                 task.zero_time_steps = 0
                 self._schedule(
                     self.now + duration,

@@ -49,6 +49,8 @@ class Task:
     state: str = field(default=READY, init=False)
     resume_value: Any = field(default=None, init=False)
     busy_time: float = field(default=0.0, init=False)
+    # Portion of busy_time tagged as I/O stall by Compute(io=...).
+    io_time: float = field(default=0.0, init=False)
     spawned_at: float = field(default=0.0, init=False)
     finished_at: Optional[float] = field(default=None, init=False)
     error: Optional[BaseException] = field(default=None, init=False)

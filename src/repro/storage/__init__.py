@@ -9,10 +9,12 @@ machine); this package provides the equivalent: columnar
 For workloads that do *not* fit (or whose operators must not assume
 they do), :mod:`repro.storage.buffer` adds the memory-governed layer:
 a page-granular :class:`~repro.storage.buffer.BufferPool` with
-pluggable eviction (LRU / CLOCK / MRU) fronting table pages — cold
-reads charge the cost model's ``io_page`` — plus
+pluggable eviction (LRU / CLOCK / MRU / scan-aware) fronting table
+pages — cold reads charge the cost model's ``io_page`` — plus
 :class:`~repro.storage.buffer.SpillFile` runs used by spilling
 operators under :class:`~repro.engine.memory.MemoryBroker` grants.
+:mod:`repro.storage.shared_scan` layers cooperative (elevator) scan
+sharing with async prefetch on top of the pool.
 """
 
 from repro.storage.buffer import (
@@ -23,12 +25,18 @@ from repro.storage.buffer import (
     EvictionPolicy,
     LRUPolicy,
     MRUPolicy,
+    ScanAwarePolicy,
     SpillFile,
     make_policy,
     spill_page_key,
     table_page_key,
 )
 from repro.storage.catalog import Catalog
+from repro.storage.shared_scan import (
+    ScanShareManager,
+    ScanTicket,
+    TableScanStats,
+)
 from repro.storage.io import load_catalog, load_table, save_catalog, save_table
 from repro.storage.page import DEFAULT_PAGE_ROWS, Page, paginate
 from repro.storage.schema import (
@@ -48,6 +56,10 @@ __all__ = [
     "EvictionPolicy",
     "LRUPolicy",
     "MRUPolicy",
+    "ScanAwarePolicy",
+    "ScanShareManager",
+    "ScanTicket",
+    "TableScanStats",
     "SpillFile",
     "make_policy",
     "spill_page_key",

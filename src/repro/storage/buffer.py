@@ -13,9 +13,11 @@ adds the missing storage layer:
 * Frames can be *pinned* — pinned frames are never evicted (operators
   pin pages they are actively mutating).
 * Eviction is pluggable: :class:`LRUPolicy`, :class:`ClockPolicy`
-  (second chance) and :class:`MRUPolicy` (optimal for looping scans
-  larger than the pool) are provided; :func:`make_policy` resolves a
-  policy by name.
+  (second chance), :class:`MRUPolicy` (optimal for looping scans
+  larger than the pool) and :class:`ScanAwarePolicy` (LRU that
+  switches to MRU victims for tables observed or hinted to be larger
+  than the pool — the adaptive choice for cooperative circular scans)
+  are provided; :func:`make_policy` resolves a policy by name.
 * :class:`SpillFile` is the spill channel used by memory-governed
   operators (the spilling hybrid hash join): pages written to a spill
   file live "on disk" (they survive eviction) but are also admitted to
@@ -50,6 +52,7 @@ __all__ = [
     "LRUPolicy",
     "MRUPolicy",
     "ClockPolicy",
+    "ScanAwarePolicy",
     "make_policy",
     "BufferPool",
     "SpillFile",
@@ -152,6 +155,14 @@ class EvictionPolicy:
     def victim(self, is_pinned: Callable[[PageKey], bool]) -> PageKey:
         raise NotImplementedError
 
+    def bind_capacity(self, capacity: int) -> None:
+        """Told the pool's frame count at attach time. Most policies
+        ignore it; adaptive policies use it to classify footprints."""
+
+    def scan_hint(self, table_name: str, n_pages: int) -> None:
+        """Advice that ``table_name`` is under a scan of ``n_pages``
+        pages. Default: ignored."""
+
 
 class LRUPolicy(EvictionPolicy):
     """Evict the least recently used unpinned frame."""
@@ -240,11 +251,79 @@ class ClockPolicy(EvictionPolicy):
         raise StorageError("buffer pool: every frame is pinned")
 
 
-_POLICIES = {p.name: p for p in (LRUPolicy, MRUPolicy, ClockPolicy)}
+class ScanAwarePolicy(LRUPolicy):
+    """LRU that turns into MRU for tables bigger than the pool.
+
+    The failure mode this prevents: a circular scan over a table that
+    does not fit wipes the pool under LRU (every page evicted is
+    exactly the one the next revolution needs first) and evicts every
+    *other* table's working set along the way. The policy watches the
+    per-table page footprint (and accepts explicit
+    :meth:`scan_hint` advice from the scan-share manager); once a
+    table's footprint exceeds the pool capacity it is classified as a
+    *looping scan* and its **most** recently used page becomes the
+    preferred victim — preserving the prefix of the loop for the next
+    revolution and leaving unrelated tables' frames alone. Tables that
+    fit keep plain LRU behavior.
+
+    Classification triggers at footprint >= capacity: a table that
+    large cannot coexist with anything else, and with observation-only
+    detection the policy cannot see the true size until the scan has
+    already overflowed the pool — the manager's explicit
+    :meth:`scan_hint` (sent at attach time) classifies before the
+    first eviction.
+    """
+
+    name = "scan"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._capacity: Optional[int] = None
+        self._footprint: dict[str, int] = {}
+        self._looping: set[str] = set()
+
+    def bind_capacity(self, capacity: int) -> None:
+        self._capacity = capacity
+        for table, pages in self._footprint.items():
+            if pages >= capacity:
+                self._looping.add(table)
+
+    def scan_hint(self, table_name: str, n_pages: int) -> None:
+        self._observe(table_name, n_pages)
+
+    def is_looping(self, table_name: str) -> bool:
+        """True once the table has been classified as a looping scan."""
+        return table_name in self._looping
+
+    def on_admit(self, key: PageKey) -> None:
+        super().on_admit(key)
+        if key[0] == "tbl":
+            self._observe(key[1], key[2] + 1)
+
+    def victim(self, is_pinned: Callable[[PageKey], bool]) -> PageKey:
+        if self._looping:
+            for key in reversed(self._order):
+                if (key[0] == "tbl" and key[1] in self._looping
+                        and not is_pinned(key)):
+                    return key
+        return super().victim(is_pinned)
+
+    def _observe(self, table_name: str, n_pages: int) -> None:
+        seen = self._footprint.get(table_name, 0)
+        if n_pages > seen:
+            self._footprint[table_name] = n_pages
+            if self._capacity is not None and n_pages >= self._capacity:
+                self._looping.add(table_name)
+
+
+_POLICIES = {
+    p.name: p for p in (LRUPolicy, MRUPolicy, ClockPolicy, ScanAwarePolicy)
+}
 
 
 def make_policy(policy: str | EvictionPolicy) -> EvictionPolicy:
-    """Resolve ``"lru"`` / ``"clock"`` / ``"mru"`` (or pass through)."""
+    """Resolve ``"lru"`` / ``"clock"`` / ``"mru"`` / ``"scan"`` (or
+    pass an :class:`EvictionPolicy` instance through)."""
     if isinstance(policy, EvictionPolicy):
         return policy
     try:
@@ -274,6 +353,7 @@ class BufferPool:
             )
         self.capacity = int(capacity_pages)
         self.policy = make_policy(policy)
+        self.policy.bind_capacity(self.capacity)
         self.stats = BufferStats()
         self._pins: dict[PageKey, int] = {}  # key -> pin count (0 = unpinned)
         self._spill_counter = 0
@@ -288,6 +368,18 @@ class BufferPool:
 
     def pinned_count(self) -> int:
         return sum(1 for count in self._pins.values() if count)
+
+    def resident_pages(self, table_name: str) -> int:
+        """How many of a table's pages are currently resident."""
+        return sum(
+            1 for key in self._pins
+            if key[0] == "tbl" and key[1] == table_name
+        )
+
+    def scan_hint(self, table_name: str, n_pages: int) -> None:
+        """Advise the eviction policy that a scan of ``n_pages`` pages
+        is running over ``table_name`` (no-op for unaware policies)."""
+        self.policy.scan_hint(table_name, n_pages)
 
     def is_pinned(self, key: PageKey) -> bool:
         return self._pins.get(key, 0) > 0

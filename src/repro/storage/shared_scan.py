@@ -1,0 +1,400 @@
+"""Cooperative scan sharing: elevator cursors with async prefetch.
+
+``fig_mem`` showed that identical concurrent scans through one shared
+:class:`~repro.storage.buffer.BufferPool` *convoy*: the first toucher
+of every page misses and the lockstep followers hit. That sharing is
+implicit — it only works when the followers happen to stay page-
+synchronized, and a scan arriving mid-table still starts at page 0.
+This module makes the sharing explicit, in the style of QPipe's
+on-the-fly scan sharing and the circular scans of commercial engines:
+
+* :class:`ScanShareManager` runs one **elevator cursor** per hot table.
+  A scan *attaches* at the cursor's current position, consumes pages in
+  circular order, wraps past the end, and *completes after one full
+  revolution* back to its start offset — so a late arrival rides the
+  in-flight physical pass instead of forcing a second one, and only
+  pays a private read for the prefix it missed (which is usually still
+  resident behind the cursor).
+* Each cursor carries an **async prefetch** pipeline of depth ``k``:
+  while a consumer computes over page ``i``, the (simulated) disk
+  fetches pages ``i+1 .. i+k``. The disk is modeled as a sequential
+  device draining a FIFO of issued reads; a consumer arriving at a
+  page whose read has not finished pays only the *remaining* cost
+  (the stall), so prefetch converts cold-scan cost from
+  ``cpu + io`` per page toward ``max(cpu, io)`` per page.
+* Tables larger than the pool are registered with the pool's eviction
+  policy via :meth:`~repro.storage.buffer.BufferPool.scan_hint`, so a
+  scan-aware policy (:class:`~repro.storage.buffer.ScanAwarePolicy`)
+  can switch those tables to MRU-style victims and keep a circular
+  scan from flushing the cache.
+
+All accounting is in cost-model units, like the rest of the storage
+layer: :meth:`ScanShareManager.acquire` returns the stall cost the
+scan stage charges (as the ``io`` component of a
+:class:`~repro.sim.events.Compute`). The caller passes the CPU cost
+of the page it just finished as ``cpu_credit``; the acquire that
+advances the elevator head drains the disk FIFO by that amount —
+exactly one CPU interval of overlap per physical page, however many
+lockstep consumers ride the cursor. The manager never talks to the
+simulator directly, keeping all timing in the operator code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool, table_page_key
+
+__all__ = ["ScanTicket", "TableScanStats", "ScanShareManager"]
+
+
+@dataclass(frozen=True)
+class TableScanStats:
+    """Immutable per-table share statistics, for reports.
+
+    ``pages_served / physical_reads`` is the sharing factor: with m
+    attached consumers riding one physical pass it approaches m, with
+    independent scans it stays near 1.
+    """
+
+    table: str
+    n_pages: int
+    attaches: int
+    max_attach_depth: int
+    pages_served: int
+    physical_reads: int
+    prefetch_issued: int
+    prefetch_wasted: int
+    io_stall_cost: float
+    io_overlapped_cost: float
+
+    @property
+    def pages_per_read(self) -> float:
+        """Logical pages served per physical page read."""
+        if not self.physical_reads:
+            return float(self.pages_served) if self.pages_served else 0.0
+        return self.pages_served / self.physical_reads
+
+    def render(self) -> str:
+        return (
+            f"scan[{self.table}]: {self.attaches} attaches "
+            f"(depth <= {self.max_attach_depth}), "
+            f"{self.pages_served} pages served / "
+            f"{self.physical_reads} physical reads "
+            f"({self.pages_per_read:.2f}x), "
+            f"prefetch {self.prefetch_issued} issued "
+            f"({self.prefetch_wasted} wasted), "
+            f"io stall {self.io_stall_cost:.0f} / "
+            f"overlapped {self.io_overlapped_cost:.0f}"
+        )
+
+
+class ScanTicket:
+    """One consumer's ride on a table's elevator cursor.
+
+    The ticket records where the consumer attached (``start_page``) and
+    how many pages it has been served; :attr:`page_index` walks the
+    table in circular order from the start offset and the ticket is
+    :attr:`exhausted` after exactly one revolution.
+    """
+
+    __slots__ = ("table", "n_pages", "start_page", "served", "detached")
+
+    def __init__(self, table: str, n_pages: int, start_page: int) -> None:
+        self.table = table
+        self.n_pages = n_pages
+        self.start_page = start_page
+        self.served = 0
+        self.detached = False
+
+    @property
+    def page_index(self) -> int:
+        """Physical index of the next page this consumer reads."""
+        return (self.start_page + self.served) % self.n_pages
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the consumer has seen every page exactly once."""
+        return self.served >= self.n_pages
+
+    def advance(self) -> None:
+        if self.exhausted:
+            raise StorageError(
+                f"scan ticket for {self.table!r} already completed "
+                "its revolution"
+            )
+        self.served += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ScanTicket({self.table!r}, start={self.start_page}, "
+            f"{self.served}/{self.n_pages})"
+        )
+
+
+class _Cursor:
+    """Elevator state for one table: head position, disk FIFO, stats."""
+
+    __slots__ = (
+        "table", "n_pages", "head", "tickets", "pending",
+        "inflight", "attaches", "max_attach_depth", "pages_served",
+        "physical_reads", "prefetch_issued", "prefetch_wasted",
+        "io_stall_cost", "io_overlapped_cost",
+    )
+
+    def __init__(self, table: str, n_pages: int) -> None:
+        self.table = table
+        self.n_pages = n_pages
+        self.head = 0            # next physical page the elevator reads
+        self.tickets: list[ScanTicket] = []
+        # The sequential disk: FIFO of [page_index, remaining_io_cost]
+        # for issued-but-incomplete reads, plus the index set.
+        self.pending: deque[list] = deque()
+        self.inflight: set[int] = set()
+        self.attaches = 0
+        self.max_attach_depth = 0
+        self.pages_served = 0
+        self.physical_reads = 0
+        self.prefetch_issued = 0
+        self.prefetch_wasted = 0
+        self.io_stall_cost = 0.0
+        self.io_overlapped_cost = 0.0
+
+    def stats(self) -> TableScanStats:
+        return TableScanStats(
+            table=self.table,
+            n_pages=self.n_pages,
+            attaches=self.attaches,
+            max_attach_depth=self.max_attach_depth,
+            pages_served=self.pages_served,
+            physical_reads=self.physical_reads,
+            prefetch_issued=self.prefetch_issued,
+            prefetch_wasted=self.prefetch_wasted,
+            io_stall_cost=self.io_stall_cost,
+            io_overlapped_cost=self.io_overlapped_cost,
+        )
+
+
+class ScanShareManager:
+    """Coordinates cooperative (elevator) scans over one buffer pool.
+
+    Parameters
+    ----------
+    pool:
+        The buffer pool all cooperative scans read through.
+    prefetch_depth:
+        Pages of read-ahead issued past the elevator head (0 disables
+        prefetch — every miss is a synchronous ``io_page`` stall).
+    """
+
+    def __init__(self, pool: BufferPool, prefetch_depth: int = 0) -> None:
+        if prefetch_depth < 0:
+            raise StorageError(
+                f"prefetch_depth must be >= 0, got {prefetch_depth}"
+            )
+        self.pool = pool
+        self.prefetch_depth = int(prefetch_depth)
+        self._cursors: dict[str, _Cursor] = {}
+
+    # -- consumer lifecycle ----------------------------------------------
+
+    def attach(self, table: str, n_pages: int) -> ScanTicket:
+        """Join the table's elevator at its current position.
+
+        The first consumer starts a cursor at page 0; later arrivals
+        start at the head — the page the in-flight pass is about to
+        read — and wrap around.
+        """
+        if n_pages < 1:
+            raise StorageError(f"n_pages must be >= 1, got {n_pages}")
+        cursor = self._cursors.get(table)
+        if cursor is None:
+            cursor = _Cursor(table, n_pages)
+            self._cursors[table] = cursor
+        elif cursor.n_pages != n_pages:
+            if cursor.tickets:
+                raise StorageError(
+                    f"table {table!r} changed size mid-scan: cursor has "
+                    f"{cursor.n_pages} pages, attach requests {n_pages}"
+                )
+            # Idle cursor over a table that grew (or shrank) between
+            # queries: re-size its geometry, keep its lifetime stats.
+            cursor.n_pages = n_pages
+            cursor.head = 0
+            cursor.pending.clear()
+            cursor.inflight.clear()
+        ticket = ScanTicket(table, n_pages, cursor.head % n_pages)
+        cursor.tickets.append(ticket)
+        cursor.attaches += 1
+        cursor.max_attach_depth = max(
+            cursor.max_attach_depth, len(cursor.tickets)
+        )
+        if n_pages > self.pool.capacity:
+            self.pool.scan_hint(table, n_pages)
+        return ticket
+
+    def detach(self, ticket: ScanTicket) -> None:
+        """Remove a finished (or abandoned) consumer from its cursor."""
+        if ticket.detached:
+            return
+        ticket.detached = True
+        cursor = self._cursors.get(ticket.table)
+        if cursor is None:
+            return
+        try:
+            cursor.tickets.remove(ticket)
+        except ValueError:
+            pass
+
+    # -- the per-page protocol -------------------------------------------
+
+    def acquire(
+        self, ticket: ScanTicket, io_page: float, cpu_credit: float = 0.0
+    ) -> float:
+        """Obtain the ticket's next page; returns the I/O stall cost.
+
+        ``cpu_credit`` is the CPU cost of the page the consumer just
+        finished. When this acquire advances the elevator head — one
+        consumer does, once per physical page, whichever of the
+        lockstep riders gets there first — the credit drains the disk
+        FIFO: that is the interval the disk spent fetching ahead while
+        the pipeline computed. The returned stall is what remains of
+        this page's read (the full ``io_page`` on an unprefetched
+        miss, zero on a finished prefetch); the caller charges it as
+        the ``io`` component of its ``Compute``. If this consumer is
+        at the head, the next ``prefetch_depth`` pages' reads are also
+        issued here.
+        """
+        if ticket.exhausted or ticket.detached:
+            raise StorageError(f"{ticket!r} is not active")
+        if cpu_credit < 0:
+            raise StorageError(f"cpu_credit must be >= 0, got {cpu_credit}")
+        cursor = self._cursor_of(ticket)
+        index = ticket.page_index
+        cursor.pages_served += 1
+        at_head = index == cursor.head
+        if at_head:
+            self._drain(cursor, cpu_credit)
+        resident = self.pool.access(table_page_key(ticket.table, index))
+
+        stall = 0.0
+        if not resident and index not in cursor.inflight:
+            # Synchronous miss: nobody issued this read ahead of time.
+            stall = io_page
+            cursor.physical_reads += 1
+        elif not resident:
+            # The prefetched frame was evicted before use: the read was
+            # wasted, pay for a fresh synchronous one.
+            self._drop_inflight(cursor, index)
+            cursor.prefetch_wasted += 1
+            stall = io_page
+            cursor.physical_reads += 1
+        elif index in cursor.inflight:
+            # Resident but the read has not finished: the sequential
+            # disk must complete everything issued up to and including
+            # this page before the consumer can proceed.
+            while cursor.pending:
+                issued_index, remaining = cursor.pending.popleft()
+                cursor.inflight.discard(issued_index)
+                stall += remaining
+                if issued_index == index:
+                    break
+        cursor.io_stall_cost += stall
+
+        # Elevator-head bookkeeping and read-ahead.
+        if at_head:
+            cursor.head = (index + 1) % cursor.n_pages
+            self._issue_prefetch(cursor, index, io_page)
+        return stall
+
+    # -- projections and reports -----------------------------------------
+
+    def cold_pages(self, table: str, n_pages: int) -> int:
+        """Pages of the table not currently resident in the pool."""
+        return max(0, n_pages - self.pool.resident_pages(table))
+
+    def projected_attach_benefit(
+        self, table: str, n_pages: int, consumers: int
+    ) -> float:
+        """Expected cold pages *each* of ``consumers`` concurrent
+        scans pays with attach sharing on.
+
+        One elevator pass serves everyone, so the physical read bill
+        splits across the riders; history refines the estimate once a
+        cursor has run (observed pages-per-read can fall short of the
+        consumer count when arrivals outpace a revolution).
+        """
+        if consumers < 1:
+            raise StorageError(f"consumers must be >= 1, got {consumers}")
+        cold = self.cold_pages(table, n_pages)
+        share = float(consumers)
+        cursor = self._cursors.get(table)
+        if cursor is not None and cursor.physical_reads:
+            observed = cursor.pages_served / cursor.physical_reads
+            share = min(share, max(1.0, observed))
+        return cold / share
+
+    def snapshot(self) -> tuple[TableScanStats, ...]:
+        return tuple(
+            cursor.stats()
+            for _, cursor in sorted(self._cursors.items())
+        )
+
+    def render(self) -> str:
+        stats = self.snapshot()
+        if not stats:
+            return "scan sharing: no cursors"
+        return "\n".join(s.render() for s in stats)
+
+    # -- internals ---------------------------------------------------------
+
+    def _cursor_of(self, ticket: ScanTicket) -> _Cursor:
+        try:
+            return self._cursors[ticket.table]
+        except KeyError:
+            raise StorageError(
+                f"no cursor for table {ticket.table!r}"
+            ) from None
+
+    @staticmethod
+    def _drain(cursor: _Cursor, cpu_credit: float) -> None:
+        """The disk worked for one CPU interval: pay down the FIFO."""
+        remaining = cpu_credit
+        while remaining > 0 and cursor.pending:
+            head = cursor.pending[0]
+            if head[1] <= remaining:
+                remaining -= head[1]
+                cursor.io_overlapped_cost += head[1]
+                cursor.inflight.discard(head[0])
+                cursor.pending.popleft()
+            else:
+                head[1] -= remaining
+                cursor.io_overlapped_cost += remaining
+                remaining = 0.0
+
+    def _issue_prefetch(self, cursor: _Cursor, index: int, io_page: float) -> None:
+        if not self.prefetch_depth or io_page <= 0:
+            return
+        for step in range(1, self.prefetch_depth + 1):
+            target = (index + step) % cursor.n_pages
+            key = table_page_key(cursor.table, target)
+            if target in cursor.inflight or key in self.pool:
+                continue
+            # Issue the read: the frame is admitted now (so followers
+            # see it), its cost sits in the disk FIFO until overlapped
+            # CPU work or an acquire-stall pays it down.
+            self.pool.access(key)
+            cursor.pending.append([target, io_page])
+            cursor.inflight.add(target)
+            cursor.physical_reads += 1
+            cursor.prefetch_issued += 1
+
+    @staticmethod
+    def _drop_inflight(cursor: _Cursor, index: int) -> None:
+        cursor.inflight.discard(index)
+        for position, entry in enumerate(cursor.pending):
+            if entry[0] == index:
+                del cursor.pending[position]
+                break

@@ -83,5 +83,41 @@ class Table:
             if rows:
                 yield Page(rows)
 
+    def page_count(self, page_rows: int = DEFAULT_PAGE_ROWS) -> int:
+        """Number of pages a scan of this table touches."""
+        if page_rows < 1:
+            raise StorageError(f"page_rows must be >= 1, got {page_rows}")
+        return -(-len(self) // page_rows)
+
+    def page_at(
+        self,
+        index: int,
+        columns: Sequence[str] | None = None,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ) -> Page:
+        """Materialize one page by index (random access).
+
+        Page ``i`` covers rows ``[i * page_rows, (i+1) * page_rows)``,
+        matching :meth:`scan_pages` and the buffer pool's
+        :func:`~repro.storage.buffer.table_page_key` convention. Used
+        by cooperative (elevator) scans, which start mid-table and
+        wrap around rather than walking from row 0.
+        """
+        if page_rows < 1:
+            raise StorageError(f"page_rows must be >= 1, got {page_rows}")
+        n_pages = self.page_count(page_rows)
+        if not (0 <= index < n_pages):
+            raise StorageError(
+                f"page index {index} out of range for {self.name!r} "
+                f"({n_pages} pages at {page_rows} rows/page)"
+            )
+        if columns is None:
+            cols = self._columns
+        else:
+            cols = [self._columns[self.schema.index_of(c)] for c in columns]
+        start = index * page_rows
+        end = min(start + page_rows, len(self))
+        return Page(list(zip(*(col[start:end] for col in cols))))
+
     def projected_schema(self, columns: Sequence[str] | None) -> Schema:
         return self.schema if columns is None else self.schema.project(columns)

@@ -5,7 +5,7 @@ import pytest
 from repro.engine.costs import CostModel
 from repro.engine.stage import OutputEmitter
 from repro.errors import EngineError
-from repro.sim import CLOSED, Close, Compute, Get, Put, Simulator
+from repro.sim import CLOSED, Get, Simulator
 
 
 @pytest.fixture

@@ -1,0 +1,63 @@
+"""The cooperative-scan experiment meets its acceptance criteria."""
+
+import pytest
+
+from repro.experiments import fig_scan
+
+
+@pytest.fixture(scope="module")
+def result():
+    # The CLI's --quick configuration.
+    return fig_scan.run(consumers=(2, 4), staggers=(0.0, 0.5),
+                        prefetch_depths=(0, 2))
+
+
+class TestAttachSharing:
+    def test_one_physical_pass_serves_all_consumers(self, result):
+        """N staggered scans cost <= 1.2x one table's io_page bill."""
+        assert result.io_ratio_ok(1.2)
+
+    def test_independent_baseline_pays_n_passes(self, result):
+        assert result.independent_pays_n_passes()
+
+    def test_answers_identical_to_independent_scans(self, result):
+        assert result.answers_identical()
+
+    def test_cooperative_makespan_beats_independent(self, result):
+        for point in result.share:
+            assert point.makespan_cooperative < point.makespan_independent
+
+    def test_attach_depth_reflects_concurrency(self, result):
+        lockstep = [p for p in result.share if p.stagger_fraction == 0.0]
+        assert all(p.max_attach_depth == p.consumers for p in lockstep)
+
+
+class TestPrefetch:
+    def test_prefetch_strictly_reduces_cold_makespan(self, result):
+        assert result.prefetch_strictly_helps()
+
+    def test_overlap_is_accounted(self, result):
+        deep = next(p for p in result.prefetch if p.depth > 0)
+        base = next(p for p in result.prefetch if p.depth == 0)
+        assert deep.io_overlapped_cost > 0
+        assert base.io_overlapped_cost == 0
+        assert deep.io_stall_cost < base.io_stall_cost
+
+    def test_io_share_visible_in_stage_report(self, result):
+        for point in result.prefetch:
+            assert 0.0 < point.scan_io_share < 1.0
+
+
+class TestScanAwareEviction:
+    def test_scan_policy_beats_lru_on_second_pass(self, result):
+        assert result.scan_aware_eviction_wins()
+        assert result.eviction_point("lru").second_pass_hits == 0
+
+
+class TestRender:
+    def test_render_reports_criteria(self, result):
+        text = result.render()
+        assert "io ratio <= 1.2 everywhere: True" in text
+        assert "answers identical: True" in text
+        assert "strictly reduces makespan: True" in text
+        assert "scan-aware beats LRU on reuse: True" in text

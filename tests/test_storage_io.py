@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage import (
-    Catalog,
     DataType,
     Schema,
     Table,
