@@ -77,6 +77,15 @@ class Engine:
         unchanged but the order rotates, so floating-point aggregates
         folded over it may differ from an independent run in the last
         ulp (summation order) — the standard cooperative-scan caveat.
+    spill_prefetch_depth:
+        Read-ahead depth for spill read-back: governed operators
+        (hash join cleanup, aggregate finalize, external sort merges)
+        stream their spill runs through a
+        :class:`~repro.storage.spill_cursor.SpillCursor` of this
+        depth, overlapping the runs' ``io_page`` cost with their own
+        CPU work. ``None`` (default) inherits the scan manager's
+        prefetch depth when one is attached, else 0 (synchronous
+        read-back).
     """
 
     def __init__(
@@ -89,10 +98,19 @@ class Engine:
         buffer_pool: Optional[BufferPool] = None,
         memory: Optional[MemoryBroker] = None,
         scan_manager: Optional[ScanShareManager] = None,
+        spill_prefetch_depth: Optional[int] = None,
     ) -> None:
         if queue_capacity < 1:
             raise EngineError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if spill_prefetch_depth is None:
+            spill_prefetch_depth = (
+                scan_manager.prefetch_depth if scan_manager is not None else 0
+            )
+        if spill_prefetch_depth < 0:
+            raise EngineError(
+                f"spill_prefetch_depth must be >= 0, got {spill_prefetch_depth}"
             )
         if scan_manager is not None:
             if buffer_pool is None:
@@ -111,7 +129,8 @@ class Engine:
         self.scan_manager = scan_manager
         self.ctx = StageContext(catalog=catalog, costs=costs,
                                 page_rows=page_rows, pool=buffer_pool,
-                                memory=memory, scans=scan_manager)
+                                memory=memory, scans=scan_manager,
+                                spill_prefetch=spill_prefetch_depth)
         self.queue_capacity = queue_capacity
         self.handles: list[QueryHandle] = []
         self.groups: list[GroupHandle] = []

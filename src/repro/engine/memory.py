@@ -35,13 +35,20 @@ __all__ = ["MemoryBroker", "MemoryGrant", "GrantSnapshot", "MemorySnapshot"]
 
 @dataclass(frozen=True)
 class GrantSnapshot:
-    """Immutable view of one grant, for reports."""
+    """Immutable view of one grant, for reports.
+
+    ``notes`` carries operator-reported facts about how the grant was
+    spent — the external sort reports ``sort_runs`` / ``merge_passes``
+    / ``spilled_pages``, so resource reports can show not just *that*
+    an operator stayed in budget but *how*.
+    """
 
     owner: str
     pages: int
     used: int
     high_water: int
     closed: bool
+    notes: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -63,10 +70,14 @@ class MemorySnapshot:
         ]
         for grant in self.grants:
             state = "closed" if grant.closed else "open"
-            lines.append(
+            line = (
                 f"  {grant.owner}: budget {grant.pages}, "
                 f"high-water {grant.high_water} ({state})"
             )
+            if grant.notes:
+                detail = ", ".join(f"{k}={v}" for k, v in grant.notes)
+                line += f" [{detail}]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -80,7 +91,7 @@ class MemoryGrant:
     """
 
     __slots__ = ("broker", "owner", "pages", "used", "high_water",
-                 "closed", "_overcommitted")
+                 "closed", "notes", "_overcommitted")
 
     def __init__(self, broker: "MemoryBroker", owner: str, pages: int) -> None:
         self.broker = broker
@@ -89,6 +100,7 @@ class MemoryGrant:
         self.used = 0
         self.high_water = 0
         self.closed = False
+        self.notes: dict = {}
         self._overcommitted = False
 
     def resize_used(self, used_pages: int) -> None:
@@ -105,6 +117,11 @@ class MemoryGrant:
             self._overcommitted = True
             self.broker.overcommits += 1
 
+    def note(self, **facts) -> None:
+        """Attach operator-reported facts (e.g. ``sort_runs=5``) to
+        this grant; they surface in snapshots and resource reports."""
+        self.notes.update(facts)
+
     def close(self) -> None:
         """Release the budget back to the broker."""
         if self.closed:
@@ -120,6 +137,7 @@ class MemoryGrant:
             used=self.used,
             high_water=self.high_water,
             closed=self.closed,
+            notes=tuple(sorted(self.notes.items())),
         )
 
     def __repr__(self) -> str:

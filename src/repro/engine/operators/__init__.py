@@ -37,13 +37,18 @@ class StageContext:
     resource-governance layer: with a
     :class:`~repro.storage.buffer.BufferPool` attached, scans charge
     ``io_page`` per cold page; with a
-    :class:`~repro.engine.memory.MemoryBroker` attached, the hash join
-    and hash aggregate take working-memory grants and spill when over
-    budget; with a
+    :class:`~repro.engine.memory.MemoryBroker` attached, the hash
+    join, hash aggregate and sort take working-memory grants and spill
+    when over budget; with a
     :class:`~repro.storage.shared_scan.ScanShareManager` attached,
     scans ride per-table elevator cursors (cooperative scan sharing
     with async prefetch). All default to ``None`` — the seed's
     unbounded-memory behavior.
+
+    ``spill_prefetch`` is the read-ahead depth governed operators use
+    when re-reading their spill runs through a
+    :class:`~repro.storage.spill_cursor.SpillCursor` (0 = synchronous
+    read-back, the pre-cursor behavior).
     """
 
     catalog: Catalog
@@ -52,6 +57,7 @@ class StageContext:
     pool: Optional[BufferPool] = None
     memory: Optional[MemoryBroker] = None
     scans: Optional[ScanShareManager] = None
+    spill_prefetch: int = 0
 
 
 def build_operator_task(node, in_queues: Sequence[SimQueue],

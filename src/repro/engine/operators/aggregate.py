@@ -29,6 +29,7 @@ from __future__ import annotations
 from repro.engine.stage import OutputEmitter
 from repro.errors import PlanError
 from repro.sim.events import CLOSED, Compute, Get
+from repro.storage.spill_cursor import SpillCursor
 
 __all__ = ["task", "aggregate_rows", "Accumulator"]
 
@@ -290,16 +291,18 @@ def _governed_task(node, in_q, out_queues, ctx, group_idx, value_fns, aggs):
         seal = costs.spill_page * p.file.flush()
         if seal:
             yield Compute(seal)
-        pages, misses = p.file.read_all()
         grant.resize_used(p.file.page_count)
-        io = costs.io_page * misses
         merged: dict = {}
-        n_rows = 0
-        for spill_page in pages:
+        # Stream the state run back through a prefetched cursor: the
+        # absorb CPU of this page drains the next pages' reads.
+        reader = SpillCursor(p.file, costs.io_page, ctx.spill_prefetch)
+        credit = 0.0
+        while not reader.exhausted:
+            spill_page, stall = reader.next_page(credit)
             for row in spill_page.rows:
                 _absorb_state_row(merged, row, key_width, aggs)
-                n_rows += 1
-        yield Compute(io + costs.agg_update * n_rows, io=io)
+            credit = costs.agg_update * len(spill_page)
+            yield Compute(credit + stall, io=stall)
         output.extend(
             key + tuple(a.result() for a in merged[key])
             for key in merged

@@ -37,6 +37,7 @@ import zlib
 
 from repro.engine.stage import OutputEmitter
 from repro.sim.events import CLOSED, Compute, Get
+from repro.storage.spill_cursor import SpillCursor
 
 __all__ = ["task", "build_table", "probe_rows"]
 
@@ -282,25 +283,33 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
 
     fits = build_file.page_count <= grant.pages
     if fits or depth >= MAX_RECURSION_DEPTH or build_file.page_count <= 1:
-        # Re-read the build run, rebuild the hash table, stream the
-        # probe run. At the recursion floor this may exceed the grant;
-        # the broker records the overcommit.
-        pages, misses = build_file.read_all()
-        rows = [row for page in pages for row in page.rows]
+        # Re-read the build run page by page through a prefetched
+        # cursor — hashing this page drains the next pages' reads —
+        # rebuild the hash table, then stream the probe run the same
+        # way. At the recursion floor this may exceed the grant; the
+        # broker records the overcommit.
         grant.resize_used(build_file.page_count)
-        io = costs.io_page * misses
-        yield Compute(io + costs.hash_build * len(rows), io=io)
-        table = build_table(rows, build_index)
-        probe_pages, probe_misses = probe_file.read_all()
-        if probe_misses:
-            io = costs.io_page * probe_misses
-            yield Compute(io, io=io)
-        for page in probe_pages:
-            yield Compute(costs.hash_probe * len(page))
+        table: dict = {}
+        reader = SpillCursor(build_file, costs.io_page, ctx.spill_prefetch)
+        credit = 0.0
+        while not reader.exhausted:
+            page, stall = reader.next_page(credit)
+            credit = costs.hash_build * len(page)
+            yield Compute(credit + stall, io=stall)
+            for row in page.rows:
+                table.setdefault(row[build_index], []).append(row)
+        reader = SpillCursor(probe_file, costs.io_page, ctx.spill_prefetch)
+        credit = 0.0
+        while not reader.exhausted:
+            page, stall = reader.next_page(credit)
+            credit = costs.hash_probe * len(page)
+            yield Compute(credit + stall, io=stall)
             joined = probe_rows(page.rows, table, probe_index, join_type,
                                 build_width)
             if joined:
-                yield Compute(costs.join_emit * len(joined))
+                emit_cost = costs.join_emit * len(joined)
+                credit += emit_cost
+                yield Compute(emit_cost)
                 yield from emitter.emit(joined)
         grant.resize_used(0)
         build_file.drop()
@@ -315,16 +324,21 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
         (sub_build, build_file, build_index),
         (sub_probe, probe_file, probe_index),
     ):
-        pages, misses = source.read_all()
-        io = costs.io_page * misses
-        cost = io
-        for page in pages:
+        reader = SpillCursor(source, costs.io_page, ctx.spill_prefetch)
+        while not reader.exhausted:
+            # No drain credit: the per-page work here is spill-write
+            # disk cost, not CPU — the sequential disk cannot read
+            # ahead while it is busy writing the partitions.
+            page, stall = reader.next_page(0.0)
+            cost = 0.0
             for row in page.rows:
                 target = files[_partition_of(row[key_index], depth, fanout)]
                 cost += costs.spill_page * target.append_rows((row,))
-        cost += sum(costs.spill_page * f.flush() for f in files)
+            yield Compute(cost + stall, io=stall)
+        seal = sum(costs.spill_page * f.flush() for f in files)
+        if seal:
+            yield Compute(seal)
         source.drop()
-        yield Compute(cost, io=io)
     for sub_b, sub_p in zip(sub_build, sub_probe):
         yield from _join_spilled(
             sub_b, sub_p, depth + 1, ctx, grant, emitter,

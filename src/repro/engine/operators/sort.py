@@ -1,32 +1,144 @@
-"""Sort stage (stop-&-go).
+"""Sort stage (stop-&-go), with grant-governed external merge.
 
-Buffers its entire input, sorts by the key list, then streams the
-sorted rows out. Multi-key ordering with mixed ascending/descending
-directions is implemented as stable sorts applied from the least to
-the most significant key.
+Without memory governance (``ctx.memory is None``) the stage buffers
+its entire input, sorts by the key list, then streams the sorted rows
+out — exactly as the seed did. Multi-key ordering with mixed
+ascending/descending directions is implemented as stable sorts applied
+from the least to the most significant key group.
+
+With a :class:`~repro.engine.memory.MemoryBroker` attached it becomes
+an **external-merge sort**: rows accumulate up to the operator's
+memory grant (``grant.pages`` pages); each time the budget fills, the
+buffered prefix is sorted and written out as one sorted *run* through
+a :class:`~repro.storage.buffer.SpillFile` (``spill_page`` per page).
+After input closes, the runs are merged with a budget-bounded k-way
+merge: the fan-in is ``grant.pages - 1`` (one page reserved for
+output) but never below 2 — at 1- and 2-page grants a two-way merge
+needs three working pages, so the merge floor overcommits and the
+broker records it, the same degrade-don't-fail contract as the hash
+join's recursion floor. When the run count exceeds the fan-in the
+runs are merged in batches into longer runs — recursive merge
+passes, classic external-sort arithmetic
+(:func:`plan_merge_passes`). Run read-back streams through
+:class:`~repro.storage.spill_cursor.SpillCursor`, so the merge's
+per-page CPU drains the next spill pages' ``io_page`` cost instead
+of stalling on it.
+
+The output is *identical* to the in-memory path at every budget —
+including tie order. Each run is sorted with the same stable
+:func:`sort_rows`, runs partition the input in arrival order, and the
+merge breaks key ties by run index, which reproduces the global stable
+sort. Order-sensitive consumers (limit, merge join) therefore see
+exactly the rows they would have seen unbounded.
 """
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+import heapq
+from operator import itemgetter
 
-__all__ = ["task", "sort_rows"]
+from repro.engine.stage import OutputEmitter
+from repro.errors import EngineError
+from repro.sim.events import CLOSED, Compute, Get
+from repro.storage.spill_cursor import SpillCursor
+
+__all__ = ["task", "sort_rows", "merge_key", "plan_merge_passes"]
+
+
+def _key_groups(schema, keys):
+    """Column-index groups of consecutive keys sharing a direction.
+
+    ``[("a", True), ("b", True), ("c", False)]`` becomes
+    ``[([ia, ib], True), ([ic], False)]``: one stable multi-column sort
+    per direction group instead of one full pass per key.
+    """
+    groups: list[tuple[list[int], bool]] = []
+    for name, ascending in keys:
+        index = schema.index_of(name)
+        ascending = bool(ascending)
+        if groups and groups[-1][1] == ascending:
+            groups[-1][0].append(index)
+        else:
+            groups.append(([index], ascending))
+    return groups
 
 
 def sort_rows(rows, schema, keys):
-    """Pure function: rows ordered by ``(column, ascending)`` keys."""
+    """Pure function: rows ordered by ``(column, ascending)`` keys.
+
+    Stable sorts applied from the least to the most significant key
+    group; within a group a single ``itemgetter`` composite key avoids
+    re-scanning all rows once per column.
+    """
     ordered = list(rows)
-    for name, ascending in reversed(list(keys)):
-        index = schema.index_of(name)
-        ordered.sort(key=lambda row: row[index], reverse=not ascending)
+    for indices, ascending in reversed(_key_groups(schema, keys)):
+        ordered.sort(key=itemgetter(*indices), reverse=not ascending)
     return ordered
+
+
+class _Descending:
+    """Order-inverting wrapper for descending keys in the merge heap.
+
+    Descending string (or other non-negatable) columns cannot be
+    expressed by numeric negation, so the k-way merge wraps them in a
+    comparator that flips ``<`` while keeping ``==``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other) -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return self.value == other.value
+
+
+def merge_key(schema, keys):
+    """A total-order key function equivalent to :func:`sort_rows`.
+
+    ``sorted(rows, key=merge_key(schema, keys))`` produces exactly
+    ``sort_rows(rows, schema, keys)`` (both are stable); the external
+    merge uses it to compare run heads.
+    """
+    parts = tuple((schema.index_of(name), bool(asc)) for name, asc in keys)
+
+    def key(row):
+        return tuple(row[i] if asc else _Descending(row[i]) for i, asc in parts)
+
+    return key
+
+
+def plan_merge_passes(run_count: int, fan_in: int) -> int:
+    """Merge passes (including the final one) the grant implies.
+
+    With ``r`` initial runs and fan-in ``f``, every intermediate pass
+    shrinks the run count to ``ceil(r / f)`` until at most ``f`` runs
+    remain for the final, emitting pass.
+    """
+    if fan_in < 2:
+        raise EngineError(f"merge fan-in must be >= 2, got {fan_in}")
+    if run_count <= 0:
+        return 0
+    passes = 1
+    while run_count > fan_in:
+        run_count = -(-run_count // fan_in)
+        passes += 1
+    return passes
 
 
 def task(node, in_queues, out_queues, ctx):
     (in_q,) = in_queues
     schema = node.children[0].schema
     keys = node.params["keys"]
+
+    if ctx.memory is not None:
+        yield from _governed_task(node, in_q, out_queues, ctx, schema, keys)
+        return
+
+    # Ungoverned path (the seed behavior): buffer everything.
     buffered: list[tuple] = []
     while True:
         page = yield Get(in_q)
@@ -35,11 +147,177 @@ def task(node, in_queues, out_queues, ctx):
         yield Compute(ctx.costs.sort_tuple * len(page))
         buffered.extend(page.rows)
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs, width=len(node.schema))
     if buffered:
         # The in-memory sort itself; the per-tuple constant subsumes the
         # log factor at the engine's buffer sizes.
         yield Compute(ctx.costs.sort_tuple * len(buffered))
         yield from emitter.emit(sort_rows(buffered, schema, keys))
     yield from emitter.close()
+
+
+# ----------------------------------------------------------------------
+# Memory-governed external-merge sort
+# ----------------------------------------------------------------------
+
+
+def _governed_task(node, in_q, out_queues, ctx, schema, keys):
+    costs = ctx.costs
+    pool = ctx.pool
+    page_rows = ctx.page_rows
+    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
+    budget_rows = grant.pages * page_rows
+    key_fn = merge_key(schema, keys)
+
+    runs: list = []
+    buffered: list[tuple] = []
+    spilled_pages = 0
+
+    def cut_run(n_rows: int):
+        """Sort the oldest ``n_rows`` buffered rows into a new run.
+
+        The sort + write cost is charged page by page — the engine's
+        cost granularity everywhere else — so a large run cut does not
+        stall the producer behind one giant compute burst.
+        """
+        nonlocal spilled_pages
+        run_rows = sort_rows(buffered[:n_rows], schema, keys)
+        del buffered[:n_rows]
+        run = pool.spill_file(page_rows)
+        runs.append(run)
+        for start in range(0, len(run_rows), page_rows):
+            chunk = run_rows[start : start + page_rows]
+            written = run.append_rows(chunk)
+            cost = costs.sort_tuple * len(chunk) + costs.spill_page * written
+            yield Compute(cost)
+        written = run.flush()
+        if written:
+            yield Compute(costs.spill_page * written)
+        spilled_pages += run.page_count
+
+    # Intake: accumulate up to the grant, cutting a sorted run every
+    # time the budget fills.
+    while True:
+        page = yield Get(in_q)
+        if page is CLOSED:
+            break
+        yield Compute(costs.sort_tuple * len(page))
+        buffered.extend(page.rows)
+        while len(buffered) >= budget_rows:
+            yield from cut_run(budget_rows)
+        grant.resize_used(-(-len(buffered) // page_rows))
+
+    emitter = OutputEmitter(out_queues, ctx.page_rows, costs, width=len(node.schema))
+
+    if not runs:
+        # Everything fit in the grant: the in-memory path, bit-for-bit.
+        if buffered:
+            yield Compute(costs.sort_tuple * len(buffered))
+            yield from emitter.emit(sort_rows(buffered, schema, keys))
+        grant.note(sort_runs=0, merge_passes=0, spilled_pages=0)
+        yield from emitter.close()
+        grant.close()
+        return
+
+    if buffered:
+        yield from cut_run(len(buffered))
+    grant.resize_used(0)
+
+    # Merge: fan-in bounded by the grant (one page reserved for the
+    # output buffer); recursive passes while runs outnumber it. The
+    # floor of 2 overcommits 1- and 2-page grants (the broker records
+    # it) — merging any narrower is impossible.
+    fan_in = max(2, grant.pages - 1)
+    initial_runs = len(runs)
+    merge_passes = 0
+    while len(runs) > fan_in:
+        merge_passes += 1
+        next_runs: list = []
+        for start in range(0, len(runs), fan_in):
+            batch = runs[start : start + fan_in]
+            if len(batch) == 1:
+                # A trailing singleton batch is already a sorted run;
+                # copying it through the merge would be pure waste.
+                next_runs.append(batch[0])
+                continue
+            out_file = pool.spill_file(page_rows)
+            written = yield from _merge_runs(batch, ctx, key_fn, grant, out_file=out_file)
+            spilled_pages += written
+            next_runs.append(out_file)
+        runs = next_runs
+    merge_passes += 1
+    yield from _merge_runs(runs, ctx, key_fn, grant, emitter=emitter)
+    grant.resize_used(0)
+    grant.note(
+        sort_runs=initial_runs,
+        merge_passes=merge_passes,
+        spilled_pages=spilled_pages,
+    )
+    yield from emitter.close()
+    grant.close()
+
+
+def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
+    """K-way merge of sorted runs; returns spill pages written.
+
+    Exactly one of ``out_file`` (intermediate pass) and ``emitter``
+    (final pass) is used. Input runs stream through
+    :class:`SpillCursor`s — one sequential prefetch pipeline per run —
+    with the merge's per-page CPU as the drain credit, and are dropped
+    once consumed. Key ties break by run index, preserving the global
+    stable order.
+    """
+    costs = ctx.costs
+    cursors = [SpillCursor(f, costs.io_page, ctx.spill_prefetch) for f in files]
+    buffers: list[list] = [[] for _ in files]
+    last_clock = [0.0] * len(files)
+    clock = 0.0
+    written = 0
+    # One page of working memory per input run, plus the output buffer.
+    grant.resize_used(len(files) + 1)
+
+    def fetch(index: int):
+        nonlocal clock
+        cursor = cursors[index]
+        if cursor.exhausted:
+            return
+        credit = clock - last_clock[index]
+        last_clock[index] = clock
+        page, stall = cursor.next_page(credit)
+        cpu = costs.sort_tuple * len(page)
+        clock += cpu
+        yield Compute(cpu + stall, io=stall)
+        rows = list(page.rows)
+        rows.reverse()
+        buffers[index] = rows
+
+    heap: list = []
+    for index in range(len(files)):
+        yield from fetch(index)
+        if buffers[index]:
+            row = buffers[index].pop()
+            heapq.heappush(heap, (key_fn(row), index, row))
+
+    while heap:
+        _, index, row = heapq.heappop(heap)
+        if out_file is not None:
+            pages_out = out_file.append_rows((row,))
+            if pages_out:
+                written += pages_out
+                yield Compute(costs.spill_page * pages_out)
+        else:
+            yield from emitter.emit([row])
+        if not buffers[index]:
+            yield from fetch(index)
+        if buffers[index]:
+            nxt = buffers[index].pop()
+            heapq.heappush(heap, (key_fn(nxt), index, nxt))
+
+    if out_file is not None:
+        pages_out = out_file.flush()
+        if pages_out:
+            written += pages_out
+            yield Compute(costs.spill_page * pages_out)
+    for spent in files:
+        spent.drop()
+    return written

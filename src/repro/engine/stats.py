@@ -158,6 +158,31 @@ class ResourceReport:
     def hit_rate(self) -> float:
         return self.buffer.hit_rate if self.buffer else 0.0
 
+    @property
+    def spill_prefetch_issued(self) -> int:
+        """Spill-page reads issued ahead of use by SpillCursors."""
+        return self.buffer.spill_prefetch_issued if self.buffer else 0
+
+    @property
+    def spill_read_stall(self) -> float:
+        """Spill read-back cost paid as synchronous stall."""
+        return self.buffer.spill_read_stall if self.buffer else 0.0
+
+    @property
+    def spill_read_overlapped(self) -> float:
+        """Spill read-back cost hidden behind operator CPU work."""
+        return self.buffer.spill_read_overlapped if self.buffer else 0.0
+
+    def grant_notes(self, owner: str) -> dict:
+        """Operator-reported facts for one grant owner (e.g. the
+        external sort's ``sort_runs`` / ``merge_passes``)."""
+        if self.memory is None:
+            raise KeyError(owner)
+        for grant in self.memory.grants:
+            if grant.owner == owner:
+                return dict(grant.notes)
+        raise KeyError(owner)
+
     def render(self) -> str:
         lines = []
         if self.buffer is not None:

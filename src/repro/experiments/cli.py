@@ -7,6 +7,7 @@ Installed as ``repro-experiments``::
     repro-experiments fig2 fig4     # several at once
     repro-experiments fig_mem       # memory-governance experiments
     repro-experiments fig_scan      # cooperative scan sharing
+    repro-experiments fig_sort      # grant-governed external sort
     repro-experiments all           # everything (takes minutes)
     repro-experiments fig1 --quick  # reduced client counts
 
@@ -29,6 +30,7 @@ from repro.experiments import (
     fig6,
     fig_mem,
     fig_scan,
+    fig_sort,
     section4_example,
 )
 
@@ -80,6 +82,12 @@ def _run_fig_scan(quick: bool) -> str:
                         prefetch_depths=depths).render()
 
 
+def _run_fig_sort(quick: bool) -> str:
+    work_mems = (128, 8, 2) if quick else fig_sort.DEFAULT_WORK_MEMS
+    depths = (0, 2) if quick else fig_sort.DEFAULT_PREFETCH_DEPTHS
+    return fig_sort.run(work_mems=work_mems, prefetch_depths=depths).render()
+
+
 def _run_section4(quick: bool) -> str:
     return section4_example.run().render()
 
@@ -97,6 +105,7 @@ _EXPERIMENTS = {
     "fig6": _Experiment(_run_fig6, "Figure 6: policy throughput across workload mixes"),
     "fig_mem": _Experiment(_run_fig_mem, "Memory governance: spilling join sweep + cold/warm sharing flip"),
     "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),
+    "fig_sort": _Experiment(_run_fig_sort, "External sort: grant-governed runs/merges + prefetched spill read-back"),
     "section4": _Experiment(_run_section4, "Section 4 worked example of the analytical model"),
 }
 

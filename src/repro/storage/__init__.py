@@ -33,10 +33,12 @@ from repro.storage.buffer import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.shared_scan import (
+    PrefetchFIFO,
     ScanShareManager,
     ScanTicket,
     TableScanStats,
 )
+from repro.storage.spill_cursor import SpillCursor
 from repro.storage.io import load_catalog, load_table, save_catalog, save_table
 from repro.storage.page import DEFAULT_PAGE_ROWS, Page, paginate
 from repro.storage.schema import (
@@ -57,9 +59,11 @@ __all__ = [
     "LRUPolicy",
     "MRUPolicy",
     "ScanAwarePolicy",
+    "PrefetchFIFO",
     "ScanShareManager",
     "ScanTicket",
     "TableScanStats",
+    "SpillCursor",
     "SpillFile",
     "make_policy",
     "spill_page_key",

@@ -85,9 +85,12 @@ class BufferSnapshot:
     hit_rate: float
     spill_pages_written: int
     spill_pages_read: int
+    spill_prefetch_issued: int = 0
+    spill_read_stall: float = 0.0
+    spill_read_overlapped: float = 0.0
 
     def render(self) -> str:
-        return (
+        text = (
             f"buffer pool [{self.policy}]: {self.resident}/{self.capacity} "
             f"pages resident ({self.pinned} pinned), "
             f"{self.hits} hits / {self.misses} misses "
@@ -95,10 +98,25 @@ class BufferSnapshot:
             f"spill {self.spill_pages_written} written / "
             f"{self.spill_pages_read} read"
         )
+        if self.spill_prefetch_issued or self.spill_read_stall:
+            text += (
+                f"; spill read-back: {self.spill_prefetch_issued} "
+                f"prefetches, stall {self.spill_read_stall:.0f} / "
+                f"overlapped {self.spill_read_overlapped:.0f}"
+            )
+        return text
 
 
 class BufferStats:
-    """Mutable hit/miss/eviction and spill-traffic counters."""
+    """Mutable hit/miss/eviction and spill-traffic counters.
+
+    ``spill_prefetch_issued`` / ``spill_read_stall`` /
+    ``spill_read_overlapped`` aggregate the
+    :class:`~repro.storage.spill_cursor.SpillCursor` read-back model:
+    how many spill-page reads were issued ahead of use, and how the
+    resulting ``io_page`` bill split between synchronous stall and
+    CPU-overlapped prefetch.
+    """
 
     __slots__ = (
         "hits",
@@ -106,6 +124,9 @@ class BufferStats:
         "evictions",
         "spill_pages_written",
         "spill_pages_read",
+        "spill_prefetch_issued",
+        "spill_read_stall",
+        "spill_read_overlapped",
     )
 
     def __init__(self) -> None:
@@ -114,6 +135,9 @@ class BufferStats:
         self.evictions = 0
         self.spill_pages_written = 0
         self.spill_pages_read = 0
+        self.spill_prefetch_issued = 0
+        self.spill_read_stall = 0.0
+        self.spill_read_overlapped = 0.0
 
     @property
     def accesses(self) -> int:
@@ -396,6 +420,9 @@ class BufferPool:
             hit_rate=self.stats.hit_rate,
             spill_pages_written=self.stats.spill_pages_written,
             spill_pages_read=self.stats.spill_pages_read,
+            spill_prefetch_issued=self.stats.spill_prefetch_issued,
+            spill_read_stall=self.stats.spill_read_stall,
+            spill_read_overlapped=self.stats.spill_read_overlapped,
         )
 
     # -- the cache protocol ----------------------------------------------
@@ -530,6 +557,25 @@ class SpillFile:
         if self.pool is not None:
             self.pool.stats.spill_pages_written += 1
             self.pool.admit(spill_page_key(self.file_id, index))
+
+    def page_at(self, index: int) -> Page:
+        """The ``index``-th written page, without any I/O accounting.
+
+        Used by :class:`~repro.storage.spill_cursor.SpillCursor`, which
+        does its own pool accesses and miss accounting per page.
+        """
+        if self.dropped:
+            raise StorageError("spill file already dropped")
+        if not 0 <= index < len(self._pages):
+            raise StorageError(
+                f"spill file {self.file_id} has {len(self._pages)} pages, "
+                f"no page {index}"
+            )
+        return self._pages[index]
+
+    def key_of(self, index: int) -> PageKey:
+        """The pool key of this file's ``index``-th page."""
+        return spill_page_key(self.file_id, index)
 
     def read_all(self) -> tuple[list[Page], int]:
         """Read every written page back; returns ``(pages, misses)``.

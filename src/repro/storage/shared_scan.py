@@ -47,7 +47,127 @@ from dataclasses import dataclass
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool, table_page_key
 
-__all__ = ["ScanTicket", "TableScanStats", "ScanShareManager"]
+__all__ = [
+    "PrefetchFIFO",
+    "ScanTicket",
+    "TableScanStats",
+    "ScanShareManager",
+]
+
+
+class PrefetchFIFO:
+    """The sequential-disk model shared by every prefetching reader.
+
+    A FIFO of issued-but-incomplete reads ``[index, remaining_cost]``.
+    The disk works strictly in issue order: CPU intervals passed to
+    :meth:`drain` pay down the head of the queue (the overlap), and a
+    consumer arriving at an unfinished read stalls for everything
+    issued up to and including it (:meth:`complete_through`). Used by
+    the elevator cursors of :class:`ScanShareManager` and by
+    :class:`~repro.storage.spill_cursor.SpillCursor` for spill
+    read-back, so table scans and spill runs share one disk model.
+    """
+
+    __slots__ = ("_pending", "_inflight")
+
+    def __init__(self) -> None:
+        self._pending: deque[list] = deque()
+        self._inflight: set[int] = set()
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._inflight
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def clear(self) -> None:
+        self._pending.clear()
+        self._inflight.clear()
+
+    def issue(self, index: int, cost: float) -> None:
+        """Queue the read of ``index`` behind everything in flight."""
+        self._pending.append([index, cost])
+        self._inflight.add(index)
+
+    def drain(self, cpu_credit: float) -> float:
+        """The disk worked for one CPU interval: pay down the FIFO.
+
+        Returns the amount of read cost overlapped (completed reads
+        leave the in-flight set).
+        """
+        remaining = cpu_credit
+        overlapped = 0.0
+        while remaining > 0 and self._pending:
+            head = self._pending[0]
+            if head[1] <= remaining:
+                remaining -= head[1]
+                overlapped += head[1]
+                self._inflight.discard(head[0])
+                self._pending.popleft()
+            else:
+                head[1] -= remaining
+                overlapped += remaining
+                remaining = 0.0
+        return overlapped
+
+    def complete_through(self, index: int) -> float:
+        """Finish every read issued up to and including ``index``.
+
+        Returns the stall: the sum of the remaining costs the consumer
+        must wait out before its page is ready.
+        """
+        stall = 0.0
+        while self._pending:
+            issued_index, remaining = self._pending.popleft()
+            self._inflight.discard(issued_index)
+            stall += remaining
+            if issued_index == index:
+                break
+        return stall
+
+    def drop(self, index: int) -> float:
+        """Abandon the issued read of ``index`` (evicted before use).
+
+        Returns the remaining cost the abandoned read still had, so
+        callers can account the waste.
+        """
+        self._inflight.discard(index)
+        for position, entry in enumerate(self._pending):
+            if entry[0] == index:
+                del self._pending[position]
+                return entry[1]
+        return 0.0
+
+    def settle(self, index: int, resident: bool, io_page: float):
+        """One consumer arrives at page ``index``: classify its read.
+
+        Returns ``(stall, kind, dropped)`` where ``kind`` is
+
+        * ``"ready"`` — resident and complete: no stall;
+        * ``"inflight"`` — resident but the read has not finished: the
+          sequential disk completes everything issued up to and
+          including this page first (the stall);
+        * ``"cold"`` — a synchronous miss nobody issued ahead of time:
+          stall is the full ``io_page``;
+        * ``"wasted"`` — prefetched but evicted before use: the
+          read-ahead was wasted (``dropped`` is its abandoned
+          in-flight cost) and a fresh synchronous read is paid.
+
+        This is the single definition of the disk model's arrival
+        rules, shared by the elevator table scans and by spill
+        read-back so the two can never diverge.
+        """
+        if resident:
+            if index in self._inflight:
+                return self.complete_through(index), "inflight", 0.0
+            return 0.0, "ready", 0.0
+        if index in self._inflight:
+            return io_page, "wasted", self.drop(index)
+        return io_page, "cold", 0.0
+
+    def pending_cost(self) -> float:
+        """Read cost still in flight (unconsumed prefetch)."""
+        return sum(entry[1] for entry in self._pending)
 
 
 @dataclass(frozen=True)
@@ -138,8 +258,8 @@ class _Cursor:
     """Elevator state for one table: head position, disk FIFO, stats."""
 
     __slots__ = (
-        "table", "n_pages", "head", "tickets", "pending",
-        "inflight", "attaches", "max_attach_depth", "pages_served",
+        "table", "n_pages", "head", "tickets", "fifo",
+        "attaches", "max_attach_depth", "pages_served",
         "physical_reads", "prefetch_issued", "prefetch_wasted",
         "io_stall_cost", "io_overlapped_cost",
     )
@@ -149,10 +269,7 @@ class _Cursor:
         self.n_pages = n_pages
         self.head = 0            # next physical page the elevator reads
         self.tickets: list[ScanTicket] = []
-        # The sequential disk: FIFO of [page_index, remaining_io_cost]
-        # for issued-but-incomplete reads, plus the index set.
-        self.pending: deque[list] = deque()
-        self.inflight: set[int] = set()
+        self.fifo = PrefetchFIFO()  # the sequential disk
         self.attaches = 0
         self.max_attach_depth = 0
         self.pages_served = 0
@@ -223,8 +340,7 @@ class ScanShareManager:
             # queries: re-size its geometry, keep its lifetime stats.
             cursor.n_pages = n_pages
             cursor.head = 0
-            cursor.pending.clear()
-            cursor.inflight.clear()
+            cursor.fifo.clear()
         ticket = ScanTicket(table, n_pages, cursor.head % n_pages)
         cursor.tickets.append(ticket)
         cursor.attaches += 1
@@ -276,31 +392,14 @@ class ScanShareManager:
         cursor.pages_served += 1
         at_head = index == cursor.head
         if at_head:
-            self._drain(cursor, cpu_credit)
+            cursor.io_overlapped_cost += cursor.fifo.drain(cpu_credit)
         resident = self.pool.access(table_page_key(ticket.table, index))
 
-        stall = 0.0
-        if not resident and index not in cursor.inflight:
-            # Synchronous miss: nobody issued this read ahead of time.
-            stall = io_page
+        stall, kind, _ = cursor.fifo.settle(index, resident, io_page)
+        if kind in ("cold", "wasted"):
             cursor.physical_reads += 1
-        elif not resident:
-            # The prefetched frame was evicted before use: the read was
-            # wasted, pay for a fresh synchronous one.
-            self._drop_inflight(cursor, index)
+        if kind == "wasted":
             cursor.prefetch_wasted += 1
-            stall = io_page
-            cursor.physical_reads += 1
-        elif index in cursor.inflight:
-            # Resident but the read has not finished: the sequential
-            # disk must complete everything issued up to and including
-            # this page before the consumer can proceed.
-            while cursor.pending:
-                issued_index, remaining = cursor.pending.popleft()
-                cursor.inflight.discard(issued_index)
-                stall += remaining
-                if issued_index == index:
-                    break
         cursor.io_stall_cost += stall
 
         # Elevator-head bookkeeping and read-ahead.
@@ -358,43 +457,18 @@ class ScanShareManager:
                 f"no cursor for table {ticket.table!r}"
             ) from None
 
-    @staticmethod
-    def _drain(cursor: _Cursor, cpu_credit: float) -> None:
-        """The disk worked for one CPU interval: pay down the FIFO."""
-        remaining = cpu_credit
-        while remaining > 0 and cursor.pending:
-            head = cursor.pending[0]
-            if head[1] <= remaining:
-                remaining -= head[1]
-                cursor.io_overlapped_cost += head[1]
-                cursor.inflight.discard(head[0])
-                cursor.pending.popleft()
-            else:
-                head[1] -= remaining
-                cursor.io_overlapped_cost += remaining
-                remaining = 0.0
-
     def _issue_prefetch(self, cursor: _Cursor, index: int, io_page: float) -> None:
         if not self.prefetch_depth or io_page <= 0:
             return
         for step in range(1, self.prefetch_depth + 1):
             target = (index + step) % cursor.n_pages
             key = table_page_key(cursor.table, target)
-            if target in cursor.inflight or key in self.pool:
+            if target in cursor.fifo or key in self.pool:
                 continue
             # Issue the read: the frame is admitted now (so followers
             # see it), its cost sits in the disk FIFO until overlapped
             # CPU work or an acquire-stall pays it down.
             self.pool.access(key)
-            cursor.pending.append([target, io_page])
-            cursor.inflight.add(target)
+            cursor.fifo.issue(target, io_page)
             cursor.physical_reads += 1
             cursor.prefetch_issued += 1
-
-    @staticmethod
-    def _drop_inflight(cursor: _Cursor, index: int) -> None:
-        cursor.inflight.discard(index)
-        for position, entry in enumerate(cursor.pending):
-            if entry[0] == index:
-                del cursor.pending[position]
-                break

@@ -1,0 +1,55 @@
+"""The external-sort experiment meets its acceptance criteria."""
+
+import pytest
+
+from repro.experiments import fig_sort
+
+
+@pytest.fixture(scope="module")
+def result():
+    # The CLI's --quick configuration.
+    return fig_sort.run(work_mems=(128, 8, 2), prefetch_depths=(0, 2))
+
+
+class TestWorkMemSweep:
+    def test_answers_identical_at_every_budget(self, result):
+        assert result.answers_identical()
+
+    def test_degradation_is_monotone(self, result):
+        assert result.degradation_monotone()
+
+    def test_spill_growth_is_monotone(self, result):
+        assert result.spill_monotone()
+
+    def test_fits_in_memory_point_never_spills(self, result):
+        roomy = max(result.sweep, key=lambda p: p.work_mem)
+        assert roomy.sort_runs == 0
+        assert roomy.spilled_pages == 0
+
+    def test_merge_deepens_under_pressure(self, result):
+        tight = min(result.sweep, key=lambda p: p.work_mem)
+        assert tight.sort_runs > 1
+        assert tight.merge_passes > 1
+        assert tight.spilled_pages > 0
+
+
+class TestSpillPrefetch:
+    def test_prefetch_strictly_faster_read_back(self, result):
+        assert result.prefetch_strictly_helps()
+
+    def test_overlap_is_accounted(self, result):
+        base = next(p for p in result.prefetch if p.depth == 0)
+        deep = next(p for p in result.prefetch if p.depth > 0)
+        assert base.read_overlapped == 0
+        assert base.prefetch_issued == 0
+        assert deep.read_overlapped > 0
+        assert deep.prefetch_issued > 0
+
+
+class TestRender:
+    def test_render_reports_criteria(self, result):
+        text = result.render()
+        assert "answers identical everywhere: True" in text
+        assert "degradation monotone: True" in text
+        assert "spill growth monotone: True" in text
+        assert "strictly faster read-back: True" in text

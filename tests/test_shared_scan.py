@@ -288,7 +288,7 @@ class TestPrefetchAccounting:
                 self.walk(manager, ticket, cpu=cpu)
                 stats = manager.snapshot()[0]
                 cursor = manager._cursors["t"]
-                in_flight = sum(entry[1] for entry in cursor.pending)
+                in_flight = cursor.fifo.pending_cost()
                 total = (stats.io_stall_cost + stats.io_overlapped_cost
                          + in_flight)
                 assert total == pytest.approx(

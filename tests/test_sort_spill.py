@@ -1,0 +1,276 @@
+"""The grant-governed external sort is invisible to consumers.
+
+At every ``work_mem`` the external-merge path must reproduce the
+unbounded in-memory sort bit for bit — rows, order, and tie order —
+so order-sensitive consumers (limit, merge join) cannot tell the
+difference; the run/merge-pass arithmetic must match the grant; and
+spill traffic must grow monotonically as the budget shrinks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    CostModel,
+    Engine,
+    MemoryBroker,
+    execute_reference,
+    limit,
+    merge_join,
+    project,
+    resource_report,
+    scan,
+    sort,
+)
+from repro.engine.expressions import col
+from repro.engine.operators.sort import merge_key, plan_merge_passes, sort_rows
+from repro.sim.simulator import Simulator
+from repro.storage import BufferPool, Catalog, DataType, Schema
+
+COSTS = CostModel(io_page=100.0, spill_page=120.0)
+PAGE_ROWS = 16
+
+
+def _catalog(rows=3000, groups=37):
+    catalog = Catalog()
+    schema = Schema(
+        [("g", DataType.INT), ("s", DataType.STR), ("k", DataType.INT)]
+    )
+    data = [
+        (i % groups, f"name{(i * 7) % 11:02d}", i)
+        for i in range(rows)
+    ]
+    catalog.create("t", schema).insert_many(data)
+    return catalog
+
+
+def _sort_plan(catalog, keys=None, top_n=None):
+    plan = sort(
+        scan(catalog, "t", columns=["g", "s", "k"], op_id="s"),
+        keys or [("g", True), ("k", False)],
+        op_id="big_sort",
+    )
+    if top_n is not None:
+        plan = limit(plan, top_n, op_id="topn")
+    return plan
+
+
+def _run(catalog, plan, work_mem=None, processors=4, prefetch=0):
+    sim = Simulator(processors=processors)
+    memory = MemoryBroker(work_mem) if work_mem else None
+    engine = Engine(catalog, sim, costs=COSTS, page_rows=PAGE_ROWS,
+                    buffer_pool=BufferPool(24), memory=memory,
+                    spill_prefetch_depth=prefetch)
+    handle = engine.execute(plan, f"sort@{work_mem}")
+    sim.run()
+    return handle.rows, sim.now, resource_report(engine)
+
+
+class TestExternalSort:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return _catalog()
+
+    @pytest.fixture(scope="class")
+    def baseline(self, catalog):
+        return _run(catalog, _sort_plan(catalog))[0]
+
+    def test_identical_at_every_budget(self, catalog, baseline):
+        for work_mem in (64, 16, 5, 2, 1):
+            rows, _, _ = _run(catalog, _sort_plan(catalog), work_mem)
+            assert rows == baseline, f"order drifted at work_mem={work_mem}"
+
+    def test_mixed_directions_with_strings(self, catalog):
+        """Descending STR keys go through the _Descending wrapper."""
+        keys = [("s", False), ("g", True), ("k", True)]
+        reference = _run(catalog, _sort_plan(catalog, keys))[0]
+        for work_mem in (8, 2):
+            rows, _, _ = _run(catalog, _sort_plan(catalog, keys), work_mem)
+            assert rows == reference
+
+    def test_tie_order_is_stable(self, catalog, baseline):
+        """Rows with equal keys keep input order across runs."""
+        # Key (g,) alone leaves heavy ties; the unique k column of the
+        # input exposes any reordering among them.
+        keys = [("g", True)]
+        reference = _run(catalog, _sort_plan(catalog, keys))[0]
+        rows, _, _ = _run(catalog, _sort_plan(catalog, keys), work_mem=2)
+        assert rows == reference
+
+    def test_spill_grows_as_budget_shrinks(self, catalog):
+        spills = []
+        for work_mem in (64, 16, 5, 2):
+            _, _, report = _run(catalog, _sort_plan(catalog), work_mem)
+            spills.append(report.spill_pages_written)
+        assert spills == sorted(spills)
+        assert spills[-1] > 0
+
+    def test_run_and_pass_arithmetic_matches_grant(self, catalog):
+        n_rows = 3000
+        for work_mem in (16, 5, 2, 1):
+            _, _, report = _run(catalog, _sort_plan(catalog), work_mem)
+            notes = report.grant_notes("big_sort")
+            budget_rows = work_mem * PAGE_ROWS
+            expected_runs = -(-n_rows // budget_rows)
+            assert notes["sort_runs"] == expected_runs
+            assert notes["merge_passes"] == plan_merge_passes(
+                expected_runs, max(2, work_mem - 1)
+            )
+
+    def test_makespan_degrades_but_never_fails(self, catalog):
+        _, unbounded, _ = _run(catalog, _sort_plan(catalog))
+        _, starved, report = _run(catalog, _sort_plan(catalog), work_mem=1)
+        assert starved > unbounded
+        assert report.memory.overcommits >= 1  # merge floor, recorded
+
+    def test_prefetch_preserves_answers_and_cuts_stall(self, catalog, baseline):
+        rows_sync, sync, report_sync = _run(
+            catalog, _sort_plan(catalog), work_mem=4
+        )
+        rows_pf, prefetched, report_pf = _run(
+            catalog, _sort_plan(catalog), work_mem=4, prefetch=2
+        )
+        assert rows_sync == rows_pf == baseline
+        assert report_pf.spill_read_stall < report_sync.spill_read_stall
+        assert report_pf.spill_read_overlapped > 0
+        assert prefetched < sync
+
+
+class TestOrderSensitiveConsumers:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return _catalog(rows=1500)
+
+    def test_limit_sees_identical_top_n(self, catalog):
+        reference = _run(catalog, _sort_plan(catalog, top_n=25))[0]
+        for work_mem in (8, 2):
+            rows, _, _ = _run(catalog, _sort_plan(catalog, top_n=25), work_mem)
+            assert rows == reference
+
+    def test_merge_join_accepts_external_sort_output(self, catalog):
+        left = project(
+            sort(
+                scan(catalog, "t", columns=["g", "k"], op_id="sl"),
+                [("k", True)],
+                op_id="sort_l",
+            ),
+            [("lk", col("k"), DataType.INT), ("lg", col("g"), DataType.INT)],
+            op_id="pl",
+        )
+        right = project(
+            sort(
+                scan(catalog, "t", columns=["g", "k"], op_id="sr"),
+                [("k", True)],
+                op_id="sort_r",
+            ),
+            [("rk", col("k"), DataType.INT), ("rg", col("g"), DataType.INT)],
+            op_id="pr",
+        )
+        plan = merge_join(left, right, "lk", "rk", op_id="mj")
+        expected = execute_reference(plan, catalog)
+        rows, _, _ = _run(catalog, plan, work_mem=4)
+        assert sorted(rows) == sorted(expected)
+
+
+class TestSortKernel:
+    schema = Schema(
+        [("a", DataType.INT), ("b", DataType.INT), ("c", DataType.INT)]
+    )
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=200,
+        ),
+        directions=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_sort_rows_equals_chained_stable_sorts(self, rows, directions):
+        """The grouped itemgetter path == one stable sort per key."""
+        keys = list(zip(("a", "b", "c"), directions))
+        expected = list(rows)
+        for name, ascending in reversed(keys):
+            index = self.schema.index_of(name)
+            expected.sort(key=lambda r: r[index], reverse=not ascending)
+        assert sort_rows(rows, self.schema, keys) == expected
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=200,
+        ),
+        directions=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_merge_key_equals_sort_rows(self, rows, directions):
+        """sorted(key=merge_key) is exactly the stable multi-key sort,
+        which is what makes the heap merge reproduce it."""
+        keys = list(zip(("a", "b", "c"), directions))
+        assert sorted(rows, key=merge_key(self.schema, keys)) == sort_rows(
+            rows, self.schema, keys
+        )
+
+    def test_plan_merge_passes_arithmetic(self):
+        assert plan_merge_passes(0, 2) == 0
+        assert plan_merge_passes(1, 2) == 1
+        assert plan_merge_passes(2, 2) == 1
+        assert plan_merge_passes(3, 2) == 2
+        assert plan_merge_passes(8, 3) == 2
+        assert plan_merge_passes(47, 2) == 6
+
+    @given(
+        runs=st.integers(min_value=1, max_value=500),
+        fan_in=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plan_merge_passes_terminates_at_one_final(self, runs, fan_in):
+        passes = plan_merge_passes(runs, fan_in)
+        merged = runs
+        for _ in range(passes - 1):
+            merged = -(-merged // fan_in)
+        assert merged <= fan_in
+
+
+class TestExternalSortProperty:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        work_mem=st.integers(min_value=1, max_value=6),
+        ascending=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_engine_output_equals_python_sorted(self, rows, work_mem, ascending):
+        """End to end: external sort == sorted() at random budgets."""
+        catalog = Catalog()
+        schema = Schema([("a", DataType.INT), ("b", DataType.INT)])
+        catalog.create("t", schema).insert_many(rows)
+        plan = sort(
+            scan(catalog, "t", columns=["a", "b"], op_id="s"),
+            [("a", ascending), ("b", True)],
+            op_id="big_sort",
+        )
+        sim = Simulator(processors=2)
+        engine = Engine(catalog, sim, costs=COSTS, page_rows=4,
+                        buffer_pool=BufferPool(8),
+                        memory=MemoryBroker(work_mem))
+        handle = engine.execute(plan, "q")
+        sim.run()
+        expected = sorted(
+            rows, key=lambda r: ((r[0] if ascending else -r[0]), r[1])
+        )
+        assert handle.rows == expected
