@@ -1,0 +1,94 @@
+"""Benchmarks of the repro.db facade.
+
+The facade is wiring, not behavior: a session-run query must match a
+hand-wired engine run on *simulated* time exactly (the <2% gate below
+is generous on purpose — any drift means the facade started charging
+work of its own), and the host-side overhead of the builder + routing
+layer is tracked against raw plan construction + ``Engine.execute``.
+"""
+
+from repro.db import Database, RuntimeConfig
+from repro.engine import AggSpec, Engine, aggregate, scan
+from repro.engine.expressions import col, lt
+from repro.sim import Simulator
+
+PROCESSORS = 8
+CLIENTS = 8
+MAX_SIM_TIME_DELTA = 0.02
+
+
+def _plan(catalog):
+    return aggregate(
+        scan(
+            catalog,
+            "lineitem",
+            columns=["l_quantity", "l_extendedprice"],
+            predicate=lt(col("l_quantity"), 30.0),
+        ),
+        group_by=(),
+        aggs=[AggSpec("sum", "rev", col("l_extendedprice"))],
+    )
+
+
+def _facade_run(catalog, config):
+    session = Database.open(catalog, config)
+    results = []
+    query = _plan(catalog)
+    for i in range(CLIENTS):
+        session.submit(query, label=f"q{i}", share=False)
+    results = session.run_all()
+    return session.now, results
+
+
+def _raw_run(catalog, config):
+    sim = Simulator(processors=config.processors)
+    engine = Engine(
+        catalog,
+        sim,
+        costs=config.cost_model,
+        page_rows=config.page_rows,
+        queue_capacity=config.queue_capacity,
+    )
+    plan = _plan(catalog)
+    handles = [engine.execute(plan, f"q{i}") for i in range(CLIENTS)]
+    sim.run()
+    return sim.now, handles
+
+
+def test_facade_overhead_vs_raw_engine(benchmark, catalog):
+    """Facade and raw engine must agree on simulated time (<2%)."""
+    config = RuntimeConfig(processors=PROCESSORS)
+
+    def run():
+        facade_now, results = _facade_run(catalog, config)
+        raw_now, handles = _raw_run(catalog, config)
+        return facade_now, raw_now, results, handles
+
+    facade_now, raw_now, results, handles = benchmark.pedantic(run, rounds=1, iterations=1)
+    delta = abs(facade_now - raw_now) / raw_now
+    assert delta < MAX_SIM_TIME_DELTA, f"facade simulated time drifted {delta:.2%} from raw engine"
+    assert [r.rows for r in results] == [h.rows for h in handles]
+
+
+def test_auto_decision_cost_is_cached(benchmark, catalog):
+    """The advisor profiles an operation once; later batches of the
+    same signature reuse the cached spec."""
+    session = Database.open(catalog, RuntimeConfig(processors=PROCESSORS))
+    query = (
+        session.table("lineitem", columns=["l_quantity"])
+        .where(lt(col("l_quantity"), 30.0))
+        .agg(AggSpec("count", "n"))
+        .named("hot")
+    )
+    for i in range(CLIENTS):
+        session.submit(query)
+    session.run_all()  # pays the one-time profile
+
+    def warm_batch():
+        for i in range(CLIENTS):
+            session.submit(query)
+        return session.run_all()
+
+    results = benchmark.pedantic(warm_batch, rounds=3, iterations=1)
+    assert len(results) == CLIENTS
+    assert len(session._specs) == 1

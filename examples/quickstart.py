@@ -1,89 +1,106 @@
-"""Quickstart: should these queries share work?
+"""Quickstart: open a session, submit queries, let the system decide.
 
-Walks the library's three layers in ~60 lines:
+The facade in four steps:
 
-1. model a query analytically and ask the Section-4 model whether a
-   group of clients should share it (the paper's Q6 example);
-2. run the same decision through a profiled TPC-H query;
-3. execute a shared group on the staged engine and watch the
-   serialization penalty appear in simulated time.
+1. open a :class:`~repro.db.session.Session` on a TPC-H catalog with a
+   named :class:`~repro.db.config.RuntimeConfig` preset — the session
+   wires simulator, buffer pool, memory broker and scan sharing for
+   you;
+2. build TPC-H Q6 fluently (``table(...).where(...).agg(...)``) — the
+   builder lowers to the engine's plan IR, so schema errors surface at
+   build time;
+3. submit 16 clients' worth and call ``run_all()``: the session groups
+   identical submissions by pivot signature, consults the Section-4
+   model (adjusted by the live resource outlook), and shares or runs
+   independently on its own;
+4. read everything from the returned ``QueryResult``s — rows,
+   simulated latency, the sharing verdict, resource counters.
+
+The hand-wired ``Engine`` path is shown once at the end as the
+low-level escape hatch.
 
 Run: ``python examples/quickstart.py``
 """
 
-from repro.core import QuerySpec, ShareAdvisor, chain, op
-from repro.engine import Engine
-from repro.profiling import QueryProfiler
-from repro.sim import Simulator
+from repro import Database, RuntimeConfig
+from repro.engine import AggSpec
+from repro.engine.expressions import and_, col, lt, mul
+from repro.storage import date_to_ordinal
 from repro.tpch.generator import generate
-from repro.tpch.queries import build
+
+CLIENTS = 16
 
 
-def analytical_decision() -> None:
-    """The paper's Q6: scan (w=9.66, s=10.34) feeding an aggregate."""
-    q6 = QuerySpec(chain(op("scan", 9.66, 10.34), op("agg", 0.97)),
-                   label="q6")
-    print("1) Analytical model — paper's Q6 parameters")
-    for processors in (1, 2, 8, 32):
-        advisor = ShareAdvisor(processors=processors)
-        group = [q6.relabeled(f"q6#{i}") for i in range(32)]
-        decision = advisor.evaluate(group, pivot_name="scan")
-        verdict = "SHARE" if decision.share else "run independently"
-        print(f"   {processors:>2} cpus, 32 clients: predicted "
-              f"Z = {decision.benefit:.2f} -> {verdict}")
-    print()
+def q6_builder(session):
+    """TPC-H Q6, fluently: fused scan stage + scalar aggregation."""
+    predicate = and_(
+        lt(date_to_ordinal(1993, 1, 1) - 1, col("l_shipdate")),
+        lt(col("l_shipdate"), date_to_ordinal(1996, 1, 1)),
+        lt(col("l_discount"), 0.09),
+        lt(col("l_quantity"), 45.0),
+    )
+    return (
+        session.table("lineitem", columns=["l_shipdate", "l_discount",
+                                           "l_quantity", "l_extendedprice"])
+        .where(predicate)
+        .agg(AggSpec("sum", "revenue",
+                     mul(col("l_extendedprice"), col("l_discount"))))
+        .named("q6")
+    )
 
 
-def profiled_decision() -> None:
-    """Profile a real TPC-H Q6 on the engine, then decide."""
-    catalog = generate(scale_factor=0.0005, seed=7)
-    query = build("q6", catalog)
-    profile = QueryProfiler(catalog).profile(query.plan, query.pivot,
-                                             label="q6")
-    spec = profile.to_query_spec()
-    pivot = profile.operator(query.pivot)
-    print("2) Profiled model — engine-measured parameters")
-    print(f"   scan stage: w = {pivot.work:.0f}, s = {pivot.output_cost:.0f} "
-          f"per consumer (s/w = {pivot.output_cost / pivot.work:.2f})")
+def session_api(catalog) -> None:
+    """The facade decides: share on 1 cpu, run independently on 32."""
+    print(f"1) Session API — {CLIENTS} identical Q6 clients, auto-shared")
     for processors in (1, 32):
-        advisor = ShareAdvisor(processors=processors)
-        group = [spec.relabeled(f"q6#{i}") for i in range(16)]
-        decision = advisor.evaluate(group, pivot_name=query.pivot)
-        verdict = "SHARE" if decision.share else "run independently"
-        print(f"   {processors:>2} cpus, 16 clients: predicted "
-              f"Z = {decision.benefit:.2f} -> {verdict}")
+        config = RuntimeConfig(processors=processors)
+        session = Database.open(catalog, config)
+        query = q6_builder(session)
+        for i in range(CLIENTS):
+            session.submit(query, label=f"q6#{i}")
+        results = session.run_all()
+        first = results[0]
+        verdict = "SHARE" if first.shared else "run independently"
+        decision = first.decision
+        z = f"Z = {decision.benefit:.2f}" if decision is not None else "-"
+        print(f"   {processors:>2} cpus: model says {verdict} ({z}); "
+              f"batch finished at {first.makespan:,.0f} sim-units, "
+              f"group of {first.group_size}")
     print()
 
 
-def staged_execution() -> None:
-    """Measure the trade-off on the simulated CMP directly."""
-    catalog = generate(scale_factor=0.0005, seed=7)
+def presets(catalog) -> None:
+    """The same query under the named runtime presets."""
+    print("2) Presets — one line of config wires the whole storage layer")
+    for name in ("laptop", "cmp32", "unbounded"):
+        session = Database.open(catalog, name)
+        result = session.run(q6_builder(session), label="q6")
+        resources = result.resources.render().splitlines()[0]
+        print(f"   {name:>9}: {len(result.rows)} row(s) in "
+              f"{result.latency:,.0f} sim-units | {resources}")
+    print()
+
+
+def escape_hatch(catalog) -> None:
+    """The low-level layer is still public: hand-wire an Engine."""
+    from repro.engine import Engine
+    from repro.sim import Simulator
+    from repro.tpch.queries import build
+
     query = build("q6", catalog)
-    print("3) Staged engine — measured speedup of sharing 16 clients")
-    for processors in (1, 32):
-        times = {}
-        for shared in (False, True):
-            sim = Simulator(processors=processors)
-            engine = Engine(catalog, sim)
-            labels = [f"q6#{i}" for i in range(16)]
-            if shared:
-                engine.execute_group([query.plan] * 16,
-                                     pivot_op_id=query.pivot, labels=labels)
-            else:
-                for label in labels:
-                    engine.execute(query.plan, label)
-            sim.run()
-            times[shared] = sim.now
-        speedup = times[False] / times[True]
-        print(f"   {processors:>2} cpus: unshared {times[False]:,.0f} vs "
-              f"shared {times[True]:,.0f} sim-units -> "
-              f"measured Z = {speedup:.2f}")
-    print()
-    print("Sharing helps on the uniprocessor and hurts on the 32-way CMP —")
-    print("the trade-off the paper is about, reproduced end to end.")
+    sim = Simulator(processors=32)
+    engine = Engine(catalog, sim)
+    engine.execute_group([query.plan] * CLIENTS, pivot_op_id=query.pivot,
+                         labels=[f"q6#{i}" for i in range(CLIENTS)])
+    sim.run()
+    print("3) Low-level escape hatch — Engine.execute_group by hand")
+    print(f"   forced sharing on 32 cpus: makespan {sim.now:,.0f} sim-units")
+    print("   (the session above declined this for a reason: forced")
+    print("   sharing serializes the scan pivot behind one consumer.)")
 
 
 if __name__ == "__main__":
-    analytical_decision()
-    profiled_decision()
-    staged_execution()
+    catalog = generate(scale_factor=0.0005, seed=7)
+    session_api(catalog)
+    presets(catalog)
+    escape_hatch(catalog)

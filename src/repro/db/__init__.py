@@ -1,0 +1,40 @@
+"""repro.db — the Session/Database facade over the staged engine.
+
+The canonical way to use the library::
+
+    from repro.db import Database, RuntimeConfig
+    from repro.engine.expressions import col, lt
+
+    session = Database.open(catalog, RuntimeConfig.preset("laptop"))
+    q = (session.table("lineitem")
+                .where(lt(col("l_quantity"), 24.0))
+                .select("l_orderkey", "l_extendedprice"))
+    for _ in range(8):
+        session.submit(q)
+    results = session.run_all()   # the session decides share-vs-solo
+
+:class:`RuntimeConfig` wires pool + broker + scan manager + prefetch
+deterministically (the invariants the low-level
+:class:`~repro.engine.engine.Engine` checks hold by construction);
+:class:`Session` groups submissions by pivot signature and consults
+the configured sharing policy — by default a live
+Section-4-model-plus-resource-outlook advisor — before launching;
+:class:`~repro.db.result.QueryResult` carries rows, simulated latency,
+the sharing verdict, and the merged resource report. ``Engine``
+remains public as the low-level layer underneath.
+"""
+
+from repro.db.builder import Query, QueryBuilder
+from repro.db.config import PRESETS, RuntimeConfig
+from repro.db.result import QueryResult
+from repro.db.session import Database, Session
+
+__all__ = [
+    "Database",
+    "Session",
+    "RuntimeConfig",
+    "PRESETS",
+    "Query",
+    "QueryBuilder",
+    "QueryResult",
+]

@@ -1,0 +1,321 @@
+"""Fluent query construction lowering to the engine's plan IR.
+
+The builder is *sugar*, not a new IR: every method lowers to one of
+the :mod:`repro.engine.plan` constructors, so schema errors still
+surface at build time (the constructors validate column references and
+dtypes) and a builder-built query is indistinguishable — signature,
+schema, op_ids — from a hand-built ``PlanNode`` tree.
+
+Fusion rule (matching the paper's query structure): ``where`` and
+``select`` called while the initial scan is still *pending* fuse into
+the scan stage (a fused scan evaluates the predicate and emits result
+tuples — the natural sharing pivot for scan-heavy queries). Once any
+operator materializes the scan, ``where`` lowers to ``filter_`` and
+``select`` to ``project``. ``filter`` / ``project`` are the
+always-materialize spellings for callers that want a standalone node.
+
+Pivot rule: the sharing pivot defaults to the fused scan created by
+:meth:`Session.table`, and moves to a join node when one is built
+(mirroring the TPC-H drivers: scan-heavy queries share their scan,
+join-heavy queries their join). ``share_at()`` pins the pivot to the
+current node; ``share_at(None)`` disables sharing for the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.engine.expressions import Expr, and_, col
+from repro.engine.plan import (
+    AggSpec,
+    PlanNode,
+    aggregate,
+    filter_,
+    hash_join,
+    limit,
+    merge_join,
+    nested_loop_join,
+    project,
+    scan,
+    sort,
+)
+from repro.errors import PlanError
+from repro.storage.catalog import Catalog
+
+__all__ = ["Query", "QueryBuilder"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A built query: the plan, its sharing pivot, and a type name.
+
+    ``pivot_op_id`` is ``None`` for queries that must always run solo;
+    ``name`` keys policy decisions and profile caches. The session
+    merges submissions only when pivot signature, pivot op_id *and*
+    name all agree — the signature is the engine's merge test, the
+    op_id is how the engine addresses the pivot in every member, and
+    the name is what policies key their specs on.
+    """
+
+    plan: PlanNode
+    pivot_op_id: Optional[str]
+    name: str
+
+    @property
+    def pivot_signature(self) -> Optional[str]:
+        if self.pivot_op_id is None:
+            return None
+        return self.plan.find(self.pivot_op_id).signature
+
+
+class QueryBuilder:
+    """Fluent, chainable construction of one query plan.
+
+    Builders are mutable: each method applies its operator and returns
+    ``self``. Obtain the immutable artifacts with :meth:`plan` (the
+    ``PlanNode``) or :meth:`build` (a :class:`Query` carrying the
+    pivot); a materialized builder can keep chaining afterwards.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        table: str,
+        columns: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        catalog.table(table)  # unknown tables fail at builder time
+        self._catalog = catalog
+        self._node: Optional[PlanNode] = None
+        self._scan: Optional[dict] = {
+            "table": table,
+            "columns": list(columns) if columns is not None else None,
+            "predicate": None,
+            "outputs": None,
+            "cost_factor": 1.0,
+        }
+        self._pivot_id: Optional[str] = None
+        self._pivot_explicit = False
+        self._name = name or table
+
+    # -- scan fusion -----------------------------------------------------
+
+    def _materialize(self) -> PlanNode:
+        """Lower the pending scan (if any); return the current root."""
+        if self._scan is not None:
+            pending, self._scan = self._scan, None
+            self._node = scan(
+                self._catalog,
+                pending["table"],
+                columns=pending["columns"],
+                predicate=pending["predicate"],
+                outputs=pending["outputs"],
+                cost_factor=pending["cost_factor"],
+            )
+            if not self._pivot_explicit:
+                self._pivot_id = self._node.op_id
+        assert self._node is not None
+        return self._node
+
+    def _apply(self, node: PlanNode) -> "QueryBuilder":
+        self._node = node
+        return self
+
+    # -- filtering and projection ----------------------------------------
+
+    def where(self, predicate: Expr) -> "QueryBuilder":
+        """Keep rows matching ``predicate``.
+
+        Fuses into the pending scan stage when possible (conjoining
+        with any earlier fused predicate); otherwise lowers to a
+        ``filter`` node.
+        """
+        if self._scan is not None and self._scan["outputs"] is None:
+            existing = self._scan["predicate"]
+            self._scan["predicate"] = (
+                predicate if existing is None else and_(existing, predicate)
+            )
+            return self
+        return self.filter(predicate)
+
+    def filter(self, predicate: Expr, cost_factor: float = 1.0) -> "QueryBuilder":
+        """Always lower to a standalone ``filter`` node."""
+        node = filter_(self._materialize(), predicate, cost_factor=cost_factor)
+        return self._apply(node)
+
+    def select(self, *items) -> "QueryBuilder":
+        """Shape the output columns.
+
+        On a pending scan with no fused predicate, all-plain column
+        names narrow the storage columns; once a predicate is fused
+        (``where`` first), bare names lower to identity *outputs*
+        instead, so the predicate keeps seeing every storage column
+        while the scan emits only the selected ones. ``(name, expr,
+        dtype)`` tuples compute new columns — fused into the pending
+        scan stage when possible, else a ``project`` node — and may be
+        mixed freely with bare names.
+        """
+        if not items:
+            raise PlanError("select() needs at least one column")
+        names = all(isinstance(item, str) for item in items)
+        if self._scan is not None:
+            fusible = self._scan["outputs"] is None
+            if names and fusible and self._scan["predicate"] is None:
+                # No fused predicate yet: narrow the storage columns
+                # (a predicate fused later compiles against the
+                # narrowed schema, erroring at build time if it reads
+                # a dropped column).
+                self._scan["columns"] = list(items)
+                return self
+            if fusible:
+                # A fused predicate may read columns the projection
+                # drops, so bare names lower to identity *outputs*:
+                # the predicate still sees the full storage schema,
+                # the scan emits only the selected columns.
+                schema = self._pending_schema()
+                self._scan["outputs"] = self._as_outputs(items, schema)
+                return self
+        node = self._materialize()
+        return self._apply(project(node, self._as_outputs(items, node.schema)))
+
+    def _pending_schema(self):
+        """The storage schema a pending scan's expressions see."""
+        table = self._catalog.table(self._scan["table"])
+        return table.projected_schema(self._scan["columns"])
+
+    @staticmethod
+    def _as_outputs(items, schema) -> tuple:
+        """Normalize select items: bare names become identity outputs."""
+        outputs = []
+        for item in items:
+            if isinstance(item, str):
+                outputs.append((item, col(item), schema.dtype_of(item)))
+            else:
+                outputs.append(item)
+        return tuple(outputs)
+
+    def project(self, outputs: Sequence[tuple]) -> "QueryBuilder":
+        """Always lower to a standalone ``project`` node."""
+        return self._apply(project(self._materialize(), list(outputs)))
+
+    def with_cost_factor(self, cost_factor: float) -> "QueryBuilder":
+        """Scale the pending scan's fused per-tuple expression cost."""
+        if self._scan is None:
+            raise PlanError(
+                "cost_factor applies to the scan stage; set it before "
+                "materializing operators on top"
+            )
+        self._scan["cost_factor"] = cost_factor
+        return self
+
+    # -- aggregation, ordering, truncation -------------------------------
+
+    def agg(self, *specs: AggSpec, by: Sequence[str] = ()) -> "QueryBuilder":
+        """Hash aggregation: ``agg(AggSpec(...), ..., by=("k",))``."""
+        return self._apply(aggregate(self._materialize(), tuple(by), list(specs)))
+
+    def order_by(self, *keys) -> "QueryBuilder":
+        """Sort by keys; a plain name means ascending, ``(name, False)``
+        descending."""
+        normalized = [
+            (key, True) if isinstance(key, str) else (key[0], bool(key[1]))
+            for key in keys
+        ]
+        return self._apply(sort(self._materialize(), normalized))
+
+    def limit(self, count: int) -> "QueryBuilder":
+        return self._apply(limit(self._materialize(), count))
+
+    # -- joins -----------------------------------------------------------
+
+    def _other_plan(self, other: Union["QueryBuilder", PlanNode]) -> PlanNode:
+        if isinstance(other, QueryBuilder):
+            return other.plan()
+        return other
+
+    def hash_join(
+        self,
+        build: Union["QueryBuilder", PlanNode],
+        build_key: str,
+        probe_key: str,
+        join_type: str = "inner",
+    ) -> "QueryBuilder":
+        """Hash-join this stream (the probe side) against ``build``."""
+        node = hash_join(
+            self._other_plan(build),
+            self._materialize(),
+            build_key=build_key,
+            probe_key=probe_key,
+            join_type=join_type,
+        )
+        self._retarget_pivot(node)
+        return self._apply(node)
+
+    def merge_join(
+        self,
+        right: Union["QueryBuilder", PlanNode],
+        left_key: str,
+        right_key: str,
+    ) -> "QueryBuilder":
+        """Merge-join this (sorted) stream with sorted ``right``."""
+        node = merge_join(
+            self._materialize(),
+            self._other_plan(right),
+            left_key=left_key,
+            right_key=right_key,
+        )
+        self._retarget_pivot(node)
+        return self._apply(node)
+
+    def nl_join(
+        self,
+        right: Union["QueryBuilder", PlanNode],
+        predicate: Expr,
+    ) -> "QueryBuilder":
+        """Nested-loop-join this (outer) stream against ``right``."""
+        node = nested_loop_join(self._materialize(), self._other_plan(right), predicate)
+        self._retarget_pivot(node)
+        return self._apply(node)
+
+    def _retarget_pivot(self, join_node: PlanNode) -> None:
+        # Join-heavy queries share at their join (its output is small
+        # relative to the work below it), unless the caller pinned the
+        # pivot elsewhere.
+        if not self._pivot_explicit:
+            self._pivot_id = join_node.op_id
+
+    # -- sharing and naming ----------------------------------------------
+
+    def share_at(self, enabled: bool = True) -> "QueryBuilder":
+        """Pin the sharing pivot to the current node (or, with
+        ``enabled=False``, mark the query always-solo)."""
+        self._pivot_explicit = True
+        self._pivot_id = self._materialize().op_id if enabled else None
+        return self
+
+    def named(self, name: str) -> "QueryBuilder":
+        """Set the query-type name used by policies and profiles."""
+        self._name = name
+        return self
+
+    # -- terminals -------------------------------------------------------
+
+    @property
+    def schema(self):
+        """Output schema of the query as built so far."""
+        return self.plan().schema
+
+    def plan(self) -> PlanNode:
+        """The built ``PlanNode`` tree (the engine's IR)."""
+        return self._materialize()
+
+    def build(self) -> Query:
+        """The built :class:`Query` with its sharing pivot."""
+        plan = self._materialize()
+        return Query(plan=plan, pivot_op_id=self._pivot_id, name=self._name)
+
+    def __repr__(self) -> str:
+        if self._scan is not None:
+            return f"QueryBuilder(pending scan of {self._scan['table']!r})"
+        return f"QueryBuilder({self._node!r})"

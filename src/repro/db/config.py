@@ -1,0 +1,158 @@
+"""Runtime configuration: one frozen value object wires the engine.
+
+Before the facade, every caller hand-assembled ``Simulator`` +
+``BufferPool`` + ``MemoryBroker`` + ``ScanShareManager`` +
+``spill_prefetch_depth`` and had to re-learn the invariants the engine
+enforces (manager's pool is the engine's pool, broker sizing, prefetch
+inheritance). :class:`RuntimeConfig` replaces that with a declarative
+description — *what resources exist* — and derives the component
+graph deterministically through the same
+:func:`~repro.engine.wiring.resolve_storage` rules the engine applies,
+so the invariants hold by construction.
+
+Presets name the three machine shapes the experiments care about:
+
+``laptop``
+    A small cold-storage box: 2 processors, a 256-page pool with the
+    scan-aware eviction policy, 32 pages of ``work_mem``, cooperative
+    scans with prefetch, and the I/O-aware cost calibration.
+``cmp32``
+    The paper's 32-way CMP with a memory-resident working set: a large
+    pool, ample ``work_mem``, no I/O charges (the seed calibration).
+``unbounded``
+    The seed configuration: 8 processors, no storage governance at
+    all. The engine behaves exactly as in PR 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.engine.costs import DEFAULT_COST_MODEL, IO_AWARE_COST_MODEL, CostModel
+from repro.engine.memory import MemoryBroker
+from repro.engine.wiring import resolve_storage
+from repro.errors import EngineError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import DEFAULT_PAGE_ROWS
+from repro.storage.shared_scan import ScanShareManager
+
+__all__ = ["RuntimeConfig", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Declarative description of one engine runtime.
+
+    Attributes
+    ----------
+    work_mem:
+        Operator working-memory budget in pages (``None`` = ungoverned:
+        no :class:`~repro.engine.memory.MemoryBroker`, nothing spills).
+    pool_pages:
+        Buffer-pool capacity in pages (``None`` = no pool unless
+        ``work_mem`` forces one into existence for spill files).
+    pool_policy:
+        Eviction policy name (``lru`` / ``clock`` / ``mru`` / ``scan``).
+    prefetch_depth:
+        Cooperative-scan read-ahead. ``None`` disables cooperative
+        scans entirely (no :class:`ScanShareManager`); an int >= 0
+        attaches a manager with that elevator prefetch depth.
+    spill_prefetch_depth:
+        Read-ahead for spill read-back; ``None`` inherits the scan
+        manager's depth (the engine's own inheritance rule).
+    page_rows:
+        Tuples per exchanged page.
+    processors:
+        Simulated hardware contexts of the session's machine.
+    cost_model:
+        Per-tuple/per-page cost calibration.
+    queue_capacity:
+        Bounded-buffer depth between stages.
+    """
+
+    work_mem: Optional[int] = None
+    pool_pages: Optional[int] = None
+    pool_policy: str = "lru"
+    prefetch_depth: Optional[int] = None
+    spill_prefetch_depth: Optional[int] = None
+    page_rows: int = DEFAULT_PAGE_ROWS
+    processors: int = 8
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    queue_capacity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.work_mem is not None and self.work_mem < 1:
+            raise EngineError(f"work_mem must be >= 1 page, got {self.work_mem}")
+        if self.pool_pages is not None and self.pool_pages < 1:
+            raise EngineError(f"pool_pages must be >= 1, got {self.pool_pages}")
+        if self.prefetch_depth is not None and self.prefetch_depth < 0:
+            raise EngineError(f"prefetch_depth must be >= 0, got {self.prefetch_depth}")
+        if self.processors < 1:
+            raise EngineError(f"processors must be >= 1, got {self.processors}")
+        if self.prefetch_depth is not None and self.pool_pages is None:
+            raise EngineError(
+                "cooperative scans (prefetch_depth) require pool_pages: "
+                "elevator cursors read through a buffer pool"
+            )
+
+    @classmethod
+    def preset(cls, name: str) -> "RuntimeConfig":
+        """Look up a named preset (``laptop`` / ``cmp32`` / ``unbounded``)."""
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise EngineError(f"unknown preset {name!r}; available: {sorted(PRESETS)}") from None
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """A copy with the given fields replaced (presets as bases)."""
+        return replace(self, **changes)
+
+    def build_storage(
+        self,
+    ) -> Tuple[
+        Optional[BufferPool],
+        Optional[MemoryBroker],
+        Optional[ScanShareManager],
+        int,
+    ]:
+        """Materialize one fresh, coherent storage-component set.
+
+        Components are created in dependency order (pool, then broker
+        bound to it, then manager over it) and passed through
+        :func:`~repro.engine.wiring.resolve_storage` — the same
+        normalization the engine applies — so a config can never
+        produce a component set the engine would reject.
+        """
+        pool = (
+            BufferPool(self.pool_pages, self.pool_policy)
+            if self.pool_pages is not None
+            else None
+        )
+        memory = MemoryBroker(self.work_mem) if self.work_mem is not None else None
+        scans = (
+            ScanShareManager(pool, prefetch_depth=self.prefetch_depth)
+            if self.prefetch_depth is not None
+            else None
+        )
+        return resolve_storage(pool, memory, scans, self.spill_prefetch_depth)
+
+
+PRESETS = {
+    "laptop": RuntimeConfig(
+        work_mem=32,
+        pool_pages=256,
+        pool_policy="scan",
+        prefetch_depth=2,
+        processors=2,
+        cost_model=IO_AWARE_COST_MODEL,
+    ),
+    "cmp32": RuntimeConfig(
+        work_mem=512,
+        pool_pages=4096,
+        pool_policy="lru",
+        processors=32,
+        cost_model=DEFAULT_COST_MODEL,
+    ),
+    "unbounded": RuntimeConfig(),
+}

@@ -1,0 +1,76 @@
+"""Unified per-query results from a session run.
+
+Before the facade, reading out one run meant touching four objects:
+the :class:`~repro.engine.packet.QueryHandle` (rows, timestamps), the
+simulator (makespan), the buffer pool and the memory broker (resource
+counters), plus the policy's decision record. :class:`QueryResult`
+carries all of it: the rows, the simulated latency, the sharing
+verdict that routed the query, and the merged
+:class:`~repro.engine.stats.ResourceReport` snapshotted when its batch
+finished (grant notes, spill stall/overlap split, hit rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.decision import ShareDecision
+from repro.engine.stats import ResourceReport
+from repro.storage.schema import Schema
+
+__all__ = ["QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one submitted query produced.
+
+    ``resources`` is the session-wide resource snapshot taken when the
+    query's batch drained — cumulative counters, shared by every query
+    of the batch (the pool and broker are session-global). ``decision``
+    is the model verdict that routed the query (``None`` when routing
+    was forced or trivially solo). ``makespan`` is the session clock
+    when the query's batch drained; it is cumulative across batches
+    (equal to the batch's own makespan only on a session's first
+    batch), while ``latency`` is always this query's own response
+    time.
+    """
+
+    label: str
+    name: str
+    schema: Schema
+    rows: list[tuple[Any, ...]]
+    submitted_at: float
+    finished_at: float
+    shared: bool
+    group_size: int
+    decision: Optional[ShareDecision]
+    resources: ResourceReport
+    makespan: float
+
+    @property
+    def latency(self) -> float:
+        """Simulated response time of this query."""
+        return self.finished_at - self.submitted_at
+
+    def grant_notes(self, owner: str) -> dict:
+        """Operator-reported grant facts (e.g. ``sort_runs``)."""
+        return self.resources.grant_notes(owner)
+
+    def render(self) -> str:
+        verdict = "shared" if self.shared else "solo"
+        text = (
+            f"{self.label}: {len(self.rows)} rows in {self.latency:.0f} "
+            f"sim-units ({verdict}, group of {self.group_size})"
+        )
+        if self.decision is not None:
+            text += f"; predicted Z={self.decision.benefit:.2f}"
+        return text
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({self.label!r}, rows={len(self.rows)}, "
+            f"latency={self.latency:.6g}, "
+            f"{'shared' if self.shared else 'solo'})"
+        )

@@ -1,0 +1,451 @@
+"""The Database/Session facade: submit queries, let the system decide.
+
+The paper's end state is an engine that decides *for itself* when to
+share. :class:`Session` is that loop packaged behind one object:
+
+* :meth:`Session.table` starts a fluent
+  :class:`~repro.db.builder.QueryBuilder` lowering to the engine's
+  plan IR;
+* :meth:`Session.submit` buffers queries; :meth:`Session.run_all`
+  groups the batch by **pivot signature** (two queries with equal
+  pivot subtrees request the same operation — the engine's merge
+  test), consults the sharing policy per group, launches shared groups
+  or solo queries accordingly, runs the simulator, and returns one
+  :class:`~repro.db.result.QueryResult` per submission;
+* the default policy is the Section-4 :class:`ShareAdvisor` fed by an
+  on-demand CPU profile of each new operation (cached per signature)
+  and adjusted per decision by a live
+  :class:`~repro.policies.resource_outlook.ResourceOutlook` over the
+  session's pool/broker/manager — so the fig_mem Part B flip (share
+  against a cold cache, decline warm) happens with zero manual
+  wiring. Pass any :class:`~repro.policies.base.SharingPolicy`
+  (``ModelGuided``, ``OnlineModelGuided``, ``AlwaysShare``, ...) to
+  override.
+
+Sessions are cheap: one simulator, one engine, one storage-component
+set built from the :class:`~repro.db.config.RuntimeConfig`. Simulated
+time and cache state persist across ``run_all`` batches — a second
+batch of the same queries sees a warm pool, which is exactly what
+makes its sharing decision flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.core.decision import ShareAdvisor, ShareDecision
+from repro.core.spec import QuerySpec
+from repro.db.builder import Query, QueryBuilder
+from repro.db.config import RuntimeConfig
+from repro.db.result import QueryResult
+from repro.engine.engine import Engine
+from repro.engine.packet import QueryHandle
+from repro.engine.plan import PlanNode
+from repro.engine.stats import ResourceReport, resource_report, stage_report
+from repro.errors import EngineError
+from repro.policies.base import SharingPolicy
+from repro.policies.resource_outlook import ResourceOutlook, ResourceProfile
+from repro.profiling.profiler import QueryProfiler
+from repro.sim.events import Sleep
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import Catalog
+
+__all__ = ["Database", "Session"]
+
+Submittable = Union[Query, QueryBuilder, PlanNode]
+
+
+@dataclass
+class _Submission:
+    """One buffered query awaiting ``run_all``."""
+
+    query: Query
+    label: str
+    share: Optional[bool]
+    delay: float = 0.0
+    handle: Optional[QueryHandle] = None
+    decision: Optional[ShareDecision] = None
+    group_size: int = 1
+    shared: bool = False
+
+
+class Database:
+    """A catalog plus the runtime configuration to query it with."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Union[RuntimeConfig, str, None] = None,
+    ) -> None:
+        if config is None:
+            config = RuntimeConfig()
+        elif isinstance(config, str):
+            config = RuntimeConfig.preset(config)
+        self.catalog = catalog
+        self.config = config
+
+    @classmethod
+    def open(
+        cls,
+        catalog: Catalog,
+        config: Union[RuntimeConfig, str, None] = None,
+        policy: Optional[SharingPolicy] = None,
+        threshold: float = 1.0,
+    ) -> "Session":
+        """Open a fresh :class:`Session` — the one-call entry point."""
+        return cls(catalog, config).session(policy=policy, threshold=threshold)
+
+    def session(
+        self,
+        policy: Optional[SharingPolicy] = None,
+        threshold: float = 1.0,
+    ) -> "Session":
+        """Mint a session: fresh simulator, engine, and storage set."""
+        return Session(self, policy=policy, threshold=threshold)
+
+    def __repr__(self) -> str:
+        return f"Database({len(self.catalog)} tables, {self.config!r})"
+
+
+class Session:
+    """One simulated machine executing queries under one policy.
+
+    Parameters
+    ----------
+    database:
+        The :class:`Database` (catalog + config) this session queries.
+    policy:
+        Optional :class:`~repro.policies.base.SharingPolicy` deciding
+        share-vs-solo per prospective group. ``None`` (default) uses
+        the built-in advisor: an on-demand CPU profile per operation,
+        adjusted by the live resource outlook, evaluated by the
+        Section-4 model.
+    threshold:
+        Minimum predicted ``Z`` for the built-in advisor to share.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        policy: Optional[SharingPolicy] = None,
+        threshold: float = 1.0,
+    ) -> None:
+        config = database.config
+        self.database = database
+        self.catalog = database.catalog
+        self.config = config
+        self.sim = Simulator(processors=config.processors)
+        pool, memory, scans, spill_depth = config.build_storage()
+        self.engine = Engine(
+            self.catalog,
+            self.sim,
+            costs=config.cost_model,
+            page_rows=config.page_rows,
+            queue_capacity=config.queue_capacity,
+            buffer_pool=pool,
+            memory=memory,
+            scan_manager=scans,
+            spill_prefetch_depth=spill_depth,
+        )
+        self.policy = policy
+        self.threshold = threshold
+        self.results: list[QueryResult] = []
+        self._pending: list[_Submission] = []
+        self._live_groups: list[tuple[str, int, int]] = []
+        self._specs: dict[str, tuple[QuerySpec, str]] = {}
+        self._outlook = ResourceOutlook(
+            {},
+            costs=config.cost_model,
+            pool=self.engine.pool,
+            scans=self.engine.scan_manager,
+            memory=self.engine.memory,
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def pool(self):
+        return self.engine.pool
+
+    @property
+    def memory(self):
+        return self.engine.memory
+
+    @property
+    def scans(self):
+        return self.engine.scan_manager
+
+    @property
+    def now(self) -> float:
+        """Current simulated time — the session clock, cumulative
+        across every batch run so far (a fresh session's first batch
+        therefore finishes at its makespan)."""
+        return self.sim.now
+
+    def resources(self) -> ResourceReport:
+        """Merged buffer/memory counters of this session so far."""
+        return resource_report(self.engine)
+
+    def stages(self, **kwargs):
+        """Per-operator busy-time breakdown of this session so far."""
+        return stage_report(self.sim, **kwargs)
+
+    def prewarm(self, *tables: str) -> int:
+        """Load the given tables' pages into the pool (a warm cache)."""
+        if self.engine.pool is None:
+            raise EngineError("session has no buffer pool to prewarm")
+        loaded = 0
+        for name in tables:
+            loaded += self.engine.pool.prewarm_table(
+                self.catalog.table(name), self.config.page_rows
+            )
+        return loaded
+
+    # -- building and submitting -----------------------------------------
+
+    def table(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+    ) -> QueryBuilder:
+        """Start a fluent query over one base table."""
+        return QueryBuilder(self.catalog, name, columns=columns)
+
+    @staticmethod
+    def _as_query(query: Submittable) -> Query:
+        if isinstance(query, QueryBuilder):
+            return query.build()
+        if isinstance(query, PlanNode):
+            return Query(plan=query, pivot_op_id=None, name=query.op_id)
+        if isinstance(query, Query):
+            return query
+        raise EngineError(
+            f"cannot submit {type(query).__name__}; expected a "
+            "QueryBuilder, Query, or PlanNode"
+        )
+
+    def submit(
+        self,
+        query: Submittable,
+        label: Optional[str] = None,
+        share: Optional[bool] = None,
+        delay: float = 0.0,
+    ) -> None:
+        """Buffer one query for the next :meth:`run_all`.
+
+        ``share`` overrides the policy for this submission (``True``
+        forces it into a group with same-signature submissions,
+        ``False`` forces solo); ``None`` lets the policy decide.
+        ``delay`` postpones the launch by that much simulated time
+        (the query then always runs solo — it arrives after the
+        batch's grouping decision).
+        """
+        if delay < 0:
+            raise EngineError(f"delay must be >= 0, got {delay}")
+        built = self._as_query(query)
+        self._pending.append(
+            _Submission(
+                query=built,
+                label=label or f"{built.name}#{len(self._pending)}",
+                share=share,
+                delay=delay,
+            )
+        )
+
+    def run(
+        self,
+        query: Submittable,
+        label: Optional[str] = None,
+        share: Optional[bool] = None,
+    ) -> QueryResult:
+        """Submit one query, run the pending batch, return its result.
+
+        Equivalent to ``submit(...)`` followed by ``run_all()``: any
+        queries already buffered by earlier ``submit`` calls run in
+        the same batch (and may group with this one); their results
+        land in :attr:`results` as usual.
+        """
+        self.submit(query, label=label, share=share)
+        return self.run_all()[-1]
+
+    # -- the decision loop -----------------------------------------------
+
+    def run_all(self) -> list[QueryResult]:
+        """Route the buffered batch, execute it, and collect results.
+
+        Submissions are grouped by pivot signature; each group of two
+        or more consults the policy once (unless forced via
+        ``submit(share=...)``). Returns results in submission order
+        and appends them to :attr:`results`.
+        """
+        batch, self._pending = self._pending, []
+        if not batch:
+            return []
+        self._route(batch)
+        self.sim.run()
+        self._notify_policy()
+        report = self.resources()
+        makespan = self.sim.now
+        results = []
+        for entry in batch:
+            handle = entry.handle
+            if handle is None or not handle.done:
+                raise EngineError(
+                    f"query {entry.label!r} did not complete; the "
+                    "simulation deadlocked or was stopped early"
+                )
+            results.append(
+                QueryResult(
+                    label=entry.label,
+                    name=entry.query.name,
+                    schema=handle.schema,
+                    rows=handle.rows,
+                    submitted_at=handle.submitted_at,
+                    finished_at=handle.finished_at,
+                    shared=entry.shared,
+                    group_size=entry.group_size,
+                    decision=entry.decision,
+                    resources=report,
+                    makespan=makespan,
+                )
+            )
+        self.results.extend(results)
+        return results
+
+    def _route(self, batch: Sequence[_Submission]) -> None:
+        # Merge candidates must agree on the pivot's *signature* (the
+        # engine's merge test), its *op_id* (execute_group addresses
+        # the pivot by id in every member), and the query *name*
+        # (policies key their specs on it).
+        groups: dict[tuple[str, str, str], list[_Submission]] = {}
+        for entry in batch:
+            if entry.delay > 0:
+                self._launch_delayed(entry)
+                continue
+            signature = entry.query.pivot_signature
+            if entry.share is False or signature is None:
+                self._launch(None, [entry])
+                continue
+            key = (signature, entry.query.pivot_op_id, entry.query.name)
+            groups.setdefault(key, []).append(entry)
+        for members in groups.values():
+            forced = [m for m in members if m.share is True]
+            undecided = [m for m in members if m.share is None]
+            if len(members) < 2:
+                self._launch(None, members)
+                continue
+            if forced and not undecided:
+                self._launch_group(forced)
+                continue
+            decision = self._decide(members)
+            share = decision.share if isinstance(decision, ShareDecision) else decision
+            for entry in undecided:
+                entry.decision = decision if isinstance(decision, ShareDecision) else None
+            if share or (forced and len(forced) >= 2):
+                chosen = members if share else forced
+                solo = [] if share else undecided
+                self._launch_group(chosen)
+                for entry in solo:
+                    self._launch(None, [entry])
+            else:
+                for entry in members:
+                    self._launch(None, [entry])
+
+    def _launch(self, pivot: Optional[str], members: list[_Submission]) -> None:
+        group = self.engine.execute_group(
+            [entry.query.plan for entry in members],
+            pivot_op_id=pivot,
+            labels=[entry.label for entry in members],
+        )
+        for entry, handle in zip(members, group.handles):
+            entry.handle = handle
+            entry.group_size = group.size
+            entry.shared = group.shared
+        self._live_groups.append((members[0].query.name, group.size, group.group_id))
+
+    def _launch_group(self, members: list[_Submission]) -> None:
+        self._launch(members[0].query.pivot_op_id, members)
+
+    def _launch_delayed(self, entry: _Submission) -> None:
+        engine = self.engine
+
+        def submitter():
+            yield Sleep(entry.delay)
+            entry.handle = engine.execute(entry.query.plan, entry.label)
+
+        self.sim.spawn(submitter(), name=f"submit/{entry.label}")
+
+    def _notify_policy(self) -> None:
+        """Feed each drained group's stage tasks back to the policy —
+        the learning hook ``OnlineModelGuidedPolicy`` depends on."""
+        launched, self._live_groups = self._live_groups, []
+        if self.policy is None:
+            return
+        for name, size, group_id in launched:
+            tasks = self.engine.group_tasks.get(group_id)
+            if tasks:
+                self.policy.observe_group(name, size, tasks)
+
+    # -- the built-in advisor --------------------------------------------
+
+    def _decide(self, members: list[_Submission]) -> Union[ShareDecision, bool]:
+        query = members[0].query
+        m = len(members)
+        if self.policy is not None:
+            return self.policy.should_share(query.name, m, self.config.processors)
+        return self.advise(query, m)
+
+    def advise(self, query: Submittable, group_size: int) -> ShareDecision:
+        """The built-in verdict: would sharing ``group_size`` copies of
+        ``query`` beat running them independently *right now*?
+
+        Uses a cached CPU profile of the operation and the live
+        resource outlook (cold pages, spill pressure) — re-evaluated
+        per call, so the same query can share against a cold cache and
+        decline once the cache warms.
+        """
+        built = self._as_query(query)
+        if built.pivot_op_id is None:
+            raise EngineError(f"query {built.name!r} has no sharing pivot to advise on")
+        signature = built.pivot_signature
+        spec, pivot_id = self._profile(signature, built)
+        adjusted = self._outlook.adjusted_spec(signature, spec, pivot_id, group_size)
+        advisor = ShareAdvisor(processors=self.config.processors, threshold=self.threshold)
+        group = [adjusted.relabeled(f"{built.name}#{i}") for i in range(group_size)]
+        return advisor.evaluate(group, pivot_id)
+
+    def _profile(self, signature: str, query: Query) -> tuple[QuerySpec, str]:
+        """CPU-profile one operation (cached by pivot signature).
+
+        Profiling runs on dedicated simulators with *no* resource
+        layer, so the fitted ``(w, s)`` are warm/CPU parameters; the
+        outlook layers projected I/O and spill terms on top per
+        decision — the PR-2 recipe, now automatic.
+        """
+        cached = self._specs.get(signature)
+        if cached is not None:
+            return cached
+        profiler = QueryProfiler(
+            self.catalog,
+            costs=self.config.cost_model,
+            page_rows=self.config.page_rows,
+            queue_capacity=self.config.queue_capacity,
+        )
+        profile = profiler.profile(query.plan, query.pivot_op_id, label=query.name)
+        spec = profile.to_query_spec()
+        self._specs[signature] = (spec, query.pivot_op_id)
+        pivot_node = query.plan.find(query.pivot_op_id)
+        if pivot_node.kind == "scan":
+            table = pivot_node.params["table"]
+            self._outlook.profiles[signature] = ResourceProfile(
+                table=table,
+                pages=self.catalog.table(table).page_count(self.config.page_rows),
+            )
+        return self._specs[signature]
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({len(self.catalog)} tables, "
+            f"{self.config.processors} processors, now={self.now:.6g})"
+        )

@@ -27,6 +27,7 @@ from repro.engine.memory import MemoryBroker
 from repro.engine.operators import StageContext, build_operator_task
 from repro.engine.packet import GroupHandle, QueryHandle
 from repro.engine.plan import PlanNode
+from repro.engine.wiring import resolve_storage
 from repro.errors import EngineError, PivotError
 from repro.sim.events import CLOSED, Compute, Get
 from repro.sim.queues import SimQueue
@@ -64,7 +65,10 @@ class Engine:
         operator working memory; the hash join and hash aggregate
         spill when over their grants. When a broker is given without a
         pool, a pool sized to ``work_mem`` (but at least 16 frames) is
-        created so spill files have somewhere to live.
+        created, bound to the broker, and reused on later engines; a
+        bound broker combined with a *different* explicit
+        ``buffer_pool`` is rejected (see
+        :func:`~repro.engine.wiring.resolve_storage`).
     scan_manager:
         Optional :class:`~repro.storage.shared_scan.ScanShareManager`
         enabling cooperative (elevator) scan sharing: concurrent scans
@@ -104,24 +108,10 @@ class Engine:
             raise EngineError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
-        if spill_prefetch_depth is None:
-            spill_prefetch_depth = (
-                scan_manager.prefetch_depth if scan_manager is not None else 0
-            )
-        if spill_prefetch_depth < 0:
-            raise EngineError(
-                f"spill_prefetch_depth must be >= 0, got {spill_prefetch_depth}"
-            )
-        if scan_manager is not None:
-            if buffer_pool is None:
-                buffer_pool = scan_manager.pool
-            elif scan_manager.pool is not buffer_pool:
-                raise EngineError(
-                    "scan_manager reads through a different BufferPool "
-                    "than the engine's buffer_pool"
-                )
-        if memory is not None and buffer_pool is None:
-            buffer_pool = BufferPool(max(memory.work_mem, 16))
+        (buffer_pool, memory, scan_manager, spill_prefetch_depth) = (
+            resolve_storage(buffer_pool, memory, scan_manager,
+                            spill_prefetch_depth)
+        )
         self.catalog = catalog
         self.sim = simulator
         self.pool = buffer_pool

@@ -164,7 +164,26 @@ class MemoryBroker:
         self.in_use = 0
         self.high_water = 0
         self.overcommits = 0
+        # The pool auto-created for (or explicitly bound to) this
+        # broker; spill files written under its grants live there.
+        # ``None`` until bound by the engine wiring.
+        self.pool = None
         self._grants: list[MemoryGrant] = []
+
+    def bind_pool(self, pool) -> None:
+        """Bind the pool this broker's spill traffic flows through.
+
+        Binding is sticky: rebinding to a *different* pool is an
+        error, because the broker's spill accounting and any spill
+        files already created would silently refer to the old pool
+        (see :func:`~repro.engine.wiring.resolve_storage`).
+        """
+        if self.pool is not None and self.pool is not pool:
+            raise EngineError(
+                "MemoryBroker is already bound to a different BufferPool; "
+                "create a fresh broker per pool"
+            )
+        self.pool = pool
 
     def available(self) -> int:
         return max(self.work_mem - self.reserved, 0)

@@ -1,0 +1,81 @@
+"""Storage-layer wiring invariants, in one place.
+
+Three optional components govern an engine's storage behavior — a
+:class:`~repro.storage.buffer.BufferPool`, a
+:class:`~repro.engine.memory.MemoryBroker`, and a
+:class:`~repro.storage.shared_scan.ScanShareManager` — and they are
+only coherent together when three invariants hold:
+
+* a scan manager's elevator cursors read through *the engine's* pool
+  (one disk model, one residency picture);
+* a broker given without a pool gets one sized to its ``work_mem``
+  (spill files need somewhere to live), and that auto-created pool is
+  *bound* to the broker — reusing the broker later with a different
+  explicit pool would silently split its spill files from its
+  accounting, so it is rejected;
+* spill read-back prefetch inherits the scan manager's depth unless
+  set explicitly (one read-ahead discipline per engine).
+
+:func:`resolve_storage` is the single implementation of those rules.
+:class:`~repro.engine.engine.Engine` calls it on every construction,
+and :class:`repro.db.RuntimeConfig` builds its component sets through
+it, so the facade and the low-level API cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.engine.memory import MemoryBroker
+from repro.errors import EngineError
+from repro.storage.buffer import BufferPool
+from repro.storage.shared_scan import ScanShareManager
+
+__all__ = ["resolve_storage"]
+
+
+def resolve_storage(
+    buffer_pool: Optional[BufferPool],
+    memory: Optional[MemoryBroker],
+    scan_manager: Optional[ScanShareManager],
+    spill_prefetch_depth: Optional[int],
+) -> Tuple[
+    Optional[BufferPool],
+    Optional[MemoryBroker],
+    Optional[ScanShareManager],
+    int,
+]:
+    """Normalize and validate one storage-component set.
+
+    Returns ``(pool, memory, scan_manager, spill_prefetch_depth)``
+    with every inheritance rule applied, or raises
+    :class:`~repro.errors.EngineError` on an incoherent combination.
+    """
+    if spill_prefetch_depth is None:
+        spill_prefetch_depth = scan_manager.prefetch_depth if scan_manager is not None else 0
+    if spill_prefetch_depth < 0:
+        raise EngineError(f"spill_prefetch_depth must be >= 0, got {spill_prefetch_depth}")
+    if scan_manager is not None:
+        if buffer_pool is None:
+            buffer_pool = scan_manager.pool
+        elif scan_manager.pool is not buffer_pool:
+            raise EngineError(
+                "scan_manager reads through a different BufferPool "
+                "than the engine's buffer_pool"
+            )
+    if memory is not None:
+        if buffer_pool is None:
+            if memory.pool is None:
+                memory.bind_pool(BufferPool(max(memory.work_mem, 16)))
+            buffer_pool = memory.pool
+        elif memory.pool is not None and memory.pool is not buffer_pool:
+            raise EngineError(
+                "MemoryBroker is already bound to another BufferPool "
+                "(the one auto-created for it, or a previous engine's); "
+                "passing a different buffer_pool would shadow that pool — "
+                "its spill files and accounting live there. Reuse the "
+                "bound pool or create a fresh broker."
+            )
+        else:
+            memory.bind_pool(buffer_pool)
+    return buffer_pool, memory, scan_manager, spill_prefetch_depth

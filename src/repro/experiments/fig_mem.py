@@ -20,9 +20,13 @@ With a **warm** cache the scan is CPU-only and the pivot's per-consumer
 output cost dominates — the model says *don't share* (the paper's
 scan-serialization result). With a **cold** cache every unshared tenant
 pays the full ``io_page`` bill, the shared pivot pays it once, and the
-same model — fed cold-profiled parameters — says *share*. The
-decision flips on cache temperature alone; measured makespans and
-buffer counters from the engine validate both verdicts.
+same model — its CPU profile adjusted by the session's live resource
+outlook — says *share*. The decision flips on cache temperature alone;
+measured makespans and buffer counters validate both verdicts. Since
+the facade PR the whole experiment runs through ``repro.db``: the
+query is fluent-built, the decision comes from ``Session.advise`` (no
+hand-rolled profiling pass), and the measurement arms force their
+routing with ``submit(share=...)``.
 
 (When the unshared tenants instead scan the *same* table through one
 shared buffer pool, their page-synchronized scans convoy: the first
@@ -37,28 +41,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.decision import ShareAdvisor, ShareDecision
+from repro.core.decision import ShareDecision
+from repro.db import Database, RuntimeConfig
 from repro.engine import (
     AggSpec,
     CostModel,
-    Engine,
     IO_AWARE_COST_MODEL,
-    MemoryBroker,
-    aggregate,
     hash_join,
     scan,
 )
 from repro.engine.expressions import col, lt, mul
-from repro.engine.stats import ResourceReport, resource_report
+from repro.engine.stats import ResourceReport
 from repro.experiments.common import (
     DEFAULT_SCALE_FACTOR,
     DEFAULT_SEED,
     shared_catalog,
 )
 from repro.experiments.report import format_table
-from repro.profiling import QueryProfiler
-from repro.sim.simulator import Simulator
-from repro.storage import BufferPool, Catalog, DataType, Schema
+from repro.storage import Catalog, DataType, Schema
 from repro.storage.page import DEFAULT_PAGE_ROWS
 
 __all__ = [
@@ -122,24 +122,21 @@ def sweep_work_mem(
     plan = _sweep_join_plan(catalog)
     points = []
     for work_mem in work_mems:
-        sim = Simulator(processors=processors)
-        engine = Engine(
-            catalog, sim, costs=costs,
-            buffer_pool=BufferPool(pool_pages, policy),
-            memory=MemoryBroker(work_mem),
-        )
-        handle = engine.execute(plan, f"sweep@{work_mem}")
-        sim.run()
-        report = resource_report(engine)
+        session = Database.open(catalog, RuntimeConfig(
+            work_mem=work_mem, pool_pages=pool_pages, pool_policy=policy,
+            processors=processors, cost_model=costs,
+        ))
+        result = session.run(plan, label=f"sweep@{work_mem}")
+        report = result.resources
         points.append(MemSweepPoint(
             work_mem=work_mem,
-            makespan=sim.now,
+            makespan=result.makespan,
             spill_pages_written=report.spill_pages_written,
             spill_pages_read=report.spill_pages_read,
             buffer_hit_rate=report.hit_rate,
             mem_high_water=report.memory.high_water,
             overcommits=report.memory.overcommits,
-            rows_out=len(handle.rows),
+            rows_out=len(result.rows),
         ))
     return tuple(points)
 
@@ -192,27 +189,28 @@ def _flip_catalog(base_rows: int, tenants: int, seed: int) -> Catalog:
     return catalog
 
 
-def _flip_query(catalog: Catalog, table_name: str):
-    """Fused scan (moderate selectivity, two outputs) + tiny aggregate."""
-    pivot = scan(
-        catalog,
-        table_name,
-        columns=["k", "v"],
-        predicate=lt(col("v"), FLIP_SELECTIVITY),
-        outputs=[
-            ("k", col("k"), DataType.INT),
-            ("vv", mul(col("v"), col("v")), DataType.FLOAT),
-        ],
-        op_id=f"flip_scan:{table_name}",
+def _flip_query(session, table_name: str):
+    """Fused scan (moderate selectivity, two outputs) + tiny aggregate.
+
+    Built through the session's fluent builder; the fused scan is the
+    default sharing pivot, exactly as the hand-built plan designated.
+    """
+    return (
+        session.table(table_name, columns=["k", "v"])
+        .where(lt(col("v"), FLIP_SELECTIVITY))
+        .select(("k", col("k"), DataType.INT),
+                ("vv", mul(col("v"), col("v")), DataType.FLOAT))
+        .agg(AggSpec("sum", "total", col("vv")), AggSpec("count", "n"))
+        .named(f"flip:{table_name}")
+        .build()
     )
-    plan = aggregate(
-        pivot,
-        group_by=(),
-        aggs=[AggSpec("sum", "total", col("vv")),
-              AggSpec("count", "n")],
-        op_id=f"flip_agg:{table_name}",
-    )
-    return plan, pivot.op_id
+
+
+def _flip_config(
+    processors: int, pool_pages: int, page_rows: int, costs: CostModel
+) -> RuntimeConfig:
+    return RuntimeConfig(pool_pages=pool_pages, page_rows=page_rows,
+                         processors=processors, cost_model=costs)
 
 
 def _measure_flip(
@@ -225,36 +223,33 @@ def _measure_flip(
     costs: CostModel,
 ) -> tuple[float, float, ResourceReport, ResourceReport]:
     """Measured makespans (unshared-private-replicas, shared-common)."""
+    config = _flip_config(processors, pool_pages, page_rows, costs)
 
-    def fresh_pool(table_names):
-        pool = BufferPool(pool_pages)
+    def open_session(warm_tables):
+        session = Database.open(catalog, config)
         if warm:
-            for name in table_names:
-                pool.prewarm_table(catalog.table(name), page_rows)
-        return pool
+            session.prewarm(*warm_tables)
+        return session
 
     # Unshared: tenant t scans its private replica — a private cache,
     # exactly the no-cross-query-reuse baseline the model assumes.
     replica_names = [f"{FLIP_TABLE}__{t}" for t in range(tenants)]
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=costs, page_rows=page_rows,
-                    buffer_pool=fresh_pool(replica_names))
+    session = open_session(replica_names)
     for t, name in enumerate(replica_names):
-        plan, _ = _flip_query(catalog, name)
-        engine.execute(plan, f"tenant{t}")
-    sim.run()
-    unshared_makespan, unshared_resources = sim.now, resource_report(engine)
+        session.submit(_flip_query(session, name), label=f"tenant{t}",
+                       share=False)
+    session.run_all()
+    unshared_makespan = session.now
+    unshared_resources = session.resources()
 
     # Shared: one scan of the common table feeds every tenant.
-    plan, pivot_id = _flip_query(catalog, FLIP_TABLE)
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=costs, page_rows=page_rows,
-                    buffer_pool=fresh_pool([FLIP_TABLE]))
-    engine.execute_group([plan] * tenants, pivot_op_id=pivot_id,
-                         labels=[f"tenant{t}" for t in range(tenants)])
-    sim.run()
-    return (unshared_makespan, sim.now, unshared_resources,
-            resource_report(engine))
+    session = open_session([FLIP_TABLE])
+    query = _flip_query(session, FLIP_TABLE)
+    for t in range(tenants):
+        session.submit(query, label=f"tenant{t}", share=True)
+    session.run_all()
+    return (unshared_makespan, session.now, unshared_resources,
+            session.resources())
 
 
 def run_flip(
@@ -266,27 +261,19 @@ def run_flip(
     seed: int = DEFAULT_SEED,
     costs: CostModel = FLIP_COSTS,
 ) -> tuple[FlipConfig, ...]:
-    """Profile, decide and measure under cold and warm caches."""
+    """Decide (via the session's live advisor) and measure, cold and
+    warm: the facade's automatic decision replaces the hand-rolled
+    profile-then-advise pass the pre-facade driver carried."""
     catalog = _flip_catalog(base_rows, tenants, seed)
-    plan, pivot_id = _flip_query(catalog, FLIP_TABLE)
+    config = _flip_config(processors, pool_pages, page_rows, costs)
 
     configs = []
     for name in ("cold", "warm"):
         warm = name == "warm"
-
-        def resources():
-            pool = BufferPool(pool_pages)
-            if warm:
-                pool.prewarm_table(catalog.table(FLIP_TABLE), page_rows)
-            return pool, None
-
-        profiler = QueryProfiler(catalog, costs=costs, page_rows=page_rows,
-                                 resources=resources)
-        profile = profiler.profile(plan, pivot_id, label=f"flip-{name}")
-        spec = profile.to_query_spec()
-        decision = ShareAdvisor(processors=processors).evaluate(
-            [spec] * tenants, pivot_id
-        )
+        session = Database.open(catalog, config)
+        if warm:
+            session.prewarm(FLIP_TABLE)
+        decision = session.advise(_flip_query(session, FLIP_TABLE), tenants)
         (mk_unshared, mk_shared, res_unshared, res_shared) = _measure_flip(
             catalog, tenants, processors, pool_pages, page_rows, warm, costs,
         )

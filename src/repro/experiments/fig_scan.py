@@ -33,17 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.engine import CostModel, Engine, scan
-from repro.engine.stats import stage_report
+from repro.db import Database, RuntimeConfig, Session
+from repro.engine import CostModel
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_table
-from repro.sim.events import Sleep
-from repro.sim.simulator import Simulator
 from repro.storage import (
-    BufferPool,
     Catalog,
     DataType,
-    ScanShareManager,
     Schema,
     TableScanStats,
 )
@@ -87,40 +83,28 @@ def _scan_catalog(base_rows: int, replicas: int, seed: int) -> Catalog:
 
 
 def _staggered_scans(
-    engine: Engine,
+    session: Session,
     table_names: Sequence[str],
     stagger: float,
 ) -> list:
     """Submit one scan per table name, the i-th delayed by i*stagger.
 
-    Returns the query handles (populated as submitters fire).
+    Submissions are forced solo (``share=False``): this figure is
+    about sharing at the *storage* layer (the elevator cursor), not
+    about pivot-merging the queries. Returns the per-query results.
     """
-    handles: list = []
-
-    def submitter(name: str, delay: float, label: str):
-        yield Sleep(delay)
-        plan = scan(engine.catalog, name, columns=["k", "v"],
-                    op_id=f"scan:{name}")
-        handles.append(engine.execute(plan, label))
-
     for i, name in enumerate(table_names):
-        engine.sim.spawn(
-            submitter(name, i * stagger, f"c{i}"),
-            name=f"submit/c{i}",
-        )
-    return handles
+        session.submit(session.table(name, columns=["k", "v"]),
+                       label=f"c{i}", share=False, delay=i * stagger)
+    return session.run_all()
 
 
 def _solo_cold_makespan(catalog: Catalog, pages: int, processors: int) -> float:
     """One cold scan, no manager — the stagger unit of Part A."""
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=SCAN_COSTS,
-                    buffer_pool=BufferPool(pages * 2))
-    engine.execute(
-        scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="solo"), "solo"
-    )
-    sim.run()
-    return sim.now
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=pages * 2, processors=processors, cost_model=SCAN_COSTS,
+    ))
+    return session.run(session.table(SCAN_TABLE, columns=["k", "v"])).makespan
 
 
 # ----------------------------------------------------------------------
@@ -163,37 +147,34 @@ def _measure_share_point(
 
     # Cooperative: every consumer scans the common table through one
     # elevator cursor.
-    pool = BufferPool(pages * 2)
-    manager = ScanShareManager(pool, prefetch_depth=prefetch_depth)
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
-                    scan_manager=manager)
-    handles = _staggered_scans(engine, [SCAN_TABLE] * consumers, stagger)
-    sim.run()
-    coop_makespan = sim.now
-    stats = manager.snapshot()[0]
-    identical = len(handles) == consumers and all(
-        sorted(handle.rows) == reference_rows for handle in handles
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=pages * 2, prefetch_depth=prefetch_depth,
+        page_rows=page_rows, processors=processors, cost_model=SCAN_COSTS,
+    ))
+    results = _staggered_scans(session, [SCAN_TABLE] * consumers, stagger)
+    coop_makespan = session.now
+    stats = session.scans.snapshot()[0]
+    identical = len(results) == consumers and all(
+        sorted(result.rows) == reference_rows for result in results
     )
 
     # Independent: consumer t scans its private replica — a private
     # cold cache, the model's no-cross-query-reuse baseline.
     replica_names = [f"{SCAN_TABLE}__{t}" for t in range(consumers)]
-    pool = BufferPool(pages * (consumers + 1))
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
-                    buffer_pool=pool)
-    _staggered_scans(engine, replica_names, stagger)
-    sim.run()
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=pages * (consumers + 1), page_rows=page_rows,
+        processors=processors, cost_model=SCAN_COSTS,
+    ))
+    _staggered_scans(session, replica_names, stagger)
 
     point = SharePoint(
         consumers=consumers,
         stagger_fraction=stagger_fraction,
         table_pages=pages,
         cooperative_reads=stats.physical_reads,
-        independent_reads=pool.stats.misses,
+        independent_reads=session.pool.stats.misses,
         makespan_cooperative=coop_makespan,
-        makespan_independent=sim.now,
+        makespan_independent=session.now,
         identical_answers=identical,
         max_attach_depth=stats.max_attach_depth,
         pages_per_read=stats.pages_per_read,
@@ -224,22 +205,20 @@ def _measure_prefetch(
     page_rows: int,
 ) -> PrefetchPoint:
     pages = catalog.table(SCAN_TABLE).page_count(page_rows)
-    manager = ScanShareManager(BufferPool(pages * 2), prefetch_depth=depth)
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
-                    scan_manager=manager)
-    engine.execute(
-        scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="cold_scan"),
-        f"prefetch@{depth}",
-    )
-    sim.run()
-    stats = manager.snapshot()[0]
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=pages * 2, prefetch_depth=depth, page_rows=page_rows,
+        processors=processors, cost_model=SCAN_COSTS,
+    ))
+    query = session.table(SCAN_TABLE, columns=["k", "v"]).build()
+    result = session.run(query, label=f"prefetch@{depth}")
+    stats = session.scans.snapshot()[0]
+    scan_op = query.plan.op_id
     return PrefetchPoint(
         depth=depth,
-        makespan=sim.now,
+        makespan=result.makespan,
         io_stall_cost=stats.io_stall_cost,
         io_overlapped_cost=stats.io_overlapped_cost,
-        scan_io_share=stage_report(sim).stage("cold_scan").io_share,
+        scan_io_share=session.stages().stage(scan_op).io_share,
     )
 
 
@@ -267,23 +246,20 @@ def _measure_eviction(
 ) -> EvictionPoint:
     pages = catalog.table(SCAN_TABLE).page_count(page_rows)
     pool_pages = max(2, pages // 2)
-    pool = BufferPool(pool_pages, policy)
-    manager = ScanShareManager(pool)
-    sim = Simulator(processors=processors)
-    engine = Engine(catalog, sim, costs=SCAN_COSTS, page_rows=page_rows,
-                    scan_manager=manager)
-    plan = scan(catalog, SCAN_TABLE, columns=["k", "v"], op_id="big_scan")
-    engine.execute(plan, "pass1")
-    sim.run()
-    first_pass_hits = pool.stats.hits
-    engine.execute(plan, "pass2")
-    sim.run()
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=pool_pages, pool_policy=policy, prefetch_depth=0,
+        page_rows=page_rows, processors=processors, cost_model=SCAN_COSTS,
+    ))
+    query = session.table(SCAN_TABLE, columns=["k", "v"]).build()
+    session.run(query, label="pass1")
+    first_pass_hits = session.pool.stats.hits
+    session.run(query, label="pass2")
     return EvictionPoint(
         policy=policy,
         pool_pages=pool_pages,
         table_pages=pages,
-        second_pass_hits=pool.stats.hits - first_pass_hits,
-        hit_rate=pool.stats.hit_rate,
+        second_pass_hits=session.pool.stats.hits - first_pass_hits,
+        hit_rate=session.pool.stats.hit_rate,
     )
 
 

@@ -29,12 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.engine import CostModel, Engine, MemoryBroker, limit, scan, sort
-from repro.engine.stats import resource_report
+from repro.db import Database, RuntimeConfig
+from repro.engine import CostModel, limit, scan, sort
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_table
-from repro.sim.simulator import Simulator
-from repro.storage import BufferPool, Catalog, DataType, Schema
+from repro.storage import Catalog, DataType, Schema
 from repro.storage.page import DEFAULT_PAGE_ROWS
 
 __all__ = [
@@ -104,21 +103,19 @@ def _run_once(
     prefetch_depth: int = 0,
     top_n: int | None = None,
 ):
-    """Execute the sort plan once; returns (rows, makespan, engine)."""
-    sim = Simulator(processors=processors)
-    engine = Engine(
-        catalog,
-        sim,
-        costs=SORT_COSTS,
-        page_rows=page_rows,
-        buffer_pool=BufferPool(pool_pages),
-        memory=MemoryBroker(work_mem) if work_mem is not None else None,
+    """Execute the sort plan once; returns (rows, makespan, result)."""
+    config = RuntimeConfig(
+        work_mem=work_mem,
+        pool_pages=pool_pages,
         spill_prefetch_depth=prefetch_depth,
+        page_rows=page_rows,
+        processors=processors,
+        cost_model=SORT_COSTS,
     )
+    session = Database.open(catalog, config)
     budget = "unbounded" if work_mem is None else f"wm{work_mem}"
-    handle = engine.execute(_sort_plan(catalog, top_n), f"sort@{budget}/pf{prefetch_depth}")
-    sim.run()
-    return handle.rows, sim.now, engine
+    result = session.run(_sort_plan(catalog, top_n), label=f"sort@{budget}/pf{prefetch_depth}")
+    return result.rows, result.makespan, result
 
 
 # ----------------------------------------------------------------------
@@ -149,9 +146,9 @@ def _measure_budget(
     reference_rows: list,
     reference_topn: list,
 ) -> SortPoint:
-    rows, makespan, engine = _run_once(catalog, work_mem, pool_pages, processors, page_rows)
+    rows, makespan, result = _run_once(catalog, work_mem, pool_pages, processors, page_rows)
     topn_rows, _, _ = _run_once(catalog, work_mem, pool_pages, processors, page_rows, top_n=TOPN)
-    report = resource_report(engine)
+    report = result.resources
     notes = report.grant_notes("big_sort")
     return SortPoint(
         work_mem=work_mem,
@@ -191,7 +188,7 @@ def _measure_prefetch(
     page_rows: int,
     reference_rows: list,
 ) -> SpillPrefetchPoint:
-    rows, makespan, engine = _run_once(
+    rows, makespan, result = _run_once(
         catalog,
         work_mem,
         pool_pages,
@@ -199,7 +196,7 @@ def _measure_prefetch(
         page_rows,
         prefetch_depth=depth,
     )
-    report = resource_report(engine)
+    report = result.resources
     return SpillPrefetchPoint(
         depth=depth,
         makespan=makespan,

@@ -1,0 +1,313 @@
+"""Builder round-trips: every plan constructor has a fluent spelling.
+
+Property: for each ``repro.engine.plan`` constructor, the builder
+path produces a node with the *identical signature* (hence identical
+auto op_id and merge identity) and schema as the hand-called
+constructor, across randomized columns, predicates, keys and specs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.builder import QueryBuilder
+from repro.engine.expressions import add, and_, col, gt, lit, lt, mul
+from repro.engine.plan import (
+    AggSpec,
+    aggregate,
+    filter_,
+    hash_join,
+    limit,
+    merge_join,
+    nested_loop_join,
+    project,
+    scan,
+    sort,
+)
+from repro.storage import Catalog, DataType, Schema
+
+A_COLS = ("a_k", "a_v", "a_g")
+B_COLS = ("b_k", "b_v")
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.create("ta", Schema([
+        ("a_k", DataType.INT), ("a_v", DataType.FLOAT), ("a_g", DataType.INT),
+    ])).insert_many([(i, float(i % 7), i % 3) for i in range(40)])
+    catalog.create("tb", Schema([
+        ("b_k", DataType.INT), ("b_v", DataType.FLOAT),
+    ])).insert_many([(i, float(i % 5)) for i in range(20)])
+    return catalog
+
+
+CATALOG = make_catalog()
+
+
+def assert_same_node(built, by_hand):
+    assert built.signature == by_hand.signature
+    assert built.op_id == by_hand.op_id
+    assert built.schema.names() == by_hand.schema.names()
+    assert built.kind == by_hand.kind
+
+
+columns_a = st.sampled_from([None, ["a_k", "a_v"], list(A_COLS), ["a_v"]])
+predicates = st.sampled_from([
+    lt(col("a_v"), 3.0),
+    gt(col("a_v"), 1.5),
+    and_(lt(col("a_v"), 5.0), gt(col("a_v"), 0.5)),
+])
+outputs = st.sampled_from([
+    (("x", mul(col("a_v"), col("a_v")), DataType.FLOAT),),
+    (("x", add(col("a_v"), lit(1.0)), DataType.FLOAT),
+     ("y", col("a_v"), DataType.FLOAT)),
+])
+agg_specs = st.sampled_from([
+    (AggSpec("sum", "s", col("a_v")),),
+    (AggSpec("count", "n"), AggSpec("max", "m", col("a_v"))),
+    (AggSpec("avg", "a", col("a_v")),),
+])
+sort_keys = st.sampled_from([
+    (("a_k", True),),
+    (("a_v", True), ("a_k", False)),
+    (("a_g", False), ("a_k", True)),
+])
+
+
+class TestScanFusion:
+    @given(columns=columns_a)
+    @settings(max_examples=20, deadline=None)
+    def test_plain_scan(self, columns):
+        built = QueryBuilder(CATALOG, "ta", columns=columns).plan()
+        assert_same_node(built, scan(CATALOG, "ta", columns=columns))
+
+    @given(predicate=predicates)
+    @settings(max_examples=20, deadline=None)
+    def test_where_fuses_into_scan(self, predicate):
+        built = QueryBuilder(CATALOG, "ta").where(predicate).plan()
+        assert_same_node(built, scan(CATALOG, "ta", predicate=predicate))
+
+    @given(p1=predicates, p2=predicates)
+    @settings(max_examples=20, deadline=None)
+    def test_stacked_wheres_conjoin(self, p1, p2):
+        built = QueryBuilder(CATALOG, "ta").where(p1).where(p2).plan()
+        assert_same_node(
+            built, scan(CATALOG, "ta", predicate=and_(p1, p2))
+        )
+
+    @given(predicate=predicates, outs=outputs)
+    @settings(max_examples=20, deadline=None)
+    def test_fully_fused_scan(self, predicate, outs):
+        built = (QueryBuilder(CATALOG, "ta")
+                 .where(predicate).select(*outs).plan())
+        assert_same_node(
+            built,
+            scan(CATALOG, "ta", predicate=predicate, outputs=list(outs)),
+        )
+
+    def test_cost_factor_round_trips(self):
+        built = (QueryBuilder(CATALOG, "ta")
+                 .where(lt(col("a_v"), 2.0)).with_cost_factor(2.5).plan())
+        assert_same_node(
+            built,
+            scan(CATALOG, "ta", predicate=lt(col("a_v"), 2.0),
+                 cost_factor=2.5),
+        )
+
+    def test_select_names_narrow_pending_scan(self):
+        built = QueryBuilder(CATALOG, "ta").select("a_k", "a_v").plan()
+        assert_same_node(built, scan(CATALOG, "ta", columns=["a_k", "a_v"]))
+
+    def test_select_names_after_where_keep_predicate_columns(self):
+        """The front-door pattern: filter on a column the projection
+        drops. Bare names after a fused predicate lower to identity
+        outputs, so the predicate still compiles."""
+        built = (QueryBuilder(CATALOG, "ta")
+                 .where(lt(col("a_v"), 3.0))
+                 .select("a_k", "a_g")
+                 .plan())
+        assert_same_node(
+            built,
+            scan(CATALOG, "ta", predicate=lt(col("a_v"), 3.0), outputs=[
+                ("a_k", col("a_k"), DataType.INT),
+                ("a_g", col("a_g"), DataType.INT),
+            ]),
+        )
+        assert built.schema.names() == ("a_k", "a_g")
+
+    def test_select_mixes_names_and_computed_outputs(self):
+        built = (QueryBuilder(CATALOG, "ta")
+                 .select("a_k", ("x", mul(col("a_v"), col("a_v")),
+                                 DataType.FLOAT))
+                 .plan())
+        assert_same_node(
+            built,
+            scan(CATALOG, "ta", outputs=[
+                ("a_k", col("a_k"), DataType.INT),
+                ("x", mul(col("a_v"), col("a_v")), DataType.FLOAT),
+            ]),
+        )
+        assert built.schema.names() == ("a_k", "x")
+
+
+class TestUnaryOperators:
+    @given(predicate=predicates)
+    @settings(max_examples=20, deadline=None)
+    def test_filter_node(self, predicate):
+        built = QueryBuilder(CATALOG, "ta").filter(predicate).plan()
+        assert_same_node(built, filter_(scan(CATALOG, "ta"), predicate))
+
+    @given(outs=outputs)
+    @settings(max_examples=20, deadline=None)
+    def test_project_node(self, outs):
+        built = QueryBuilder(CATALOG, "ta").project(outs).plan()
+        assert_same_node(built, project(scan(CATALOG, "ta"), list(outs)))
+
+    @given(specs=agg_specs, by=st.sampled_from([(), ("a_g",), ("a_g", "a_k")]))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregate_node(self, specs, by):
+        built = QueryBuilder(CATALOG, "ta").agg(*specs, by=by).plan()
+        assert_same_node(
+            built, aggregate(scan(CATALOG, "ta"), by, list(specs))
+        )
+
+    @given(keys=sort_keys)
+    @settings(max_examples=20, deadline=None)
+    def test_sort_node(self, keys):
+        built = QueryBuilder(CATALOG, "ta").order_by(*keys).plan()
+        assert_same_node(built, sort(scan(CATALOG, "ta"), list(keys)))
+
+    def test_order_by_accepts_bare_names_as_ascending(self):
+        built = QueryBuilder(CATALOG, "ta").order_by("a_k").plan()
+        assert_same_node(built, sort(scan(CATALOG, "ta"), [("a_k", True)]))
+
+    @given(n=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_limit_node(self, n):
+        built = QueryBuilder(CATALOG, "ta").limit(n).plan()
+        assert_same_node(built, limit(scan(CATALOG, "ta"), n))
+
+
+class TestJoins:
+    @given(join_type=st.sampled_from(["inner", "semi", "anti", "left"]))
+    @settings(max_examples=20, deadline=None)
+    def test_hash_join_node(self, join_type):
+        built = (
+            QueryBuilder(CATALOG, "ta")
+            .hash_join(QueryBuilder(CATALOG, "tb"),
+                       build_key="b_k", probe_key="a_k",
+                       join_type=join_type)
+            .plan()
+        )
+        assert_same_node(
+            built,
+            hash_join(scan(CATALOG, "tb"), scan(CATALOG, "ta"),
+                      build_key="b_k", probe_key="a_k",
+                      join_type=join_type),
+        )
+
+    def test_merge_join_node(self):
+        built = (
+            QueryBuilder(CATALOG, "ta").order_by("a_k")
+            .merge_join(QueryBuilder(CATALOG, "tb").order_by("b_k"),
+                        left_key="a_k", right_key="b_k")
+            .plan()
+        )
+        assert_same_node(
+            built,
+            merge_join(sort(scan(CATALOG, "ta"), [("a_k", True)]),
+                       sort(scan(CATALOG, "tb"), [("b_k", True)]),
+                       left_key="a_k", right_key="b_k"),
+        )
+
+    def test_nested_loop_join_node(self):
+        predicate = gt(col("a_v"), col("b_v"))
+        built = (
+            QueryBuilder(CATALOG, "ta")
+            .nl_join(QueryBuilder(CATALOG, "tb"), predicate)
+            .plan()
+        )
+        assert_same_node(
+            built,
+            nested_loop_join(scan(CATALOG, "ta"), scan(CATALOG, "tb"),
+                             predicate),
+        )
+
+    def test_join_accepts_raw_plan_nodes(self):
+        built = (
+            QueryBuilder(CATALOG, "ta")
+            .hash_join(scan(CATALOG, "tb"), build_key="b_k",
+                       probe_key="a_k")
+            .plan()
+        )
+        assert built.kind == "hash_join"
+
+
+class TestPivotDefaults:
+    def test_scan_chain_pivots_at_the_scan(self):
+        query = (
+            QueryBuilder(CATALOG, "ta")
+            .where(lt(col("a_v"), 3.0))
+            .agg(AggSpec("count", "n"))
+            .build()
+        )
+        pivot = query.plan.find(query.pivot_op_id)
+        assert pivot.kind == "scan"
+
+    def test_join_retargets_the_pivot(self):
+        query = (
+            QueryBuilder(CATALOG, "ta")
+            .hash_join(QueryBuilder(CATALOG, "tb"),
+                       build_key="b_k", probe_key="a_k")
+            .agg(AggSpec("count", "n"))
+            .build()
+        )
+        assert query.plan.find(query.pivot_op_id).kind == "hash_join"
+
+    def test_share_at_pins_the_pivot(self):
+        builder = QueryBuilder(CATALOG, "ta").where(lt(col("a_v"), 3.0))
+        builder.share_at()
+        query = builder.agg(AggSpec("count", "n")).build()
+        assert query.plan.find(query.pivot_op_id).kind == "scan"
+
+        solo = (QueryBuilder(CATALOG, "ta").share_at(False)
+                .agg(AggSpec("count", "n")).build())
+        assert solo.pivot_op_id is None
+        assert solo.pivot_signature is None
+
+    def test_named_sets_the_query_name(self):
+        query = QueryBuilder(CATALOG, "ta").named("hotpath").build()
+        assert query.name == "hotpath"
+        assert QueryBuilder(CATALOG, "ta").build().name == "ta"
+
+
+class TestBuilderErrors:
+    def test_unknown_table_rejected_immediately(self):
+        with pytest.raises(Exception):
+            QueryBuilder(CATALOG, "missing")
+
+    def test_unknown_sort_key_rejected_at_build(self):
+        with pytest.raises(Exception):
+            QueryBuilder(CATALOG, "ta").order_by("nope")
+
+    def test_unknown_agg_column_rejected_at_build(self):
+        with pytest.raises(Exception):
+            QueryBuilder(CATALOG, "ta").agg(
+                AggSpec("sum", "s", col("nope"))
+            )
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(Exception):
+            QueryBuilder(CATALOG, "ta").select()
+
+    def test_cost_factor_after_materialize_rejected(self):
+        builder = QueryBuilder(CATALOG, "ta").limit(5)
+        with pytest.raises(Exception):
+            builder.with_cost_factor(2.0)
+
+    def test_join_column_collision_rejected_at_build(self):
+        with pytest.raises(Exception):
+            QueryBuilder(CATALOG, "ta").hash_join(
+                QueryBuilder(CATALOG, "ta"),
+                build_key="a_k", probe_key="a_k",
+            )
