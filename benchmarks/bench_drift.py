@@ -1,0 +1,66 @@
+"""Benchmarks of drift governance on the elevator-scan hot path.
+
+Tracks the qualitative shapes ``fig_drift`` asserts — throttling a
+skewed convoy restores ~one physical pass where unbounded drift pays
+for itself several times over — plus the host-side overhead of the
+per-acquire drift bookkeeping (lag scans, gate checks), which rides
+the scan hot path whenever a drift bound is configured.
+"""
+
+from repro.db import Database, RuntimeConfig
+from repro.engine import CostModel
+from repro.engine.expressions import col, ge
+from repro.storage import Catalog, DataType, Schema
+
+PAGE_ROWS = 25
+ROWS = 1200
+POOL_PAGES = 22
+COSTS = CostModel(io_page=400.0)
+SPEEDS = (1.0, 1.0, 1.0, 16.0, 32.0, 64.0)
+
+
+def _catalog():
+    catalog = Catalog()
+    schema = Schema([("k", DataType.INT), ("v", DataType.FLOAT)])
+    catalog.create("stream", schema).insert_many(
+        [(i, float(i % 97)) for i in range(ROWS)]
+    )
+    return catalog
+
+
+def _run(catalog, drift_bound, group_windows):
+    session = Database.open(catalog, RuntimeConfig(
+        pool_pages=POOL_PAGES, prefetch_depth=2,
+        drift_bound=drift_bound, group_windows=group_windows,
+        page_rows=PAGE_ROWS, processors=12, cost_model=COSTS,
+    ))
+    for i, factor in enumerate(SPEEDS):
+        query = (session.table("stream", columns=["k", "v"])
+                 .where(ge(col("k"), 0))
+                 .with_cost_factor(factor))
+        session.submit(query, label=f"c{i}", share=False)
+    session.run_all()
+    return session
+
+
+def test_throttle_restores_single_pass(benchmark):
+    """Drift-bounded convoy: ~1 physical pass vs several unbounded."""
+    catalog = _catalog()
+
+    def run_both():
+        throttled = _run(catalog, 8, False)
+        unbounded = _run(catalog, None, False)
+        return (throttled.scans.snapshot()[0].physical_reads,
+                unbounded.scans.snapshot()[0].physical_reads)
+
+    throttled_reads, unbounded_reads = benchmark(run_both)
+    pages = catalog.table("stream").page_count(PAGE_ROWS)
+    assert throttled_reads <= 1.5 * pages
+    assert unbounded_reads > 2 * pages
+
+
+def test_drift_bookkeeping_overhead(benchmark):
+    """Host-side cost of the gate + lag scans on a governed convoy."""
+    catalog = _catalog()
+    session = benchmark(lambda: _run(catalog, 8, True))
+    assert session.scans.snapshot()[0].physical_reads > 0

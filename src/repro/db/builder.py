@@ -76,6 +76,34 @@ class QueryBuilder:
     ``self``. Obtain the immutable artifacts with :meth:`plan` (the
     ``PlanNode``) or :meth:`build` (a :class:`Query` carrying the
     pivot); a materialized builder can keep chaining afterwards.
+
+    Examples
+    --------
+    ``where``/``select`` fuse into the pending scan (one stage, the
+    natural sharing pivot); later operators lower to standalone plan
+    nodes. Schema errors surface at build time:
+
+    >>> from repro.db import QueryBuilder
+    >>> from repro.engine.expressions import col, lt
+    >>> from repro.storage import Catalog, DataType, Schema
+    >>> catalog = Catalog()
+    >>> _ = catalog.create("t", Schema([("k", DataType.INT),
+    ...                                 ("v", DataType.FLOAT)]))
+    >>> query = (QueryBuilder(catalog, "t")
+    ...          .where(lt(col("k"), 10))
+    ...          .select("v")
+    ...          .limit(5)
+    ...          .named("small-v")
+    ...          .build())
+    >>> (query.name, query.plan.kind, [c.kind for c in query.plan.children])
+    ('small-v', 'limit', ['scan'])
+    >>> query.pivot_op_id == query.plan.children[0].op_id
+    True
+    >>> QueryBuilder(catalog, "t").select("missing").plan()
+    Traceback (most recent call last):
+        ...
+    repro.errors.SchemaError: unknown column 'missing'; \
+schema has ('k', 'v')
     """
 
     def __init__(

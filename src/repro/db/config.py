@@ -15,7 +15,8 @@ Presets name the three machine shapes the experiments care about:
 ``laptop``
     A small cold-storage box: 2 processors, a 256-page pool with the
     scan-aware eviction policy, 32 pages of ``work_mem``, cooperative
-    scans with prefetch, and the I/O-aware cost calibration.
+    scans with prefetch and a 16-page drift bound (auto group
+    windows), and the I/O-aware cost calibration.
 ``cmp32``
     The paper's 32-way CMP with a memory-resident working set: a large
     pool, ample ``work_mem``, no I/O charges (the seed calibration).
@@ -27,7 +28,7 @@ Presets name the three machine shapes the experiments care about:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.engine.costs import DEFAULT_COST_MODEL, IO_AWARE_COST_MODEL, CostModel
 from repro.engine.memory import MemoryBroker
@@ -58,6 +59,17 @@ class RuntimeConfig:
         Cooperative-scan read-ahead. ``None`` disables cooperative
         scans entirely (no :class:`ScanShareManager`); an int >= 0
         attaches a manager with that elevator prefetch depth.
+    drift_bound:
+        Maximum pages any consumer of a shared elevator scan may lag
+        behind its group's head (``None`` = unbounded: a straggler
+        silently falls behind and degrades to private reads).
+        Requires cooperative scans (``prefetch_depth``).
+    group_windows:
+        How a drift violation is answered: ``False`` throttles the
+        head (pause physical reads until the convoy closes up),
+        ``True`` splits the convoy into two elevator groups, and
+        ``"auto"`` chooses per violation by the manager's
+        split-vs-throttle cost rule. Requires ``drift_bound``.
     spill_prefetch_depth:
         Read-ahead for spill read-back; ``None`` inherits the scan
         manager's depth (the engine's own inheritance rule).
@@ -69,12 +81,38 @@ class RuntimeConfig:
         Per-tuple/per-page cost calibration.
     queue_capacity:
         Bounded-buffer depth between stages.
+
+    Examples
+    --------
+    Configs are frozen values: start from a preset, refine with
+    :meth:`with_`, and let :meth:`build_storage` derive a coherent
+    component set (the same wiring rules the engine enforces):
+
+    >>> from repro.db import RuntimeConfig
+    >>> config = RuntimeConfig.preset("laptop").with_(processors=4)
+    >>> (config.processors, config.pool_pages, config.drift_bound)
+    (4, 256, 16)
+    >>> pool, memory, scans, spill_depth = config.build_storage()
+    >>> scans.pool is pool and memory.pool is pool
+    True
+    >>> spill_depth == config.prefetch_depth
+    True
+
+    Incoherent combinations fail at construction, not at run time:
+
+    >>> RuntimeConfig(prefetch_depth=2)  # cooperative scans, no pool
+    Traceback (most recent call last):
+        ...
+    repro.errors.EngineError: cooperative scans (prefetch_depth) \
+require pool_pages: elevator cursors read through a buffer pool
     """
 
     work_mem: Optional[int] = None
     pool_pages: Optional[int] = None
     pool_policy: str = "lru"
     prefetch_depth: Optional[int] = None
+    drift_bound: Optional[int] = None
+    group_windows: Union[bool, str] = False
     spill_prefetch_depth: Optional[int] = None
     page_rows: int = DEFAULT_PAGE_ROWS
     processors: int = 8
@@ -94,6 +132,23 @@ class RuntimeConfig:
             raise EngineError(
                 "cooperative scans (prefetch_depth) require pool_pages: "
                 "elevator cursors read through a buffer pool"
+            )
+        if self.drift_bound is not None and self.drift_bound < 1:
+            raise EngineError(f"drift_bound must be >= 1 page, got {self.drift_bound}")
+        if self.drift_bound is not None and self.prefetch_depth is None:
+            raise EngineError(
+                "drift_bound governs cooperative scans: set prefetch_depth "
+                "(>= 0) to attach a scan-share manager first"
+            )
+        if self.group_windows not in (False, True, "auto"):
+            raise EngineError(
+                f"group_windows must be False, True, or 'auto', "
+                f"got {self.group_windows!r}"
+            )
+        if self.group_windows and self.drift_bound is None:
+            raise EngineError(
+                "group_windows needs a drift_bound: windows open when a "
+                "consumer's lag crosses the bound"
             )
 
     @classmethod
@@ -131,7 +186,12 @@ class RuntimeConfig:
         )
         memory = MemoryBroker(self.work_mem) if self.work_mem is not None else None
         scans = (
-            ScanShareManager(pool, prefetch_depth=self.prefetch_depth)
+            ScanShareManager(
+                pool,
+                prefetch_depth=self.prefetch_depth,
+                drift_bound=self.drift_bound,
+                group_windows=self.group_windows,
+            )
             if self.prefetch_depth is not None
             else None
         )
@@ -144,6 +204,8 @@ PRESETS = {
         pool_pages=256,
         pool_policy="scan",
         prefetch_depth=2,
+        drift_bound=16,
+        group_windows="auto",
         processors=2,
         cost_model=IO_AWARE_COST_MODEL,
     ),

@@ -35,6 +35,23 @@ class QueryResult:
     (equal to the batch's own makespan only on a session's first
     batch), while ``latency`` is always this query's own response
     time.
+
+    Examples
+    --------
+    >>> from repro.db import Database
+    >>> from repro.storage import Catalog, DataType, Schema
+    >>> catalog = Catalog()
+    >>> table = catalog.create("t", Schema([("k", DataType.INT)]))
+    >>> table.insert_many([(i,) for i in range(4)])
+    >>> session = Database.open(catalog, "unbounded")
+    >>> result = session.run(session.table("t", columns=["k"]),
+    ...                      label="probe")
+    >>> (result.label, len(result.rows), result.shared)
+    ('probe', 4, False)
+    >>> result.latency == result.finished_at - result.submitted_at
+    True
+    >>> result.resources.render()   # the seed config governs nothing
+    'no resource governance attached'
     """
 
     label: str
@@ -57,6 +74,18 @@ class QueryResult:
     def grant_notes(self, owner: str) -> dict:
         """Operator-reported grant facts (e.g. ``sort_runs``)."""
         return self.resources.grant_notes(owner)
+
+    @property
+    def drift_throttle_stall(self) -> float:
+        """Head-pause cost the drift bound charged in this query's
+        batch (session-cumulative, like every resource counter)."""
+        return self.resources.drift_throttle_stall
+
+    @property
+    def scan_sharing(self) -> tuple:
+        """Per-table elevator share/drift statistics at batch drain
+        (:class:`~repro.storage.shared_scan.TableScanStats`)."""
+        return self.resources.scans
 
     def render(self) -> str:
         verdict = "shared" if self.shared else "solo"

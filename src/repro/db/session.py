@@ -31,7 +31,7 @@ makes its sharing decision flip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 from repro.core.decision import ShareAdvisor, ShareDecision
@@ -71,7 +71,23 @@ class _Submission:
 
 
 class Database:
-    """A catalog plus the runtime configuration to query it with."""
+    """A catalog plus the runtime configuration to query it with.
+
+    Examples
+    --------
+    :meth:`Database.open` is the one-call entry point — a catalog and
+    a config (object, preset name, or nothing for the ungoverned
+    default) yield a live :class:`Session`:
+
+    >>> from repro.db import Database
+    >>> from repro.storage import Catalog, DataType, Schema
+    >>> catalog = Catalog()
+    >>> table = catalog.create("t", Schema([("k", DataType.INT)]))
+    >>> table.insert_many([(i,) for i in range(4)])
+    >>> session = Database.open(catalog, "unbounded")
+    >>> session.run(session.table("t", columns=["k"])).rows
+    [(0,), (1,), (2,), (3,)]
+    """
 
     def __init__(
         self,
@@ -123,6 +139,32 @@ class Session:
         Section-4 model.
     threshold:
         Minimum predicted ``Z`` for the built-in advisor to share.
+
+    Examples
+    --------
+    Buffer queries with :meth:`submit`, run the batch with
+    :meth:`run_all`; same-operation submissions group by pivot
+    signature and the session decides (or you force) the routing:
+
+    >>> from repro.db import Database
+    >>> from repro.storage import Catalog, DataType, Schema
+    >>> catalog = Catalog()
+    >>> table = catalog.create("t", Schema([("k", DataType.INT)]))
+    >>> table.insert_many([(i,) for i in range(64)])
+    >>> session = Database.open(catalog, "cmp32")
+    >>> for i in range(3):
+    ...     session.submit(session.table("t", columns=["k"]),
+    ...                    label=f"client{i}", share=True)
+    >>> [(r.label, r.shared, r.group_size, len(r.rows))
+    ...  for r in session.run_all()]
+    [('client0', True, 3, 64), ('client1', True, 3, 64), \
+('client2', True, 3, 64)]
+
+    The session clock and cache state persist across batches — that
+    warm state is exactly what can flip the next sharing decision.
+
+    >>> session.now > 0
+    True
     """
 
     def __init__(
@@ -396,7 +438,12 @@ class Session:
             return self.policy.should_share(query.name, m, self.config.processors)
         return self.advise(query, m)
 
-    def advise(self, query: Submittable, group_size: int) -> ShareDecision:
+    def advise(
+        self,
+        query: Submittable,
+        group_size: int,
+        cpu_skew: Optional[float] = None,
+    ) -> ShareDecision:
         """The built-in verdict: would sharing ``group_size`` copies of
         ``query`` beat running them independently *right now*?
 
@@ -404,12 +451,28 @@ class Session:
         resource outlook (cold pages, spill pressure) — re-evaluated
         per call, so the same query can share against a cold cache and
         decline once the cache warms.
+
+        ``cpu_skew`` (slowest consumer's per-page CPU over the
+        fastest's, 1.0 = uniform) projects consumer-speed skew onto
+        the decision: the outlook discounts the cooperative-scan
+        attach benefit by the drift the configured manager would let
+        such a convoy accumulate, so advice to skewed convoys stops
+        assuming they share one physical pass. A declared skew sticks
+        to the operation — later ``advise`` calls and ``run_all``'s
+        routing reuse it until a new value is declared (``None``, the
+        default, keeps the stored projection).
         """
         built = self._as_query(query)
         if built.pivot_op_id is None:
             raise EngineError(f"query {built.name!r} has no sharing pivot to advise on")
+        if cpu_skew is not None and cpu_skew < 1:
+            raise EngineError(f"cpu_skew must be >= 1, got {cpu_skew}")
         signature = built.pivot_signature
         spec, pivot_id = self._profile(signature, built)
+        profile = self._outlook.profiles.get(signature)
+        if (cpu_skew is not None and profile is not None
+                and profile.cpu_skew != cpu_skew):
+            self._outlook.profiles[signature] = replace(profile, cpu_skew=cpu_skew)
         adjusted = self._outlook.adjusted_spec(signature, spec, pivot_id, group_size)
         advisor = ShareAdvisor(processors=self.config.processors, threshold=self.threshold)
         group = [adjusted.relabeled(f"{built.name}#{i}") for i in range(group_size)]

@@ -26,6 +26,15 @@ page's CPU work (charged as the ``io`` component of the stage's
 scan's; only the order rotates to the attach offset, which every
 order-insensitive consumer (aggregation, hash join, sort) absorbs.
 
+A manager with a drift bound adds *pacing*: before driving the
+elevator head onto a new physical page, the stage asks
+:meth:`~repro.storage.shared_scan.ScanShareManager.throttle_wait`.
+A positive answer means some convoy member lags too far behind and
+the head must pause — the stage sleeps that long off-processor
+(``Sleep(throttle=True)``, the ``drift_throttle`` stall category in
+stage reports) and retries, which is what lets stragglers close up
+on resident pages instead of degrading to private cold reads.
+
 The scan is the classic sharing pivot for scan-heavy queries: with M
 consumers attached, its emitter multiplexes every page M ways.
 """
@@ -33,7 +42,7 @@ consumers attached, its emitter multiplexes every page M ways.
 from __future__ import annotations
 
 from repro.engine.stage import OutputEmitter
-from repro.sim.events import Compute
+from repro.sim.events import Compute, Sleep
 from repro.storage.buffer import table_page_key
 
 __all__ = ["task", "scan_rows"]
@@ -114,15 +123,22 @@ def _elevator_scan(table, columns, ctx, emitter, cost_factor,
     """Ride the table's shared elevator cursor (see shared_scan)."""
     manager = ctx.scans
     columns = list(columns)
+    io_page = ctx.costs.io_page
     ticket = manager.attach(table.name, table.page_count(ctx.page_rows))
     previous_cpu = 0.0
     try:
         while not ticket.exhausted:
+            # Pacing hook: a drift-bounded head pauses (off-processor)
+            # until the convoy closes up, then re-checks.
+            wait = manager.throttle_wait(ticket, io_page)
+            if wait > 0.0:
+                yield Sleep(wait, throttle=True)
+                continue
             index = ticket.page_index
             page = table.page_at(index, columns, ctx.page_rows)
             cost, batch = _page_cost(page, ctx.costs, cost_factor,
                                      predicate_fn, output_fns)
-            stall = manager.acquire(ticket, ctx.costs.io_page,
+            stall = manager.acquire(ticket, io_page,
                                     cpu_credit=previous_cpu)
             yield Compute(cost + stall, io=stall)
             previous_cpu = cost

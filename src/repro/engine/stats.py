@@ -38,6 +38,12 @@ class StageStats:
     ``io_time`` is the portion of ``busy_time`` the stage spent
     stalled on storage (tagged by ``Compute(io=...)``) — nonzero only
     for stages that read through a buffer pool or spill.
+    ``drift_throttle`` is *off-processor* pacing time (tagged by
+    ``Sleep(throttle=True)``): a scan head the share manager paused
+    so a drifting convoy could close up. It is not part of
+    ``busy_time`` — a throttled head holds no processor — but it is
+    latency the stage's consumers see, so it gets its own stall
+    category here.
     """
 
     op_id: str
@@ -45,6 +51,7 @@ class StageStats:
     busy_time: float
     busy_share: float
     io_time: float = 0.0
+    drift_throttle: float = 0.0
 
     @property
     def io_share(self) -> float:
@@ -55,7 +62,7 @@ class StageStats:
         return (
             f"StageStats({self.op_id}, x{self.instances}, "
             f"busy={self.busy_time:.6g}, {self.busy_share:.1%}, "
-            f"io={self.io_time:.6g})"
+            f"io={self.io_time:.6g}, throttle={self.drift_throttle:.6g})"
         )
 
 
@@ -102,6 +109,7 @@ def stage_report(
     tasks = source.tasks if isinstance(source, Simulator) else list(source)
     busy: dict[str, float] = {}
     io: dict[str, float] = {}
+    throttle: dict[str, float] = {}
     instances: dict[str, int] = {}
     for task in tasks:
         if "/" not in task.name:
@@ -113,6 +121,7 @@ def stage_report(
             continue
         busy[op_id] = busy.get(op_id, 0.0) + task.busy_time
         io[op_id] = io.get(op_id, 0.0) + task.io_time
+        throttle[op_id] = throttle.get(op_id, 0.0) + task.throttle_time
         instances[op_id] = instances.get(op_id, 0) + 1
 
     total = sum(busy.values())
@@ -125,6 +134,7 @@ def stage_report(
                     busy_time=time,
                     busy_share=(time / total if total else 0.0),
                     io_time=io[op_id],
+                    drift_throttle=throttle[op_id],
                 )
                 for op_id, time in busy.items()
             ),
@@ -137,14 +147,19 @@ def stage_report(
 
 @dataclass(frozen=True)
 class ResourceReport:
-    """Buffer-pool and working-memory counters of one engine run.
+    """Buffer-pool, working-memory, and scan-share counters of one
+    engine run.
 
-    Either side may be ``None`` when the engine runs without that
-    layer (the seed configuration has neither).
+    Any side may be ``None``/empty when the engine runs without that
+    layer (the seed configuration has none of them). ``scans`` is the
+    :class:`~repro.storage.shared_scan.ScanShareManager`'s per-table
+    snapshot — including the drift block (max lag, throttle stall,
+    group-window splits/merges) — when cooperative scans are wired.
     """
 
     buffer: Optional[BufferSnapshot]
     memory: Optional[MemorySnapshot]
+    scans: tuple = ()
 
     @property
     def spill_pages_written(self) -> int:
@@ -173,6 +188,28 @@ class ResourceReport:
         """Spill read-back cost hidden behind operator CPU work."""
         return self.buffer.spill_read_overlapped if self.buffer else 0.0
 
+    @property
+    def drift_throttle_stall(self) -> float:
+        """Head-pause cost charged by the drift bound across tables."""
+        return sum(s.throttle_stall_cost for s in self.scans)
+
+    @property
+    def scan_splits(self) -> int:
+        """Group windows opened by drift violations across tables."""
+        return sum(s.splits for s in self.scans)
+
+    @property
+    def scan_merges(self) -> int:
+        """Group windows merged back (laps and drains) across tables."""
+        return sum(s.merges for s in self.scans)
+
+    def scan_stats(self, table: str):
+        """The share/drift statistics of one table's elevator."""
+        for stats in self.scans:
+            if stats.table == table:
+                return stats
+        raise KeyError(table)
+
     def grant_notes(self, owner: str) -> dict:
         """Operator-reported facts for one grant owner (e.g. the
         external sort's ``sort_runs`` / ``merge_passes``)."""
@@ -189,6 +226,7 @@ class ResourceReport:
             lines.append(self.buffer.render())
         if self.memory is not None:
             lines.append(self.memory.render())
+        lines.extend(stats.render() for stats in self.scans)
         return "\n".join(lines) if lines else "no resource governance attached"
 
 
@@ -196,19 +234,22 @@ def resource_report(
     source,
     memory: Optional[MemoryBroker] = None,
 ) -> ResourceReport:
-    """Snapshot buffer/memory counters from an engine (or a pool).
+    """Snapshot buffer/memory/scan counters from an engine (or a pool).
 
-    ``source`` is an :class:`~repro.engine.engine.Engine` (its ``pool``
-    and ``memory`` are read), or a :class:`BufferPool` combined with an
-    explicit ``memory`` broker.
+    ``source`` is an :class:`~repro.engine.engine.Engine` (its ``pool``,
+    ``memory``, and ``scan_manager`` are read), or a
+    :class:`BufferPool` combined with an explicit ``memory`` broker.
     """
+    scans = None
     if isinstance(source, BufferPool):
         pool = source
     else:
         pool = getattr(source, "pool", None)
         if memory is None:
             memory = getattr(source, "memory", None)
+        scans = getattr(source, "scan_manager", None)
     return ResourceReport(
         buffer=pool.snapshot() if pool is not None else None,
         memory=memory.snapshot() if memory is not None else None,
+        scans=scans.snapshot() if scans is not None else (),
     )

@@ -9,12 +9,16 @@
   sweep and the cold/warm sharing-decision flip,
 * :mod:`repro.experiments.fig_scan` — cooperative scan sharing:
   elevator attach, async prefetch, scan-aware eviction,
+* :mod:`repro.experiments.fig_drift` — drift-bounded elevator scans:
+  throttle vs group windows under consumer-speed skew,
+* :mod:`repro.experiments.fig_sort` — grant-governed external sort
+  with prefetched spill read-back,
 * :mod:`repro.experiments.section4_example` — the Q6 worked example.
 
 Run them via the ``repro-experiments`` CLI (``repro-experiments
 list`` prints the registry) or the modules' ``python -m`` entry
-points; EXPERIMENTS.md records representative output next to the
-paper's reported numbers.
+points; ``docs/experiments.md`` documents every driver — the paper
+claim it reproduces, its knobs, and how to read the output.
 """
 
 from repro.experiments import (
@@ -23,8 +27,10 @@ from repro.experiments import (
     fig4,
     fig5,
     fig6,
+    fig_drift,
     fig_mem,
     fig_scan,
+    fig_sort,
     section4_example,
 )
 
@@ -34,7 +40,9 @@ __all__ = [
     "fig4",
     "fig5",
     "fig6",
+    "fig_drift",
     "fig_mem",
     "fig_scan",
+    "fig_sort",
     "section4_example",
 ]

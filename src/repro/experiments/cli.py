@@ -7,6 +7,7 @@ Installed as ``repro-experiments``::
     repro-experiments fig2 fig4     # several at once
     repro-experiments fig_mem       # memory-governance experiments
     repro-experiments fig_scan      # cooperative scan sharing
+    repro-experiments fig_drift     # drift-bounded elevator scans
     repro-experiments fig_sort      # grant-governed external sort
     repro-experiments all           # everything (takes minutes)
     repro-experiments fig1 --quick  # reduced client counts
@@ -28,6 +29,7 @@ from repro.experiments import (
     fig4,
     fig5,
     fig6,
+    fig_drift,
     fig_mem,
     fig_scan,
     fig_sort,
@@ -82,6 +84,13 @@ def _run_fig_scan(quick: bool) -> str:
                         prefetch_depths=depths).render()
 
 
+def _run_fig_drift(quick: bool) -> str:
+    # Quick mode keeps the top-skew cell: the degradation claims are
+    # asserted there (mid-skew cells only show the trend).
+    skews = (1, 64) if quick else fig_drift.DEFAULT_SKEWS
+    return fig_drift.run(skews=skews).render()
+
+
 def _run_fig_sort(quick: bool) -> str:
     work_mems = (128, 8, 2) if quick else fig_sort.DEFAULT_WORK_MEMS
     depths = (0, 2) if quick else fig_sort.DEFAULT_PREFETCH_DEPTHS
@@ -104,6 +113,7 @@ _EXPERIMENTS = {
     "fig5": _Experiment(_run_fig5, "Figure 5: model vs measured validation"),
     "fig6": _Experiment(_run_fig6, "Figure 6: policy throughput across workload mixes"),
     "fig_mem": _Experiment(_run_fig_mem, "Memory governance: spilling join sweep + cold/warm sharing flip"),
+    "fig_drift": _Experiment(_run_fig_drift, "Drift-bounded elevator scans: throttle vs group windows under consumer skew"),
     "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),
     "fig_sort": _Experiment(_run_fig_sort, "External sort: grant-governed runs/merges + prefetched spill read-back"),
     "section4": _Experiment(_run_section4, "Section 4 worked example of the analytical model"),

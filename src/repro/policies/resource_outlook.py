@@ -23,7 +23,13 @@ Two projections contribute:
   attach to the same elevator cursor), so the manager's
   ``projected_attach_benefit`` shrinks the unshared bill toward the
   shared one and the decision reverts to CPU terms — cooperative
-  scans make pivot-sharing unnecessary for I/O alone.
+  scans make pivot-sharing unnecessary for I/O alone. That promise
+  only holds for convoys that stay together: a profile with
+  ``cpu_skew > 1`` (slowest rider's per-page CPU over the fastest's)
+  projects *drift*, and the attach benefit is discounted by the
+  manager's drift governance — unbounded drift degrades toward
+  private passes, group windows hold two, throttling keeps one — so
+  ModelGuided stops over-promising sharing to skewed convoys.
 * **Spill pressure** — the :class:`~repro.engine.memory.MemoryBroker`'s
   ``projected_spill``: m unshared queries each claim the query's
   working pages while a shared group claims them once; every avoided
@@ -55,12 +61,17 @@ class ResourceProfile:
 
     ``table``/``pages`` describe the pivot's base-table scan;
     ``work_pages`` the working memory its stateful operators (hash
-    tables, sort buffers) claim.
+    tables, sort buffers) claim. ``cpu_skew`` is the projected
+    per-page CPU ratio between the slowest and fastest concurrent
+    consumer of the query type (1.0 = a uniform convoy): it is what
+    lets the outlook discount the cooperative-scan attach benefit by
+    projected drift.
     """
 
     table: str
     pages: int
     work_pages: int = 0
+    cpu_skew: float = 1.0
 
     def __post_init__(self) -> None:
         if self.pages < 0:
@@ -68,6 +79,10 @@ class ResourceProfile:
         if self.work_pages < 0:
             raise PolicyError(
                 f"work_pages must be >= 0, got {self.work_pages}"
+            )
+        if self.cpu_skew < 1:
+            raise PolicyError(
+                f"cpu_skew must be >= 1, got {self.cpu_skew}"
             )
 
 
@@ -128,11 +143,15 @@ class ResourceOutlook:
             return 0.0
         m = group_size
 
-        # Cold-scan I/O: unshared total vs shared total.
+        # Cold-scan I/O: unshared total vs shared total. The attach
+        # benefit is discounted by projected drift for skewed convoys
+        # (a pivot-shared group has one scan, so the shared side
+        # cannot drift).
         cold = self.cold_pages(profile)
         if self.scans is not None:
             unshared_io = m * self.scans.projected_attach_benefit(
-                profile.table, profile.pages, m
+                profile.table, profile.pages, m,
+                cpu_skew=profile.cpu_skew,
             )
         else:
             unshared_io = float(m * cold)

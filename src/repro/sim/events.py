@@ -99,9 +99,18 @@ class Close:
 
 @dataclass(frozen=True)
 class Sleep:
-    """Suspend the task for ``duration`` without occupying a processor."""
+    """Suspend the task for ``duration`` without occupying a processor.
+
+    ``throttle`` tags the sleep as drift-throttle pacing: the task is
+    a scan head paused by the share manager's drift bound, waiting
+    off-processor for its convoy to close up. The simulator accounts
+    tagged sleeps on ``Task.throttle_time`` so stage reports can show
+    a ``drift_throttle`` stall category distinct from both CPU work
+    and synchronous I/O stall.
+    """
 
     duration: float
+    throttle: bool = False
 
     def __post_init__(self) -> None:
         if not (self.duration >= 0):

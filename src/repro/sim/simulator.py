@@ -289,6 +289,8 @@ class Simulator:
                 continue
 
             if isinstance(request, Sleep):
+                if request.throttle:
+                    task.throttle_time += request.duration
                 task.state = BLOCKED
                 self._schedule(
                     self.now + request.duration,

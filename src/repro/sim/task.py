@@ -51,6 +51,9 @@ class Task:
     busy_time: float = field(default=0.0, init=False)
     # Portion of busy_time tagged as I/O stall by Compute(io=...).
     io_time: float = field(default=0.0, init=False)
+    # Off-processor time tagged as drift-throttle pacing by
+    # Sleep(throttle=True) — a scan head paused for its convoy.
+    throttle_time: float = field(default=0.0, init=False)
     spawned_at: float = field(default=0.0, init=False)
     finished_at: Optional[float] = field(default=None, init=False)
     error: Optional[BaseException] = field(default=None, init=False)

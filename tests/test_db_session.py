@@ -154,6 +154,24 @@ class TestAutoSharingFlip:
         with pytest.raises(EngineError):
             session.advise(pivotless, 8)
 
+    def test_declared_cpu_skew_sticks_to_the_operation(self, session):
+        """A skew declared via advise() persists: later advise calls
+        (and run_all's routing, which calls advise with the default)
+        reuse it instead of silently resetting to a uniform convoy."""
+        query = flip_query(session)
+        baseline = session.advise(query, 8)
+        skewed = session.advise(query, 8, cpu_skew=32.0)
+        assert skewed.benefit >= baseline.benefit
+        # The default (None) keeps the stored projection...
+        assert session.advise(query, 8).benefit == skewed.benefit
+        signature = session._as_query(query).pivot_signature
+        assert session._outlook.profiles[signature].cpu_skew == 32.0
+        # ...and declaring a new value replaces it.
+        session.advise(query, 8, cpu_skew=1.0)
+        assert session._outlook.profiles[signature].cpu_skew == 1.0
+        with pytest.raises(EngineError):
+            session.advise(query, 8, cpu_skew=0.5)
+
 
 class TestGroupingKeys:
     def test_same_signature_different_pivot_ids_never_merge(self):

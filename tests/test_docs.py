@@ -1,0 +1,76 @@
+"""The docs cannot rot: headings, links, and figure names are checked.
+
+* ``docs/experiments.md`` must document exactly the experiments the
+  CLI registers — one ``##`` heading per registry key;
+* every relative markdown link in README.md and ``docs/*.md`` must
+  resolve to a real file;
+* every ``fig_*`` name mentioned in README.md and ``docs/*.md`` must
+  be a registered experiment.
+
+The CI docs job runs this module (plus the repro.db doctests), so a
+renamed experiment, a moved doc, or a stale link fails the build.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import _EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+CHECKED_FILES = [REPO_ROOT / "README.md", *DOCS]
+
+LINK_PATTERN = re.compile(r"\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+FIG_PATTERN = re.compile(r"\bfig_[a-z]+\b")
+
+
+def test_docs_directory_exists_and_is_populated():
+    names = {path.name for path in DOCS}
+    assert "ARCHITECTURE.md" in names
+    assert "experiments.md" in names
+
+
+def test_experiment_doc_headings_match_cli_registry():
+    """docs/experiments.md has exactly one section per registered
+    experiment — the doc and the registry cannot diverge."""
+    text = (REPO_ROOT / "docs" / "experiments.md").read_text()
+    headings = set(re.findall(r"^## (\S+)$", text, flags=re.MULTILINE))
+    registered = set(_EXPERIMENTS)
+    missing = registered - headings
+    stale = {h for h in headings - registered if not h.startswith("Quick")}
+    assert not missing, f"experiments undocumented in docs/experiments.md: {sorted(missing)}"
+    assert not stale, f"docs/experiments.md documents unknown experiments: {sorted(stale)}"
+
+
+@pytest.mark.parametrize(
+    "path", CHECKED_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(path):
+    """Every relative markdown link points at a file that exists."""
+    text = path.read_text()
+    broken = []
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (path.parent / target).exists():
+            broken.append(target)
+    assert not broken, f"broken links in {path.name}: {broken}"
+
+
+@pytest.mark.parametrize(
+    "path", CHECKED_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_mentioned_fig_names_are_registered(path):
+    """A ``fig_*`` name in the docs must be a real experiment."""
+    mentioned = set(FIG_PATTERN.findall(path.read_text()))
+    unknown = mentioned - set(_EXPERIMENTS)
+    assert not unknown, f"{path.name} mentions unregistered experiments: {sorted(unknown)}"
+
+
+def test_readme_links_the_docs():
+    """The README is the entry point; it must point into docs/."""
+    text = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in text
+    assert "docs/experiments.md" in text

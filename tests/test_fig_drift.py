@@ -1,0 +1,78 @@
+"""The drift-governance experiment meets its acceptance criteria."""
+
+import pytest
+
+from repro.experiments import fig_drift
+
+
+@pytest.fixture(scope="module")
+def result():
+    # The CLI's --quick configuration plus the full top-skew cell.
+    return fig_drift.run(skews=(1, 16, 64))
+
+
+class TestRowSets:
+    def test_identical_answers_in_every_arm(self, result):
+        """Drift governance re-prices the work, never the answer."""
+        assert result.answers_identical()
+
+
+class TestSkewSweep:
+    def test_all_arms_equal_without_skew(self, result):
+        """A uniform convoy never drifts: the three arms coincide."""
+        reads = {result.arm(arm, 1).physical_reads
+                 for arm, _, _ in fig_drift.ARMS}
+        assert len(reads) == 1
+
+    def test_unbounded_drift_degrades_toward_private_passes(self, result):
+        assert result.unbounded_degrades(floor=2.5)
+
+    def test_throttle_restores_single_pass_at_every_skew(self, result):
+        assert result.throttle_single_pass(bound=1.5)
+
+    def test_throttle_pays_with_head_latency(self, result):
+        assert result.throttle_costs_head_latency()
+
+    def test_windows_hold_the_grouped_scan_bound(self, result):
+        assert result.windows_grouped_bound(bound=2.75)
+
+    def test_windows_pareto_dominate_at_top_skew(self, result):
+        assert result.windows_dominate_at_high_skew()
+
+    def test_windows_actually_split_under_skew(self, result):
+        top = result.arm("windows", result.top_skew)
+        assert top.splits >= 1
+        assert top.merges >= 1
+
+    def test_drift_bound_is_respected_by_governed_arms(self, result):
+        top_throttle = result.arm("throttle", result.top_skew)
+        assert top_throttle.max_lag <= fig_drift.DRIFT_BOUND
+        assert (result.arm("unbounded", result.top_skew).max_lag
+                > fig_drift.DRIFT_BOUND)
+
+    def test_throttle_time_lands_in_stage_reports(self, result):
+        """The pacing sleeps surface as the drift_throttle category."""
+        top = result.arm("throttle", result.top_skew)
+        assert top.drift_throttle_time > 0
+        assert result.arm("unbounded", result.top_skew).drift_throttle_time == 0
+
+
+class TestModelGuidedFlip:
+    def test_discount_flips_the_decision_to_the_measured_winner(self, result):
+        assert result.decision_flips()
+
+    def test_undiscounted_projection_overpromises(self, result):
+        flip = result.flip
+        assert not flip.naive_share
+        assert flip.shared_makespan < flip.solo_makespan
+
+    def test_shared_group_reads_less(self, result):
+        assert result.flip.shared_reads < result.flip.solo_reads
+
+
+class TestRender:
+    def test_render_reports_criteria(self, result):
+        text = result.render()
+        assert "identical answers everywhere: True" in text
+        assert "windows Pareto-dominate at top skew: True" in text
+        assert "discount flips the decision to the measured winner: True" in text

@@ -100,6 +100,25 @@ class TestTicketLifecycle:
         with pytest.raises(StorageError, match="changed size"):
             manager.attach("t", 5)
 
+    def test_idle_cursor_resize_abandons_inflight_reads(self):
+        """Resizing an idle cursor keeps the conservation identity:
+        still-in-flight prefetch cost moves to io_abandoned_cost."""
+        manager = make_manager(capacity=64, prefetch=4)
+        ticket = manager.attach("t", 8)
+        for _ in range(3):
+            manager.acquire(ticket, IO_PAGE)
+            ticket.advance()
+        manager.detach(ticket)
+        pending_before = manager._cursors["t"].pending_cost()
+        assert pending_before > 0
+        manager.attach("t", 12)
+        cursor = manager._cursors["t"]
+        stats = manager.snapshot()[0]
+        assert stats.io_abandoned_cost == pytest.approx(pending_before)
+        total = (stats.io_stall_cost + stats.io_overlapped_cost
+                 + stats.io_abandoned_cost + cursor.pending_cost())
+        assert total == pytest.approx(stats.physical_reads * IO_PAGE)
+
     def test_idle_cursor_resizes_for_grown_table(self):
         """A table that grows between queries gets a fresh cursor
         geometry instead of a permanent error."""
@@ -487,6 +506,318 @@ class TestOrderSensitiveConsumers:
         # (mover + barrier scan = 2 attaches on one cursor).
         stats = engine.scan_manager.snapshot()[0]
         assert stats.attaches == 2
+
+
+class TestDriftGovernance:
+    """Lag tracking, the throttle gate, and group-window splits."""
+
+    def make_drifted(self, n_pages=24, bound=4, windows=False,
+                     capacity=64, lag=6):
+        """A fast leader `lag` pages ahead of an attached straggler."""
+        manager = ScanShareManager(BufferPool(capacity),
+                                   drift_bound=bound,
+                                   group_windows=windows)
+        leader = manager.attach("t", n_pages)
+        straggler = manager.attach("t", n_pages)
+        for _ in range(lag):
+            manager.acquire(leader, IO_PAGE)
+            leader.advance()
+        return manager, leader, straggler
+
+    def test_bad_drift_arguments_rejected(self):
+        with pytest.raises(StorageError):
+            ScanShareManager(BufferPool(4), drift_bound=0)
+        with pytest.raises(StorageError):
+            ScanShareManager(BufferPool(4), group_windows=True)
+        with pytest.raises(StorageError):
+            ScanShareManager(BufferPool(4), drift_bound=2,
+                             group_windows="sometimes")
+
+    def test_lag_is_tracked_per_consumer(self):
+        manager, leader, straggler = self.make_drifted(lag=6)
+        cursor = manager._cursors["t"]
+        group = cursor.groups[0]
+        assert group.lag_of(straggler, 24) == 6
+        assert group.lag_of(leader, 24) == 0
+        assert cursor.max_lag >= 4
+
+    def test_throttle_gate_pauses_only_the_head(self):
+        manager, leader, straggler = self.make_drifted(lag=6, bound=4)
+        assert manager.throttle_wait(leader, IO_PAGE) == IO_PAGE
+        # The straggler itself is never gated — it must catch up.
+        assert manager.throttle_wait(straggler, IO_PAGE) == 0.0
+        stats = manager.snapshot()[0]
+        assert stats.throttle_stall_cost == IO_PAGE
+
+    def test_gate_opens_once_the_convoy_closes_up(self):
+        manager, leader, straggler = self.make_drifted(lag=6, bound=4)
+        while manager.throttle_wait(leader, IO_PAGE) > 0:
+            manager.acquire(straggler, IO_PAGE)
+            straggler.advance()
+        cursor = manager._cursors["t"]
+        assert cursor.groups[0].lag_of(straggler, 24) < 4
+
+    def test_gate_is_inert_without_io_cost_or_bound(self):
+        manager, leader, _ = self.make_drifted(lag=6, bound=4)
+        assert manager.throttle_wait(leader, 0.0) == 0.0
+        unbounded = make_manager()
+        ticket = unbounded.attach("u", 8)
+        assert unbounded.throttle_wait(ticket, IO_PAGE) == 0.0
+
+    def test_violation_splits_into_a_group_window(self):
+        manager, leader, straggler = self.make_drifted(
+            lag=6, bound=4, windows=True)
+        # The split already opened at the violation; the freed lead's
+        # gate is clear (its own group has no laggards).
+        assert manager.throttle_wait(leader, IO_PAGE) == 0.0
+        manager.acquire(leader, IO_PAGE)
+        leader.advance()
+        cursor = manager._cursors["t"]
+        assert len(cursor.groups) == 2
+        assert straggler.group is cursor.groups[1]
+        assert cursor.groups[1].head == straggler.page_index
+        stats = manager.snapshot()[0]
+        assert stats.splits == 1 and stats.groups == 2
+
+    def test_window_drain_merges_back(self):
+        manager, leader, straggler = self.make_drifted(
+            lag=6, bound=4, windows=True)
+        manager.acquire(leader, IO_PAGE)
+        leader.advance()
+        while not straggler.exhausted:
+            manager.acquire(straggler, IO_PAGE)
+            straggler.advance()
+        manager.detach(straggler)
+        cursor = manager._cursors["t"]
+        assert len(cursor.groups) == 1
+        assert manager.snapshot()[0].merges >= 1
+
+    def test_window_span_couples_the_lead(self):
+        manager, leader, straggler = self.make_drifted(
+            n_pages=24, lag=6, bound=4, windows=True, capacity=8)
+        span = manager.window_span(24)
+        assert span == max(4, 8 - 0 - 2)
+        # Race the leader: the gate must stop it `span` ahead, so the
+        # free-running lead cannot evict the window's future pages.
+        blocked = False
+        for _ in range(span + 6):
+            if manager.throttle_wait(leader, IO_PAGE) > 0:
+                blocked = True
+                break
+            if leader.exhausted:
+                break
+            manager.acquire(leader, IO_PAGE)
+            leader.advance()
+        cursor = manager._cursors["t"]
+        assert len(cursor.groups) == 2
+        assert blocked
+        gap = cursor.groups[0].advanced - cursor.groups[1].advanced
+        assert gap <= span
+
+    def test_io_conservation_includes_abandoned_cost(self):
+        """stall + overlapped + abandoned + in-flight == reads * io,
+        now also under eviction waste and group retirements."""
+        for capacity, prefetch in ((2, 2), (4, 3), (64, 2)):
+            manager = ScanShareManager(BufferPool(capacity),
+                                       prefetch_depth=prefetch,
+                                       drift_bound=4,
+                                       group_windows=True)
+            fast = manager.attach("t", 16)
+            slow = manager.attach("t", 16)
+            credit = 0.0
+            while not fast.exhausted:
+                manager.acquire(fast, IO_PAGE, cpu_credit=credit)
+                credit = 15.0
+                fast.advance()
+                if fast.served % 5 == 0 and not slow.exhausted:
+                    manager.acquire(slow, IO_PAGE)
+                    slow.advance()
+            manager.detach(fast)
+            while not slow.exhausted:
+                manager.acquire(slow, IO_PAGE)
+                slow.advance()
+            manager.detach(slow)
+            stats = manager.snapshot()[0]
+            cursor = manager._cursors["t"]
+            total = (stats.io_stall_cost + stats.io_overlapped_cost
+                     + stats.io_abandoned_cost + cursor.pending_cost())
+            assert total == pytest.approx(
+                stats.physical_reads * IO_PAGE
+            ), (capacity, prefetch)
+
+    def test_drift_split_gain_cost_rule(self):
+        # Small pool, big table: replay is expensive -> throttle.
+        manager, leader, straggler = self.make_drifted(
+            n_pages=24, lag=6, bound=4, capacity=8)
+        assert manager.drift_split_gain("t", IO_PAGE) < 0
+        # Pool covers the table: splitting is free -> split.
+        manager2, _, _ = self.make_drifted(
+            n_pages=24, lag=6, bound=4, capacity=64)
+        assert manager2.drift_split_gain("t", IO_PAGE) > 0
+        assert manager2.drift_split_gain("missing", IO_PAGE) == 0.0
+
+    def test_drift_share_projection_modes(self):
+        pool = BufferPool(64)
+        unbounded = ScanShareManager(BufferPool(64))
+        throttled = ScanShareManager(BufferPool(64), drift_bound=4)
+        windowed = ScanShareManager(pool, drift_bound=4,
+                                    group_windows=True)
+        m, skew = 6, 8.0
+        assert unbounded.projected_drift_share("t", 24, m, skew) == (
+            pytest.approx(1.0 + (m - 1) / skew))
+        assert throttled.projected_drift_share("t", 24, m, skew) == m
+        assert windowed.projected_drift_share("t", 24, m, skew) == m / 2
+        # No skew: full sharing in every mode.
+        for manager in (unbounded, throttled, windowed):
+            assert manager.projected_drift_share("t", 24, m, 1.0) == m
+
+    def test_attach_benefit_discounted_by_skew(self):
+        manager = make_manager(capacity=64)
+        plain = manager.projected_attach_benefit("t", 24, 6)
+        skewed = manager.projected_attach_benefit("t", 24, 6,
+                                                  cpu_skew=16.0)
+        assert skewed > plain
+        with pytest.raises(StorageError):
+            manager.projected_attach_benefit("t", 24, 6, cpu_skew=0.5)
+
+
+class TestStragglerEdgeCases:
+    """The straggler scenarios the drift bound exists for."""
+
+    def _skewed_engine(self, drift_bound, group_windows=False,
+                       rows=480, page_rows=20, pool_frac=0.4,
+                       io_page=40.0):
+        # CPU-dominant calibration: the disk (io_page=40) is cheaper
+        # than the straggler's per-page CPU, so a slow consumer
+        # genuinely drifts instead of being paced by the disk.
+        catalog = Catalog()
+        schema = Schema([("k", DataType.INT), ("v", DataType.FLOAT)])
+        table = catalog.create("t", schema)
+        table.insert_many([(i, float(i % 7)) for i in range(rows)])
+        pages = table.page_count(page_rows)
+        manager = ScanShareManager(
+            BufferPool(max(2, int(pages * pool_frac))),
+            prefetch_depth=2, drift_bound=drift_bound,
+            group_windows=group_windows,
+        )
+        sim = Simulator(processors=8)
+        engine = Engine(catalog, sim, costs=CostModel(io_page=io_page),
+                        page_rows=page_rows, scan_manager=manager)
+        return catalog, engine, sim, manager, pages
+
+    def _run_convoy(self, engine, catalog, slow_factor):
+        handles = []
+        for i, factor in enumerate([1.0, 1.0, 1.0, slow_factor]):
+            plan = scan_plan_with_factor(catalog, factor, f"s{i}")
+            handles.append(engine.execute(plan, f"c{i}"))
+        return handles
+
+    def test_ten_x_consumer_is_bounded_by_throttle(self):
+        """A 10x-per-page-CPU consumer: the governed convoy stays one
+        physical pass; ungoverned it falls behind and re-reads."""
+        reference = None
+        reads = {}
+        bound = 4
+        for drift_bound in (None, bound):
+            catalog, engine, sim, manager, pages = self._skewed_engine(
+                drift_bound)
+            handles = self._run_convoy(engine, catalog, 10.0)
+            sim.run()
+            rows = [sorted(h.rows) for h in handles]
+            if reference is None:
+                reference = rows[0]
+            assert all(r == reference for r in rows)
+            stats = manager.snapshot()[0]
+            reads[drift_bound] = stats.physical_reads
+            if drift_bound is not None:
+                assert stats.max_lag <= bound
+                assert stats.throttle_stall_cost > 0
+            else:
+                assert stats.max_lag > bound
+        assert reads[bound] <= 1.5 * pages
+        assert reads[None] > reads[bound]
+
+    def test_straggler_detach_mid_drift_unblocks_the_head(self):
+        manager = ScanShareManager(BufferPool(64), drift_bound=4)
+        leader = manager.attach("t", 24)
+        straggler = manager.attach("t", 24)
+        for _ in range(6):
+            manager.acquire(leader, IO_PAGE)
+            leader.advance()
+        assert manager.throttle_wait(leader, IO_PAGE) > 0
+        manager.detach(straggler)
+        assert manager.throttle_wait(leader, IO_PAGE) == 0.0
+        # The freed convoy completes normally.
+        while not leader.exhausted:
+            manager.acquire(leader, IO_PAGE)
+            leader.advance()
+        manager.detach(leader)
+
+    def test_straggler_detach_mid_drift_in_window_mode(self):
+        """Abandoning a split-off straggler retires its window and
+        the in-flight read cost is accounted, not lost."""
+        manager = ScanShareManager(BufferPool(64), prefetch_depth=2,
+                                   drift_bound=4, group_windows=True)
+        leader = manager.attach("t", 24)
+        straggler = manager.attach("t", 24)
+        for _ in range(7):
+            manager.acquire(leader, IO_PAGE, cpu_credit=10.0)
+            leader.advance()
+        cursor = manager._cursors["t"]
+        assert len(cursor.groups) == 2
+        # Let the window issue some prefetch of its own, then vanish.
+        manager.acquire(straggler, IO_PAGE)
+        straggler.advance()
+        manager.detach(straggler)
+        assert len(cursor.groups) == 1
+        stats = manager.snapshot()[0]
+        total = (stats.io_stall_cost + stats.io_overlapped_cost
+                 + stats.io_abandoned_cost + cursor.pending_cost())
+        assert total == pytest.approx(stats.physical_reads * IO_PAGE)
+
+    def test_infinite_drift_bound_reproduces_fall_behind_bit_for_bit(self):
+        """drift_bound=None and an effectively infinite bound walk the
+        same schedule to identical stalls, stats, and row delivery."""
+
+        def walk(manager):
+            import random
+
+            rng = random.Random(20260727)
+            tickets = [manager.attach("t", 12) for _ in range(3)]
+            stalls = []
+            active = list(tickets)
+            while active:
+                ticket = rng.choice(active)
+                # The slow consumer (index 2) moves rarely.
+                if ticket is tickets[2] and rng.random() < 0.7:
+                    continue
+                wait = manager.throttle_wait(ticket, IO_PAGE)
+                assert wait == 0.0
+                stalls.append(manager.acquire(ticket, IO_PAGE,
+                                              cpu_credit=12.0))
+                ticket.advance()
+                if ticket.exhausted:
+                    manager.detach(ticket)
+                    active.remove(ticket)
+            return stalls, manager.snapshot()[0]
+
+        baseline = ScanShareManager(BufferPool(8), prefetch_depth=2)
+        infinite = ScanShareManager(BufferPool(8), prefetch_depth=2,
+                                    drift_bound=10**9)
+        stalls_a, stats_a = walk(baseline)
+        stalls_b, stats_b = walk(infinite)
+        assert stalls_a == stalls_b
+        assert stats_a == stats_b
+
+
+def scan_plan_with_factor(catalog, factor, op_id):
+    """A fused scan whose predicate costs ``factor`` x the base."""
+    from repro.engine import scan as scan_ctor
+    from repro.engine.expressions import col, ge
+
+    return scan_ctor(catalog, "t", columns=["k", "v"],
+                     predicate=ge(col("k"), 0), op_id=op_id,
+                     cost_factor=factor)
 
 
 class TestEngineWiring:
