@@ -7,6 +7,8 @@ work of its own), and the host-side overhead of the builder + routing
 layer is tracked against raw plan construction + ``Engine.execute``.
 """
 
+import time
+
 from repro.db import Database, RuntimeConfig
 from repro.engine import AggSpec, Engine, aggregate, scan
 from repro.engine.expressions import col, lt
@@ -92,3 +94,45 @@ def test_auto_decision_cost_is_cached(benchmark, catalog):
     results = benchmark.pedantic(warm_batch, rounds=3, iterations=1)
     assert len(results) == CLIENTS
     assert len(session._specs) == 1
+
+
+def test_tracing_disabled_is_free(benchmark, catalog, trajectory):
+    """Tracing off must be invisible: identical simulated time and
+    answers to a traced run, with near-zero wall overhead (every emit
+    site is one ``tracer is None`` check).
+
+    Records the perf-trajectory entries for both modes."""
+    config = RuntimeConfig(processors=PROCESSORS)
+
+    started = time.perf_counter()
+    off_now, off_results = _facade_run(catalog, config)
+    off_wall = time.perf_counter() - started
+
+    traced = Database.open(catalog, config.with_(trace=True))
+    query = _plan(catalog)
+    started = time.perf_counter()
+    for i in range(CLIENTS):
+        traced.submit(query, label=f"q{i}", share=False)
+    on_results = traced.run_all()
+    on_wall = time.perf_counter() - started
+
+    assert traced.now == off_now, "tracing changed simulated time"
+    assert [r.rows for r in on_results] == [r.rows for r in off_results]
+
+    def run_untraced():
+        return _facade_run(catalog, config)
+
+    benchmark.pedantic(run_untraced, rounds=3, iterations=1)
+    stalls = off_results[-1].stalls
+    trajectory.record(
+        "session_trace_off",
+        sim_time=off_now,
+        wall_s=off_wall,
+        counters={f"stall.{k}": v for k, v in stalls.items()},
+    )
+    trajectory.record(
+        "session_trace_on",
+        sim_time=traced.now,
+        wall_s=on_wall,
+        counters={"trace_events": len(traced.tracer.events)},
+    )

@@ -5,7 +5,18 @@ or figure and asserts its qualitative shape, so the benchmark suite
 doubles as an end-to-end reproduction check. Heavy experiment benches
 use ``benchmark.pedantic(rounds=1)`` — the interesting number is the
 experiment's output, not micro-timing stability.
+
+The session-scoped :func:`trajectory` fixture is the perf-trajectory
+harness: benches that opt in record one named entry each (simulated
+time, wall seconds, and whatever counters characterize the run), and
+at session end the collected entries are written to ``BENCH_6.json``
+at the repo root — ``{bench_name: {"sim_time": ..., "wall_s": ...,
+"counters": {...}}}`` — which CI's bench-smoke step uploads as an
+artifact, giving every PR a comparable performance trace.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -14,8 +25,45 @@ from repro.tpch.generator import generate
 BENCH_SCALE_FACTOR = 0.0005
 BENCH_SEED = 2007
 
+TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+
 
 @pytest.fixture(scope="session")
 def catalog():
     """One small TPC-H database shared by every bench."""
     return generate(scale_factor=BENCH_SCALE_FACTOR, seed=BENCH_SEED)
+
+
+class Trajectory:
+    """Collects per-bench performance entries for ``BENCH_6.json``."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, dict] = {}
+
+    def record(
+        self,
+        name: str,
+        sim_time: float,
+        wall_s: float,
+        counters: dict | None = None,
+    ) -> None:
+        """Store one bench's entry (last write per name wins)."""
+        self.entries[name] = {
+            "sim_time": sim_time,
+            "wall_s": round(wall_s, 6),
+            "counters": dict(counters or {}),
+        }
+
+    def write(self, path: Path = TRAJECTORY_FILE) -> None:
+        path.write_text(
+            json.dumps(self.entries, indent=2, sort_keys=True) + "\n"
+        )
+
+
+@pytest.fixture(scope="session")
+def trajectory():
+    """The session-wide trajectory sink; written at session end."""
+    sink = Trajectory()
+    yield sink
+    if sink.entries:
+        sink.write()

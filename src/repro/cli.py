@@ -1,0 +1,146 @@
+"""The ``repro`` command: operate the reproduction from a shell.
+
+The experiment figures have their own entry point
+(``repro-experiments``); this CLI is for the *observability* surface
+added with the ``repro.obs`` package. Its first subcommand drives the
+flight recorder end to end::
+
+    repro trace                      # text timeline of a shared demo run
+    repro trace --out trace.json     # Chrome/Perfetto trace_event JSON
+    repro trace --validate           # schema-check the export (CI smoke)
+    repro trace --queries 4 --pages 32 --metrics --audit
+
+``repro trace`` builds a small deterministic catalog, opens a
+``laptop``-preset session with ``trace=True``, runs a forced-share
+batch of identical scans (so the elevator attach/prefetch/throttle
+machinery fires), and exports what the recorder saw. Everything is
+simulated-time only: two invocations with the same arguments produce
+byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.db import Database, RuntimeConfig
+from repro.obs.trace import validate_chrome_trace
+from repro.storage.catalog import Catalog
+from repro.storage.page import DEFAULT_PAGE_ROWS
+from repro.storage.schema import DataType, Schema
+
+__all__ = ["main", "demo_trace_session"]
+
+
+def demo_trace_session(pages: int = 16, queries: int = 2, preset: str = "laptop"):
+    """Run the canonical traced demo batch; returns the live session.
+
+    ``queries`` identical full scans of a ``pages``-page table are
+    forced into one sharing group on a traced ``preset`` session — the
+    smallest workload that exercises every event family (compute
+    slices, queue blocks, pool hits/misses, elevator attach/prefetch,
+    drift throttling when the preset bounds drift).
+    """
+    catalog = Catalog()
+    table = catalog.create(
+        "lineitem", Schema([("k", DataType.INT), ("v", DataType.INT)])
+    )
+    table.insert_many(
+        [(i, i % 7) for i in range(pages * DEFAULT_PAGE_ROWS)]
+    )
+    config = RuntimeConfig.preset(preset).with_(trace=True)
+    session = Database.open(catalog, config)
+    for i in range(queries):
+        session.submit(
+            session.table("lineitem", columns=["k"]),
+            label=f"client{i}",
+            share=True,
+        )
+    session.run_all()
+    return session
+
+
+def _cmd_trace(args) -> int:
+    session = demo_trace_session(
+        pages=args.pages, queries=args.queries, preset=args.preset
+    )
+    tracer = session.tracer
+    assert tracer is not None  # trace=True attached it
+
+    status = 0
+    if args.validate:
+        problems = validate_chrome_trace(tracer.to_chrome())
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"trace valid: {len(tracer.events)} events")
+    if args.out:
+        count = tracer.write(args.out)
+        print(f"wrote {count} events to {args.out}")
+    if args.text or not (args.out or args.validate):
+        print(tracer.timeline(limit=args.limit))
+    if args.metrics:
+        print(session.metrics().render())
+    if args.audit:
+        print(session.audit_log().render())
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Operate the 'To Share or Not To Share?' reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a traced demo batch and export the flight recording",
+    )
+    trace.add_argument(
+        "--queries", type=int, default=2,
+        help="identical scans forced into one sharing group (default 2)",
+    )
+    trace.add_argument(
+        "--pages", type=int, default=16,
+        help="pages in the scanned table (default 16)",
+    )
+    trace.add_argument(
+        "--preset", default="laptop",
+        choices=["laptop", "cmp32", "unbounded"],
+        help="RuntimeConfig preset to trace under (default laptop)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH",
+        help="write Chrome/Perfetto trace_event JSON to PATH",
+    )
+    trace.add_argument(
+        "--text", action="store_true",
+        help="print the text timeline (default when no --out/--validate)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the text timeline at this many events",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the export; exit 1 on problems",
+    )
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="also print the session's metric snapshot",
+    )
+    trace.add_argument(
+        "--audit", action="store_true",
+        help="also print the routing-decision audit table",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,13 @@ class RuntimeConfig:
         Per-tuple/per-page cost calibration.
     queue_capacity:
         Bounded-buffer depth between stages.
+    trace:
+        Attach a :class:`~repro.obs.trace.Tracer` flight recorder to
+        the session's simulator and storage components. Off by
+        default: a detached tracer costs one pointer check per emit
+        site and records nothing; enabled, every task lifecycle edge
+        and storage event is recorded in deterministic order
+        (``Session.tracer``), without changing any simulated outcome.
 
     Examples
     --------
@@ -118,6 +125,7 @@ require pool_pages: elevator cursors read through a buffer pool
     processors: int = 8
     cost_model: CostModel = DEFAULT_COST_MODEL
     queue_capacity: int = 4
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.work_mem is not None and self.work_mem < 1:

@@ -17,6 +17,7 @@ from typing import Any, Optional
 
 from repro.core.decision import ShareDecision
 from repro.engine.stats import ResourceReport
+from repro.obs.metrics import render_stall_table, stall_breakdown
 from repro.storage.schema import Schema
 
 __all__ = ["QueryResult"]
@@ -65,6 +66,12 @@ class QueryResult:
     decision: Optional[ShareDecision]
     resources: ResourceReport
     makespan: float
+    # Flat metrics snapshot at batch drain (session-cumulative, from
+    # the session's MetricsRegistry); None on results minted before
+    # the registry existed (hand-built results in tests).
+    metrics: Optional[dict] = None
+    # The audit records whose routing covered this submission.
+    audit: tuple = ()
 
     @property
     def latency(self) -> float:
@@ -87,6 +94,12 @@ class QueryResult:
         (:class:`~repro.storage.shared_scan.TableScanStats`)."""
         return self.resources.scans
 
+    @property
+    def stalls(self) -> dict:
+        """The session's cpu / io / drift_throttle / queue_block time
+        decomposition at batch drain (empty without metrics)."""
+        return stall_breakdown(self.metrics) if self.metrics else {}
+
     def render(self) -> str:
         verdict = "shared" if self.shared else "solo"
         text = (
@@ -95,6 +108,8 @@ class QueryResult:
         )
         if self.decision is not None:
             text += f"; predicted Z={self.decision.benefit:.2f}"
+        if self.metrics:
+            text += "\n" + render_stall_table(self.metrics)
         return text
 
     def __repr__(self) -> str:

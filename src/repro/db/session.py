@@ -44,6 +44,7 @@ from repro.engine.packet import QueryHandle
 from repro.engine.plan import PlanNode
 from repro.engine.stats import ResourceReport, resource_report, stage_report
 from repro.errors import EngineError
+from repro.obs import AuditLog, AuditRecord, MetricsRegistry, Tracer, attach_tracer
 from repro.policies.base import SharingPolicy
 from repro.policies.resource_outlook import ResourceOutlook, ResourceProfile
 from repro.profiling.profiler import QueryProfiler
@@ -203,6 +204,19 @@ class Session:
             scans=self.engine.scan_manager,
             memory=self.engine.memory,
         )
+        # Observability: flight recorder (opt-in via config.trace),
+        # the unified metric surface, and the decision audit trail.
+        self.tracer: Optional[Tracer] = None
+        if config.trace:
+            self.tracer = attach_tracer(
+                self.sim,
+                pool=self.engine.pool,
+                memory=self.engine.memory,
+                scans=self.engine.scan_manager,
+            )
+        self._metrics = MetricsRegistry.for_engine(self.engine, self.sim)
+        self._audit = AuditLog()
+        self._batch_records: list[tuple[AuditRecord, list[_Submission]]] = []
 
     # -- introspection ---------------------------------------------------
 
@@ -228,6 +242,16 @@ class Session:
     def resources(self) -> ResourceReport:
         """Merged buffer/memory counters of this session so far."""
         return resource_report(self.engine)
+
+    def metrics(self) -> MetricsRegistry:
+        """The session's unified metric surface — every storage, sim,
+        and stage counter behind one ``snapshot()``/``delta()``."""
+        return self._metrics
+
+    def audit_log(self) -> AuditLog:
+        """Every routing decision this session has made, with its
+        projections and (after the run) the measured outcome."""
+        return self._audit
 
     def stages(self, **kwargs):
         """Per-operator busy-time breakdown of this session so far."""
@@ -324,10 +348,14 @@ class Session:
         batch, self._pending = self._pending, []
         if not batch:
             return []
+        self._batch_records = []
+        reads_before = self._physical_reads()
         self._route(batch)
         self.sim.run()
         self._notify_policy()
+        self._join_audit(reads_before)
         report = self.resources()
+        snapshot = self._metrics.snapshot()
         makespan = self.sim.now
         results = []
         for entry in batch:
@@ -350,6 +378,12 @@ class Session:
                     decision=entry.decision,
                     resources=report,
                     makespan=makespan,
+                    metrics=snapshot,
+                    audit=tuple(
+                        record
+                        for record, members in self._batch_records
+                        if any(member is entry for member in members)
+                    ),
                 )
             )
         self.results.extend(results)
@@ -363,10 +397,13 @@ class Session:
         groups: dict[tuple[str, str, str], list[_Submission]] = {}
         for entry in batch:
             if entry.delay > 0:
+                self._audit_route("solo", "solo", [entry])
                 self._launch_delayed(entry)
                 continue
             signature = entry.query.pivot_signature
             if entry.share is False or signature is None:
+                source = "forced" if entry.share is False else "solo"
+                self._audit_route(source, "solo", [entry])
                 self._launch(None, [entry])
                 continue
             key = (signature, entry.query.pivot_op_id, entry.query.name)
@@ -375,22 +412,33 @@ class Session:
             forced = [m for m in members if m.share is True]
             undecided = [m for m in members if m.share is None]
             if len(members) < 2:
+                self._audit_route("solo", "solo", members)
                 self._launch(None, members)
                 continue
             if forced and not undecided:
+                self._audit_route("forced", "share", forced)
                 self._launch_group(forced)
                 continue
-            decision = self._decide(members)
+            decision, record = self._decide(members)
             share = decision.share if isinstance(decision, ShareDecision) else decision
             for entry in undecided:
                 entry.decision = decision if isinstance(decision, ShareDecision) else None
             if share or (forced and len(forced) >= 2):
                 chosen = members if share else forced
                 solo = [] if share else undecided
+                if share:
+                    self._batch_records.append((record, list(chosen)))
+                else:
+                    # The model declined, but enough submitters pinned
+                    # share=True to launch a forced group anyway; the
+                    # decision record measures the solo remainder.
+                    self._audit_route("forced", "share", chosen)
+                    self._batch_records.append((record, list(solo)))
                 self._launch_group(chosen)
                 for entry in solo:
                     self._launch(None, [entry])
             else:
+                self._batch_records.append((record, list(members)))
                 for entry in members:
                     self._launch(None, [entry])
 
@@ -429,14 +477,139 @@ class Session:
             if tasks:
                 self.policy.observe_group(name, size, tasks)
 
+    # -- the audit trail -------------------------------------------------
+
+    def _physical_reads(self) -> Optional[float]:
+        """Session-cumulative physical page reads right now.
+
+        Pool misses already count elevator reads (the manager reads
+        through ``pool.access``), so the pool is the single source of
+        truth when present; without one, the per-table scan stats are
+        the only read counter; without either, ``None`` (ungoverned
+        sessions measure no I/O)."""
+        pool = self.engine.pool
+        if pool is not None:
+            return float(pool.stats.misses)
+        scans = self.engine.scan_manager
+        if scans is not None:
+            return float(sum(s.physical_reads for s in scans.snapshot()))
+        return None
+
+    def _projection_fields(self, signature: Optional[str], m: int) -> dict:
+        """The outlook's projections for one prospective group — the
+        audit record's decision-time inputs."""
+        if signature is None:
+            return {}
+        fields: dict = {
+            "projected_io_extra": self._outlook.pivot_extra_work(signature, m)
+        }
+        profile = self._outlook.profiles.get(signature)
+        if profile is None:
+            return fields
+        memory = self.engine.memory
+        if memory is not None and profile.work_pages:
+            fields["projected_spill_pages"] = memory.projected_spill(
+                profile.work_pages, operators=m
+            )
+        scans = self.engine.scan_manager
+        if scans is not None:
+            fields["projected_drift_share"] = scans.projected_drift_share(
+                profile.table, profile.pages, m, cpu_skew=profile.cpu_skew
+            )
+        return fields
+
+    def _audit_decision(
+        self,
+        source: str,
+        outcome: str,
+        query: Query,
+        group_size: int,
+        decision: Optional[ShareDecision] = None,
+    ) -> AuditRecord:
+        """Append one decision record (projections at decision time)."""
+        signature = query.pivot_signature
+        fields = self._projection_fields(signature, group_size)
+        if decision is not None:
+            fields.update(
+                projected_z=decision.benefit,
+                projected_shared_rate=decision.shared_rate,
+                projected_unshared_rate=decision.unshared_rate,
+            )
+        return self._audit.append(
+            query=query.name,
+            signature=signature or "",
+            group_size=group_size,
+            source=source,
+            outcome=outcome,
+            decided_at=self.sim.now,
+            **fields,
+        )
+
+    def _audit_route(
+        self,
+        source: str,
+        outcome: str,
+        members: list[_Submission],
+        decision: Optional[ShareDecision] = None,
+    ) -> AuditRecord:
+        """Append one routing record and bind it to its submissions."""
+        record = self._audit_decision(
+            source, outcome, members[0].query, len(members), decision
+        )
+        self._batch_records.append((record, list(members)))
+        return record
+
+    def _join_audit(self, reads_before: Optional[float]) -> None:
+        """Join each of this batch's records with what was measured:
+        group wall (first submit to last finish) and the batch's
+        physical-read delta (exact for a single decision, apportioned
+        evenly otherwise)."""
+        reads_after = self._physical_reads()
+        reads_delta: Optional[float] = None
+        if reads_before is not None and reads_after is not None:
+            reads_delta = reads_after - reads_before
+        joinable = []
+        for record, members in self._batch_records:
+            handles = [
+                m.handle for m in members if m.handle is not None and m.handle.done
+            ]
+            if handles:
+                joinable.append((record, handles))
+        share = (
+            reads_delta / len(joinable)
+            if reads_delta is not None and joinable
+            else None
+        )
+        for record, handles in joinable:
+            latency = max(h.finished_at for h in handles) - min(
+                h.submitted_at for h in handles
+            )
+            record.join(latency, physical_reads=share)
+
     # -- the built-in advisor --------------------------------------------
 
-    def _decide(self, members: list[_Submission]) -> Union[ShareDecision, bool]:
+    def _decide(
+        self, members: list[_Submission]
+    ) -> tuple[Union[ShareDecision, bool], AuditRecord]:
         query = members[0].query
         m = len(members)
         if self.policy is not None:
-            return self.policy.should_share(query.name, m, self.config.processors)
-        return self.advise(query, m)
+            verdict = self.policy.should_share(query.name, m, self.config.processors)
+            decision = verdict if isinstance(verdict, ShareDecision) else None
+            share = verdict.share if decision is not None else bool(verdict)
+            record = self._audit_decision(
+                "policy",
+                "share" if share else "solo",
+                query,
+                m,
+                decision=decision,
+            )
+            return verdict, record
+        verdict = self.advise(query, m)
+        # advise() appended its own "advisor" record; it is the one
+        # _route binds to the launched members.
+        record = self._audit.records[-1]
+        return verdict, record
 
     def advise(
         self,
@@ -476,7 +649,15 @@ class Session:
         adjusted = self._outlook.adjusted_spec(signature, spec, pivot_id, group_size)
         advisor = ShareAdvisor(processors=self.config.processors, threshold=self.threshold)
         group = [adjusted.relabeled(f"{built.name}#{i}") for i in range(group_size)]
-        return advisor.evaluate(group, pivot_id)
+        decision = advisor.evaluate(group, pivot_id)
+        self._audit_decision(
+            "advisor",
+            "share" if decision.share else "solo",
+            built,
+            group_size,
+            decision=decision,
+        )
+        return decision
 
     def _profile(self, signature: str, query: Query) -> tuple[QuerySpec, str]:
         """CPU-profile one operation (cached by pivot signature).

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import EngineError
+from repro.obs.trace import TID_MEMORY
 
 __all__ = ["MemoryBroker", "MemoryGrant", "GrantSnapshot", "MemorySnapshot"]
 
@@ -116,6 +117,11 @@ class MemoryGrant:
         if used_pages > self.pages and not self._overcommitted:
             self._overcommitted = True
             self.broker.overcommits += 1
+            if self.broker.tracer is not None:
+                self.broker.tracer.instant(
+                    "overcommit", "mem", tid=TID_MEMORY,
+                    owner=self.owner, used=used_pages, budget=self.pages,
+                )
 
     def note(self, **facts) -> None:
         """Attach operator-reported facts (e.g. ``sort_runs=5``) to
@@ -168,6 +174,9 @@ class MemoryBroker:
         # broker; spill files written under its grants live there.
         # ``None`` until bound by the engine wiring.
         self.pool = None
+        # Optional flight recorder (repro.obs.trace); grant/return/
+        # overcommit edges emit through it when attached.
+        self.tracer = None
         self._grants: list[MemoryGrant] = []
 
     def bind_pool(self, pool) -> None:
@@ -221,6 +230,11 @@ class MemoryBroker:
         self.reserved += granted
         grant = MemoryGrant(self, owner, granted)
         self._grants.append(grant)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "grant", "mem", tid=TID_MEMORY,
+                owner=owner, pages=granted, requested=requested,
+            )
         return grant
 
     def snapshot(self) -> MemorySnapshot:
@@ -241,6 +255,12 @@ class MemoryBroker:
 
     def _release(self, grant: MemoryGrant) -> None:
         self.reserved -= grant.pages
+        if self.tracer is not None:
+            self.tracer.instant(
+                "return", "mem", tid=TID_MEMORY,
+                owner=grant.owner, pages=grant.pages,
+                high_water=grant.high_water,
+            )
 
     def __repr__(self) -> str:
         return (

@@ -43,7 +43,10 @@ class StageStats:
     so a drifting convoy could close up. It is not part of
     ``busy_time`` — a throttled head holds no processor — but it is
     latency the stage's consumers see, so it gets its own stall
-    category here.
+    category here. ``queue_block`` is off-processor time parked on a
+    full/empty bounded queue (Put/Get blocking) — the serialization
+    component of the paper's decomposition: a producer throttled by a
+    slow consumer, or a consumer starved by a slow producer.
     """
 
     op_id: str
@@ -52,6 +55,7 @@ class StageStats:
     busy_share: float
     io_time: float = 0.0
     drift_throttle: float = 0.0
+    queue_block: float = 0.0
 
     @property
     def io_share(self) -> float:
@@ -110,6 +114,7 @@ def stage_report(
     busy: dict[str, float] = {}
     io: dict[str, float] = {}
     throttle: dict[str, float] = {}
+    blocked: dict[str, float] = {}
     instances: dict[str, int] = {}
     for task in tasks:
         if "/" not in task.name:
@@ -122,6 +127,7 @@ def stage_report(
         busy[op_id] = busy.get(op_id, 0.0) + task.busy_time
         io[op_id] = io.get(op_id, 0.0) + task.io_time
         throttle[op_id] = throttle.get(op_id, 0.0) + task.throttle_time
+        blocked[op_id] = blocked.get(op_id, 0.0) + task.queue_block_time
         instances[op_id] = instances.get(op_id, 0) + 1
 
     total = sum(busy.values())
@@ -135,6 +141,7 @@ def stage_report(
                     busy_share=(time / total if total else 0.0),
                     io_time=io[op_id],
                     drift_throttle=throttle[op_id],
+                    queue_block=blocked[op_id],
                 )
                 for op_id, time in busy.items()
             ),

@@ -29,6 +29,7 @@ from repro.experiments import (
     fig4,
     fig5,
     fig6,
+    fig_audit,
     fig_drift,
     fig_mem,
     fig_scan,
@@ -97,6 +98,12 @@ def _run_fig_sort(quick: bool) -> str:
     return fig_sort.run(work_mems=work_mems, prefetch_depths=depths).render()
 
 
+def _run_fig_audit(quick: bool) -> str:
+    # The flip needs the full tenant count; quick mode trims rows.
+    base_rows = 3000 if quick else fig_audit.FLIP_ROWS
+    return fig_audit.run(base_rows=base_rows).render()
+
+
 def _run_section4(quick: bool) -> str:
     return section4_example.run().render()
 
@@ -112,6 +119,7 @@ _EXPERIMENTS = {
     "fig4": _Experiment(_run_fig4, "Figure 4: model-predicted speedup surfaces"),
     "fig5": _Experiment(_run_fig5, "Figure 5: model vs measured validation"),
     "fig6": _Experiment(_run_fig6, "Figure 6: policy throughput across workload mixes"),
+    "fig_audit": _Experiment(_run_fig_audit, "Decision audit: projected vs measured rates over the fig_mem flip"),
     "fig_mem": _Experiment(_run_fig_mem, "Memory governance: spilling join sweep + cold/warm sharing flip"),
     "fig_drift": _Experiment(_run_fig_drift, "Drift-bounded elevator scans: throttle vs group windows under consumer skew"),
     "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),

@@ -1,0 +1,52 @@
+"""Observability: flight-recorder tracing, unified metrics, and the
+sharing advisor's decision audit trail.
+
+Three opt-in instruments over the reproduction, all zero-cost when
+detached:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`, a deterministic event
+  recorder the simulator and storage components feed, exportable as
+  Chrome/Perfetto ``trace_event`` JSON or a text timeline;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, one named
+  counter/gauge surface over the scattered stats dataclasses, with
+  ``snapshot()``/``delta()`` and flat-dict JSON export;
+* :mod:`repro.obs.audit` — :class:`AuditLog`/:class:`AuditRecord`,
+  the projected-vs-measured ledger of every share/solo routing
+  decision.
+
+Enable all three through the facade with
+``RuntimeConfig.with_(trace=True)`` (see ``docs/observability.md``),
+or attach a tracer to a hand-wired engine via :func:`attach_tracer`.
+"""
+
+from repro.obs.audit import AuditLog, AuditRecord
+from repro.obs.metrics import MetricsRegistry, stall_breakdown
+from repro.obs.trace import (
+    TID_MEMORY,
+    TID_POOL,
+    TID_QUEUES,
+    TID_SCANS,
+    TID_SPILL,
+    TID_TASKS,
+    TraceEvent,
+    Tracer,
+    attach_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "attach_tracer",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "stall_breakdown",
+    "AuditLog",
+    "AuditRecord",
+    "TID_TASKS",
+    "TID_QUEUES",
+    "TID_POOL",
+    "TID_SCANS",
+    "TID_SPILL",
+    "TID_MEMORY",
+]

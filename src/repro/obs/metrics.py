@@ -1,0 +1,249 @@
+"""One metric surface over the engine's scattered counters.
+
+The reproduction accumulated four ad-hoc stats dataclasses —
+``BufferStats``/``BufferSnapshot``, ``MemorySnapshot``,
+``TableScanStats``, ``StageStats`` — plus the simulator's utilization,
+each with its own field names and render format. Every consumer
+(experiment drivers, benchmarks, ``QueryResult.render()``) re-derived
+its own joins. :class:`MetricsRegistry` unifies them behind *named*
+counters and gauges with a flat-dict snapshot:
+
+* manual counters/gauges via :meth:`inc` / :meth:`set`;
+* live gauges via :meth:`register` (a zero-argument callable read at
+  snapshot time) and :meth:`register_group` (a callable returning a
+  whole flat dict — used for dynamic families like per-table scans);
+* :meth:`snapshot` returns one flat ``{name: number}`` dict with
+  deterministic key order, :meth:`delta` diffs two snapshots, and
+  :meth:`to_json` exports JSON.
+
+Metric names are dot-separated paths, ``<subsystem>.<counter>`` with
+an optional instance segment (``scan.<table>.<counter>``,
+``stage.<op_id>.<counter>``). The full vocabulary is documented in
+``docs/observability.md``; :meth:`MetricsRegistry.for_engine` is the
+canonical wiring that registers every standard name an engine (or
+:class:`~repro.db.session.Session`) can serve.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Mapping, Optional
+
+__all__ = ["MetricsRegistry", "stall_breakdown", "render_stall_table"]
+
+# The four stall categories of the paper's time decomposition, in
+# report order: pure CPU work, I/O stall inside busy time, off-CPU
+# drift-throttle pacing, and off-CPU queue blocking.
+STALL_CATEGORIES = ("cpu", "io", "drift_throttle", "queue_block")
+
+
+class MetricsRegistry:
+    """Named counters and gauges with flat snapshots.
+
+    Values are plain numbers. Registered callables are evaluated at
+    :meth:`snapshot` time, so a registry wired over live components is
+    always current and costs nothing between snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+        self._sources: dict[str, Callable[[], float]] = {}
+        self._groups: list[Callable[[], Mapping[str, float]]] = []
+
+    # -- write side --------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> float:
+        """Increment a manual counter; creates it at 0 first."""
+        value = self._values.get(name, 0) + amount
+        self._values[name] = value
+        return value
+
+    def set(self, name: str, value: float) -> None:
+        """Set a manual gauge."""
+        self._values[name] = value
+
+    def register(self, name: str, source: Callable[[], float]) -> None:
+        """Back ``name`` with a live callable read at snapshot time."""
+        self._sources[name] = source
+
+    def register_group(self, source: Callable[[], Mapping[str, float]]) -> None:
+        """Back a whole *family* of names with one callable returning a
+        flat dict — for dynamic instance sets (per-table, per-stage)."""
+        self._groups.append(source)
+
+    # -- read side ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """All current values as one flat dict, sorted by name."""
+        merged: dict[str, float] = dict(self._values)
+        for name, source in self._sources.items():
+            merged[name] = source()
+        for group in self._groups:
+            merged.update(group())
+        return dict(sorted(merged.items()))
+
+    @staticmethod
+    def delta(
+        before: Mapping[str, float], after: Mapping[str, float]
+    ) -> dict[str, float]:
+        """``after - before`` for every key of ``after`` (missing keys
+        in ``before`` count as 0), sorted by name."""
+        return dict(
+            sorted(
+                (name, value - before.get(name, 0))
+                for name, value in after.items()
+            )
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Aligned ``name  value`` text, one metric per line."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics registered)"
+        width = max(len(name) for name in snap)
+        return "\n".join(
+            f"{name:<{width}}  {value:.6g}" if isinstance(value, float)
+            else f"{name:<{width}}  {value}"
+            for name, value in snap.items()
+        )
+
+    # -- canonical wirings -------------------------------------------------
+
+    @classmethod
+    def for_engine(cls, engine, simulator=None) -> "MetricsRegistry":
+        """The standard registry over an engine's live components.
+
+        Registers the full documented vocabulary: ``sim.*`` from the
+        simulator, ``buffer.*`` / ``memory.*`` / ``scan.<table>.*``
+        from whichever storage layers the engine wires (absent layers
+        contribute nothing), ``stage.<op_id>.*`` and the ``stall.*``
+        totals from the task ledger.
+        """
+        registry = cls()
+        sim = simulator if simulator is not None else engine.sim
+        registry.register("sim.now", lambda: sim.now)
+        registry.register("sim.busy_time", lambda: sim.total_busy_time)
+        registry.register("sim.utilization", sim.utilization)
+        registry.register("sim.tasks", lambda: len(sim.tasks))
+        registry.register("sim.completions", lambda: len(sim.completions))
+
+        pool = getattr(engine, "pool", None)
+        if pool is not None:
+            registry.register_group(lambda p=pool: _buffer_family(p))
+        memory = getattr(engine, "memory", None)
+        if memory is not None:
+            registry.register_group(lambda m=memory: _memory_family(m))
+        scans = getattr(engine, "scan_manager", None)
+        if scans is not None:
+            registry.register_group(lambda s=scans: _scan_family(s))
+        registry.register_group(lambda s=sim: _stage_family(s))
+        return registry
+
+
+def _buffer_family(pool) -> dict[str, float]:
+    snap = pool.snapshot()
+    return {
+        "buffer.capacity": snap.capacity,
+        "buffer.resident": snap.resident,
+        "buffer.pinned": snap.pinned,
+        "buffer.hits": snap.hits,
+        "buffer.misses": snap.misses,
+        "buffer.hit_rate": snap.hit_rate,
+        "buffer.evictions": snap.evictions,
+        "buffer.spill_pages_written": snap.spill_pages_written,
+        "buffer.spill_pages_read": snap.spill_pages_read,
+        "buffer.spill_prefetch_issued": snap.spill_prefetch_issued,
+        "buffer.spill_read_stall": snap.spill_read_stall,
+        "buffer.spill_read_overlapped": snap.spill_read_overlapped,
+    }
+
+
+def _memory_family(memory) -> dict[str, float]:
+    snap = memory.snapshot()
+    return {
+        "memory.work_mem": snap.work_mem,
+        "memory.reserved": snap.reserved,
+        "memory.in_use": snap.in_use,
+        "memory.high_water": snap.high_water,
+        "memory.overcommits": snap.overcommits,
+    }
+
+
+def _scan_family(scans) -> dict[str, float]:
+    family: dict[str, float] = {}
+    for stats in scans.snapshot():
+        prefix = f"scan.{stats.table}"
+        family.update(
+            {
+                f"{prefix}.pages_served": stats.pages_served,
+                f"{prefix}.physical_reads": stats.physical_reads,
+                f"{prefix}.attaches": stats.attaches,
+                f"{prefix}.max_attach_depth": stats.max_attach_depth,
+                f"{prefix}.prefetch_issued": stats.prefetch_issued,
+                f"{prefix}.prefetch_wasted": stats.prefetch_wasted,
+                f"{prefix}.io_stall": stats.io_stall_cost,
+                f"{prefix}.io_overlapped": stats.io_overlapped_cost,
+                f"{prefix}.max_lag": stats.max_lag,
+                f"{prefix}.throttle_stall": stats.throttle_stall_cost,
+                f"{prefix}.splits": stats.splits,
+                f"{prefix}.merges": stats.merges,
+                f"{prefix}.groups": stats.groups,
+            }
+        )
+    return family
+
+
+def _stage_family(sim) -> dict[str, float]:
+    # Imported here to keep repro.obs importable without the engine
+    # layer (the tracer is usable on a bare simulator).
+    from repro.engine.stats import stage_report
+
+    family: dict[str, float] = {}
+    totals = {category: 0.0 for category in STALL_CATEGORIES}
+    report = stage_report(sim)
+    for stats in report.stages:
+        prefix = f"stage.{stats.op_id}"
+        family[f"{prefix}.instances"] = stats.instances
+        family[f"{prefix}.busy"] = stats.busy_time
+        family[f"{prefix}.io"] = stats.io_time
+        family[f"{prefix}.drift_throttle"] = stats.drift_throttle
+        family[f"{prefix}.queue_block"] = stats.queue_block
+        totals["cpu"] += stats.busy_time - stats.io_time
+        totals["io"] += stats.io_time
+        totals["drift_throttle"] += stats.drift_throttle
+        totals["queue_block"] += stats.queue_block
+    for category, value in totals.items():
+        family[f"stall.{category}"] = value
+    return family
+
+
+def stall_breakdown(snapshot: Mapping[str, float]) -> dict[str, float]:
+    """The four ``stall.*`` totals of a flat snapshot, in the fixed
+    category order ``cpu, io, drift_throttle, queue_block``."""
+    return {
+        category: snapshot.get(f"stall.{category}", 0.0)
+        for category in STALL_CATEGORIES
+    }
+
+
+def render_stall_table(snapshot: Mapping[str, float]) -> str:
+    """The canonical stall-breakdown table over a flat snapshot.
+
+    One fixed format for every consumer (``QueryResult.render()``, the
+    experiment drivers, the benchmarks) — replacing the hand-rolled
+    per-report variants. Categories in fixed order; the share column
+    is of the four categories' total (CPU work plus all stall kinds).
+    """
+    breakdown = stall_breakdown(snapshot)
+    total = sum(breakdown.values())
+    lines = [f"{'category':>16}  {'time':>12}  share"]
+    for category, value in breakdown.items():
+        share = value / total if total else 0.0
+        bar = "#" * round(share * 30)
+        lines.append(
+            f"{category:>16}  {value:>12.1f}  {share:>6.1%} {bar}"
+        )
+    return "\n".join(lines)

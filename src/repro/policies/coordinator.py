@@ -41,6 +41,7 @@ from typing import Callable, Optional
 from repro.engine.engine import Engine
 from repro.engine.packet import QueryHandle
 from repro.errors import PolicyError
+from repro.obs.audit import AuditLog
 from repro.policies.base import SharingPolicy
 from repro.tpch.queries import TpchQuery
 
@@ -72,6 +73,7 @@ class SharingCoordinator:
         engine: Engine,
         policy: SharingPolicy,
         max_group_size: Optional[int] = None,
+        audit: Optional[AuditLog] = None,
     ) -> None:
         if max_group_size is not None and max_group_size < 1:
             raise PolicyError(
@@ -80,6 +82,10 @@ class SharingCoordinator:
         self.engine = engine
         self.policy = policy
         self.max_group_size = max_group_size
+        # Optional decision audit trail: every routed batch appends a
+        # source="coordinator" record ("attach" when it joins a busy
+        # signature's pending batch, "share"/"solo" otherwise).
+        self.audit = audit
         self._slots: dict[str, _Slot] = {}
         self._active_members: dict[int, int] = {}
         self._group_names: dict[int, str] = {}
@@ -145,7 +151,17 @@ class SharingCoordinator:
         prospective = slot_active + len(slot.pending) + len(batch)
         busy = bool(slot.active_groups or slot.pending)
 
-        if self.policy.should_share(name, prospective, effective_n):
+        verdict = self.policy.should_share(name, prospective, effective_n)
+        if self.audit is not None:
+            self.audit.append(
+                query=name,
+                signature=slot.signature,
+                group_size=prospective,
+                source="coordinator",
+                outcome=("attach" if busy else "share") if verdict else "solo",
+                decided_at=self.engine.sim.now,
+            )
+        if verdict:
             self.shared_submissions += len(batch)
             if busy:
                 slot.pending.extend(batch)

@@ -23,6 +23,7 @@ from repro.core.contention import ContentionLike
 from repro.core.decision import ShareAdvisor
 from repro.core.spec import QuerySpec
 from repro.errors import PolicyError
+from repro.obs.audit import AuditLog
 from repro.policies.base import SharingPolicy
 from repro.policies.resource_outlook import ResourceOutlook
 
@@ -52,6 +53,11 @@ class ModelGuidedPolicy(SharingPolicy):
         feeding projected I/O and spill effects into each decision.
         Decisions are no longer cached when an outlook is attached —
         residency and memory pressure change between arrivals.
+    audit:
+        Optional :class:`~repro.obs.audit.AuditLog`; when attached,
+        every fresh verdict (cache hits excluded) appends a
+        ``source="policy"`` record with the model's projected rates
+        and Z-score.
     """
 
     name = "model"
@@ -62,6 +68,7 @@ class ModelGuidedPolicy(SharingPolicy):
         contention: ContentionLike = None,
         threshold: float = 1.25,
         outlook: Optional[ResourceOutlook] = None,
+        audit: Optional["AuditLog"] = None,
     ) -> None:
         if not specs:
             raise PolicyError("model-guided policy needs at least one spec")
@@ -69,6 +76,7 @@ class ModelGuidedPolicy(SharingPolicy):
         self.contention = contention
         self.threshold = threshold
         self.outlook = outlook
+        self.audit = audit
         self._decision_cache: dict[tuple[str, int, int], bool] = {}
 
     def should_share(self, query_name: str, prospective_size: int,
@@ -100,7 +108,18 @@ class ModelGuidedPolicy(SharingPolicy):
             spec.relabeled(f"{query_name}#{i}")
             for i in range(prospective_size)
         ]
-        decision = advisor.evaluate(group, pivot).share
+        decision = advisor.evaluate(group, pivot)
+        if self.audit is not None:
+            self.audit.append(
+                query=query_name,
+                signature=query_name,
+                group_size=prospective_size,
+                source="policy",
+                outcome="share" if decision.share else "solo",
+                projected_z=decision.benefit,
+                projected_shared_rate=decision.shared_rate,
+                projected_unshared_rate=decision.unshared_rate,
+            )
         if self.outlook is None:
-            self._decision_cache[key] = decision
-        return decision
+            self._decision_cache[key] = decision.share
+        return decision.share

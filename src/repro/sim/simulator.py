@@ -30,6 +30,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.core.contention import ContentionLike
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.trace import TID_QUEUES, TID_TASKS
 from repro.sim.events import CLOSED, Close, Compute, Get, Put, Sleep
 from repro.sim.processor import Processor, SpeedModel
 from repro.sim.queues import SimQueue
@@ -75,6 +76,12 @@ class Simulator:
         self.queues: list[SimQueue] = []
         self.completions: list[Task] = []
         self._alive = 0
+        # Optional flight recorder (see repro.obs.trace). ``None`` is
+        # the hot default: every emit site guards with one identity
+        # check, so a detached tracer costs nothing and changes no
+        # scheduling decision — traced and untraced runs are
+        # timeline-identical.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -108,6 +115,8 @@ class Simulator:
         task.spawned_at = self.now
         self.tasks.append(task)
         self._alive += 1
+        if self.tracer is not None:
+            self.tracer.instant("spawn", "task", tid=TID_TASKS, task=name)
         self._make_ready(task, None)
         return task
 
@@ -163,6 +172,13 @@ class Simulator:
         heapq.heappush(self._heap, (when, next(self._seq), fn))
 
     def _make_ready(self, task: Task, value: Any) -> None:
+        if task.blocked_since is not None:
+            task.queue_block_time += self.now - task.blocked_since
+            task.blocked_since = None
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "unblock", "queue", tid=TID_QUEUES, task=task.name
+                )
         task.resume_value = value
         task.state = READY
         self._run_queue.append(task)
@@ -181,6 +197,8 @@ class Simulator:
         task.state = DONE
         task.finished_at = self.now
         self._alive -= 1
+        if self.tracer is not None:
+            self.tracer.instant("finish", "task", tid=TID_TASKS, task=task.name)
         self.completions.append(task)
         if task.on_done is not None:
             task.on_done(task)
@@ -214,6 +232,7 @@ class Simulator:
         task.state = RUNNING
         value = task.resume_value
         task.resume_value = None
+        tracer = self.tracer
         while True:
             try:
                 request = task.gen.send(value)
@@ -240,6 +259,19 @@ class Simulator:
                 task.busy_time += duration
                 task.io_time += request.io / speed
                 task.zero_time_steps = 0
+                if tracer is not None:
+                    # Emitted at issue time with the exact duration the
+                    # processor ledger accrued, in accrual order — the
+                    # per-lane sums reproduce busy_time bit for bit.
+                    tracer.complete(
+                        task.name,
+                        "compute",
+                        start=self.now,
+                        dur=duration,
+                        tid=proc.index,
+                        cost=request.cost,
+                        io=request.io,
+                    )
                 self._schedule(
                     self.now + duration,
                     lambda p=proc, t=task: self._compute_done(p, t),
@@ -260,6 +292,12 @@ class Simulator:
                     continue
                 q.waiting_getters.append(task)
                 task.state = BLOCKED
+                task.blocked_since = self.now
+                if tracer is not None:
+                    tracer.instant(
+                        "block", "queue", tid=TID_QUEUES,
+                        task=task.name, queue=q.name, op="get",
+                    )
                 self._release(proc)
                 return
 
@@ -272,6 +310,12 @@ class Simulator:
                     continue
                 q.waiting_putters.append((task, request.item))
                 task.state = BLOCKED
+                task.blocked_since = self.now
+                if tracer is not None:
+                    tracer.instant(
+                        "block", "queue", tid=TID_QUEUES,
+                        task=task.name, queue=q.name, op="put",
+                    )
                 self._release(proc)
                 return
 
@@ -291,6 +335,12 @@ class Simulator:
             if isinstance(request, Sleep):
                 if request.throttle:
                     task.throttle_time += request.duration
+                if tracer is not None:
+                    tracer.instant(
+                        "sleep", "sched", tid=TID_TASKS,
+                        task=task.name, duration=request.duration,
+                        throttle=request.throttle,
+                    )
                 task.state = BLOCKED
                 self._schedule(
                     self.now + request.duration,

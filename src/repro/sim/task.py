@@ -54,6 +54,11 @@ class Task:
     # Off-processor time tagged as drift-throttle pacing by
     # Sleep(throttle=True) — a scan head paused for its convoy.
     throttle_time: float = field(default=0.0, init=False)
+    # Off-processor time spent parked on a full/empty bounded queue
+    # (Put/Get blocking) — the serialization component of the paper's
+    # time decomposition. Accrued at wake time via ``blocked_since``.
+    queue_block_time: float = field(default=0.0, init=False)
+    blocked_since: Optional[float] = field(default=None, init=False)
     spawned_at: float = field(default=0.0, init=False)
     finished_at: Optional[float] = field(default=None, init=False)
     error: Optional[BaseException] = field(default=None, init=False)

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
+from repro.obs.trace import TID_POOL, TID_SPILL
 from repro.storage.page import Page
 
 __all__ = [
@@ -381,6 +382,9 @@ class BufferPool:
         self.stats = BufferStats()
         self._pins: dict[PageKey, int] = {}  # key -> pin count (0 = unpinned)
         self._spill_counter = 0
+        # Optional flight recorder (repro.obs.trace); ``None`` keeps
+        # the access path a single identity check away from the seed.
+        self.tracer = None
 
     # -- introspection ---------------------------------------------------
 
@@ -440,6 +444,10 @@ class BufferPool:
         else:
             self.stats.misses += 1
             self._admit(key)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "hit" if hit else "miss", "pool", tid=TID_POOL, key=str(key)
+            )
         if pin:
             self._pins[key] += 1
         return hit
@@ -450,6 +458,10 @@ class BufferPool:
             del self._pins[victim]
             self.policy.on_remove(victim)
             self.stats.evictions += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "evict", "pool", tid=TID_POOL, key=str(victim)
+                )
         self._pins[key] = 0
         self.policy.on_admit(key)
 
@@ -556,6 +568,11 @@ class SpillFile:
         self._pages.append(Page(rows))
         if self.pool is not None:
             self.pool.stats.spill_pages_written += 1
+            if self.pool.tracer is not None:
+                self.pool.tracer.instant(
+                    "spill_write", "spill", tid=TID_SPILL,
+                    file=self.file_id, page=index,
+                )
             self.pool.admit(spill_page_key(self.file_id, index))
 
     def page_at(self, index: int) -> Page:
@@ -590,6 +607,11 @@ class SpillFile:
         for index in range(len(self._pages)):
             if self.pool is not None:
                 self.pool.stats.spill_pages_read += 1
+                if self.pool.tracer is not None:
+                    self.pool.tracer.instant(
+                        "spill_read", "spill", tid=TID_SPILL,
+                        file=self.file_id, page=index,
+                    )
                 if not self.pool.access(spill_page_key(self.file_id, index)):
                     misses += 1
             else:

@@ -72,6 +72,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.obs.trace import TID_SCANS
 from repro.storage.buffer import BufferPool, table_page_key
 
 __all__ = [
@@ -491,6 +492,9 @@ class ScanShareManager:
         self.drift_bound = drift_bound
         self.group_windows = group_windows
         self._cursors: dict[str, _Cursor] = {}
+        # Optional flight recorder (repro.obs.trace); every elevator
+        # lifecycle edge below guards on one identity check.
+        self.tracer = None
 
     # -- consumer lifecycle ----------------------------------------------
 
@@ -528,6 +532,12 @@ class ScanShareManager:
         cursor.max_attach_depth = max(
             cursor.max_attach_depth, len(cursor.tickets)
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "attach", "scan", tid=TID_SCANS,
+                table=table, start=ticket.start_page,
+                depth=len(cursor.tickets),
+            )
         if n_pages > self.pool.capacity:
             self.pool.scan_hint(table, n_pages)
         return ticket
@@ -543,6 +553,11 @@ class ScanShareManager:
         if ticket.detached:
             return
         ticket.detached = True
+        if self.tracer is not None:
+            self.tracer.instant(
+                "detach", "scan", tid=TID_SCANS,
+                table=ticket.table, served=ticket.served,
+            )
         cursor = self._cursors.get(ticket.table)
         if cursor is None:
             return
@@ -593,6 +608,17 @@ class ScanShareManager:
             cursor.physical_reads += 1
         if kind == "wasted":
             cursor.prefetch_wasted += 1
+        if self.tracer is not None:
+            if kind == "wasted":
+                self.tracer.instant(
+                    "prefetch_waste", "scan", tid=TID_SCANS,
+                    table=ticket.table, page=index,
+                )
+            elif kind == "ready":
+                self.tracer.instant(
+                    "prefetch_arrive", "scan", tid=TID_SCANS,
+                    table=ticket.table, page=index,
+                )
         cursor.io_stall_cost += stall
         cursor.io_abandoned_cost += dropped
         ticket.acquired = True
@@ -656,6 +682,11 @@ class ScanShareManager:
             if self._wants_split(cursor, group, io_page):
                 return 0.0  # the next acquire opens a window instead
         cursor.throttle_stall_cost += io_page
+        if self.tracer is not None:
+            self.tracer.instant(
+                "throttle", "scan", tid=TID_SCANS,
+                table=ticket.table, wait=io_page,
+            )
         return io_page
 
     def window_span(self, n_pages: int) -> int:
@@ -805,6 +836,11 @@ class ScanShareManager:
             group.fifo.issue(target, io_page)
             cursor.physical_reads += 1
             cursor.prefetch_issued += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "prefetch_issue", "scan", tid=TID_SCANS,
+                    table=cursor.table, page=target,
+                )
 
     # -- drift governance --------------------------------------------------
 
@@ -877,6 +913,12 @@ class ScanShareManager:
             window.tickets.append(ticket)
         cursor.groups.append(window)
         cursor.splits += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "split", "scan", tid=TID_SCANS,
+                table=cursor.table, head=slow_head,
+                riders=len(window.tickets),
+            )
 
     def _maybe_merge(self, cursor: _Cursor, group: _Group) -> None:
         """Merge group windows whose heads meet (one lapped the other)."""
@@ -895,3 +937,7 @@ class ScanShareManager:
         group.fifo.clear()
         cursor.groups.remove(group)
         cursor.merges += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "merge", "scan", tid=TID_SCANS, table=cursor.table
+            )

@@ -40,6 +40,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs.trace import TID_SPILL
 from repro.storage.buffer import BufferPool, SpillFile
 from repro.storage.shared_scan import PrefetchFIFO
 
@@ -143,6 +144,15 @@ class SpillCursor:
             if kind == "wasted":
                 self.prefetch_wasted += 1
                 self.wasted_cost += dropped
+            tracer = self.pool.tracer
+            if tracer is not None and kind in ("ready", "wasted"):
+                tracer.instant(
+                    "prefetch_waste" if kind == "wasted" else "prefetch_arrive",
+                    "spill",
+                    tid=TID_SPILL,
+                    file=self.file.file_id,
+                    page=index,
+                )
         self.stall_cost += stall
 
         self._issue_prefetch(index)
@@ -166,3 +176,7 @@ class SpillCursor:
             self.misses += 1
             self.prefetch_issued += 1
             self.pool.stats.spill_prefetch_issued += 1
+            if self.pool.tracer is not None:
+                self.pool.tracer.instant(
+                    "prefetch_issue", "spill", tid=TID_SPILL, file=self.file.file_id, page=target
+                )

@@ -1,0 +1,45 @@
+"""fig_audit: every flip-cell routing decision is audited and joined."""
+
+import pytest
+
+from repro.experiments import fig_audit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_audit.run(tenants=8, processors=4, base_rows=3000)
+
+
+def test_every_routing_decision_is_joined(result):
+    assert result.all_joined()
+    for cell in result.cells:
+        for record in cell.records:
+            assert record.measured_latency > 0
+            assert record.projection_error is not None
+
+
+def test_decision_flips_cold_to_warm(result):
+    assert result.decision_flipped()
+    assert result.cell("cold").outcome == "share"
+    assert result.cell("warm").outcome == "solo"
+
+
+def test_model_is_well_calibrated_without_drift(result):
+    """Cold and warm projections come from the simulator's own cost
+    model — they should land within a few percent of measurement."""
+    assert result.cell("cold").mean_abs_error < 0.10
+    assert result.cell("warm").mean_abs_error < 0.10
+
+
+def test_drift_cell_carries_drift_projection(result):
+    cell = result.cell("cold+drift")
+    for record in cell.records:
+        assert record.projected_drift_share is not None
+
+
+def test_render_reports_every_cell(result):
+    text = result.render()
+    for cell in result.cells:
+        assert f"[{cell.name}]" in text
+    assert "projection error" in text
+    assert "decision flipped cold->warm: True" in text

@@ -1,0 +1,149 @@
+"""The unified metrics registry and the canonical stall table."""
+
+import json
+
+import pytest
+
+from repro.db import Database, RuntimeConfig
+from repro.obs.metrics import (
+    MetricsRegistry,
+    render_stall_table,
+    stall_breakdown,
+)
+from repro.storage import Catalog, DataType, Schema
+
+
+def _session(preset="laptop", pages=8):
+    catalog = Catalog()
+    table = catalog.create("t", Schema([("k", DataType.INT)]))
+    table.insert_many([(i,) for i in range(pages * 64)])
+    return Database.open(catalog, RuntimeConfig.preset(preset))
+
+
+# ----------------------------------------------------------------------
+# the registry core
+# ----------------------------------------------------------------------
+
+
+def test_counters_gauges_and_sources():
+    registry = MetricsRegistry()
+    registry.inc("a.count")
+    registry.inc("a.count", 4)
+    registry.set("a.gauge", 7.5)
+    registry.register("a.live", lambda: 42)
+    snap = registry.snapshot()
+    assert snap == {"a.count": 5, "a.gauge": 7.5, "a.live": 42}
+    assert list(snap) == sorted(snap)
+
+
+def test_register_group_families():
+    registry = MetricsRegistry()
+    registry.register_group(lambda: {"x.b": 2, "x.a": 1})
+    assert list(registry.snapshot()) == ["x.a", "x.b"]
+
+
+def test_delta_diffs_snapshots():
+    before = {"a": 1.0, "b": 5.0}
+    after = {"a": 3.0, "b": 5.0, "c": 2.0}
+    assert MetricsRegistry.delta(before, after) == {"a": 2.0, "b": 0.0, "c": 2.0}
+
+
+def test_to_json_and_render():
+    registry = MetricsRegistry()
+    registry.set("m.v", 1.25)
+    assert json.loads(registry.to_json()) == {"m.v": 1.25}
+    assert "m.v" in registry.render()
+    assert MetricsRegistry().render() == "(no metrics registered)"
+
+
+# ----------------------------------------------------------------------
+# the canonical engine wiring
+# ----------------------------------------------------------------------
+
+
+def test_for_engine_registers_every_family():
+    session = _session()
+    result = session.run(session.table("t", columns=["k"]), label="probe")
+    snap = session.metrics().snapshot()
+    assert snap["sim.now"] == session.now
+    assert snap["buffer.capacity"] == 256
+    assert snap["buffer.misses"] > 0
+    assert snap["memory.work_mem"] == 32
+    assert snap["scan.t.pages_served"] > 0
+    assert any(name.startswith("stage.") for name in snap)
+    for category in ("cpu", "io", "drift_throttle", "queue_block"):
+        assert f"stall.{category}" in snap
+    # The result carries the batch-drain snapshot.
+    assert result.metrics == snap
+
+
+def test_snapshot_is_live_and_delta_isolates_batches():
+    session = _session()
+    query = session.table("t", columns=["k"])
+    session.run(query, label="one")
+    first = session.metrics().snapshot()
+    session.run(session.table("t", columns=["k"]), label="two")
+    second = session.metrics().snapshot()
+    delta = MetricsRegistry.delta(first, second)
+    assert delta["sim.now"] > 0
+    assert delta["buffer.capacity"] == 0
+
+
+def test_scan_stall_reconciles_with_stage_io():
+    """The stall.* totals come from the task ledger; io is bounded by
+    busy time (it is busy time's overlapped component)."""
+    session = _session()
+    session.run(session.table("t", columns=["k"]))
+    snap = session.metrics().snapshot()
+    breakdown = stall_breakdown(snap)
+    assert set(breakdown) == {"cpu", "io", "drift_throttle", "queue_block"}
+    assert breakdown["cpu"] >= 0
+    assert breakdown["io"] >= 0
+
+
+# ----------------------------------------------------------------------
+# the stall table
+# ----------------------------------------------------------------------
+
+
+def test_render_stall_table_shares_sum_to_one():
+    snap = {"stall.cpu": 75.0, "stall.io": 25.0,
+            "stall.drift_throttle": 0.0, "stall.queue_block": 0.0}
+    table = render_stall_table(snap)
+    lines = table.splitlines()
+    assert lines[0].split() == ["category", "time", "share"]
+    assert "75.0%" in table and "25.0%" in table
+    assert "#" in lines[1] or "#" in lines[2]
+
+
+def test_render_stall_table_handles_empty():
+    table = render_stall_table({})
+    assert "0.0%" in table
+
+
+def test_query_result_render_includes_stall_table():
+    session = _session()
+    result = session.run(session.table("t", columns=["k"]), label="probe")
+    text = result.render()
+    assert "category" in text and "queue_block" in text
+    assert result.stalls == stall_breakdown(result.metrics)
+
+
+def test_report_stall_table_wrapper():
+    from repro.experiments.report import stall_table
+
+    snap = {"stall.cpu": 1.0, "stall.io": 0.0,
+            "stall.drift_throttle": 0.0, "stall.queue_block": 0.0}
+    assert stall_table(snap) == render_stall_table(snap)
+
+
+@pytest.mark.parametrize("preset", ["unbounded", "cmp32"])
+def test_for_engine_tolerates_absent_layers(preset):
+    """Presets without scans (or any storage at all) still snapshot."""
+    session = _session(preset=preset)
+    session.run(session.table("t", columns=["k"]))
+    snap = session.metrics().snapshot()
+    assert "sim.now" in snap
+    assert not any(name.startswith("scan.") for name in snap)
+    if preset == "unbounded":
+        assert not any(name.startswith("buffer.") for name in snap)
