@@ -7,6 +7,8 @@ per-acquire drift bookkeeping (lag scans, gate checks), which rides
 the scan hot path whenever a drift bound is configured.
 """
 
+from conftest import wall_samples
+
 from repro.db import Database, RuntimeConfig
 from repro.engine import CostModel
 from repro.engine.expressions import col, ge
@@ -43,20 +45,32 @@ def _run(catalog, drift_bound, group_windows):
     return session
 
 
-def test_throttle_restores_single_pass(benchmark):
+def test_throttle_restores_single_pass(benchmark, trajectory):
     """Drift-bounded convoy: ~1 physical pass vs several unbounded."""
     catalog = _catalog()
 
     def run_both():
         throttled = _run(catalog, 8, False)
         unbounded = _run(catalog, None, False)
-        return (throttled.scans.snapshot()[0].physical_reads,
+        return (throttled.now,
+                throttled.scans.snapshot()[0].physical_reads,
                 unbounded.scans.snapshot()[0].physical_reads)
 
-    throttled_reads, unbounded_reads = benchmark(run_both)
+    throttled_now, throttled_reads, unbounded_reads = benchmark(run_both)
     pages = catalog.table("stream").page_count(PAGE_ROWS)
     assert throttled_reads <= 1.5 * pages
     assert unbounded_reads > 2 * pages
+    trajectory.record(
+        "drift_throttle",
+        sim_time=throttled_now,
+        wall_samples=wall_samples(benchmark),
+        rows=ROWS * len(SPEEDS),
+        counters={
+            "throttled_reads": throttled_reads,
+            "unbounded_reads": unbounded_reads,
+        },
+        tolerance_pct=15.0,
+    )
 
 
 def test_drift_bookkeeping_overhead(benchmark):

@@ -4,24 +4,35 @@ Tracks the host-side cost of the reproduction's building blocks: a
 single staged query, a shared group, and the raw simulator event loop.
 """
 
+from conftest import wall_samples
+
 from repro.engine import Engine
 from repro.sim import Compute, Simulator
 from repro.tpch.queries import build
 
 
-def test_single_query_q6(benchmark, catalog):
+def test_single_query_q6(benchmark, catalog, trajectory):
     query = build("q6", catalog)
+    scanned = sum(1 for _ in catalog.table("lineitem").rows())
 
     def run():
         sim = Simulator(processors=8)
         engine = Engine(catalog, sim)
         handle = engine.execute(query.plan, "q6")
         sim.run()
-        return handle
+        return handle, sim
 
-    handle = benchmark(run)
+    handle, sim = benchmark(run)
     assert handle.done
     assert len(handle.rows) == 1
+    trajectory.record(
+        "engine_q6",
+        sim_time=sim.now,
+        wall_samples=wall_samples(benchmark),
+        rows=scanned,
+        counters={"completions": len(sim.completions)},
+        tolerance_pct=15.0,
+    )
 
 
 def test_shared_group_q6(benchmark, catalog):

@@ -7,6 +7,8 @@ of the manager's per-page bookkeeping, which sits on the scan hot
 path whenever cooperative scans are enabled.
 """
 
+from conftest import wall_samples
+
 from repro.engine import CostModel, Engine, scan
 from repro.sim import Simulator
 from repro.storage import (
@@ -46,7 +48,7 @@ def _run_scans(catalog, table_names, manager=None, pool=None, processors=8):
     return sim.now, handles
 
 
-def test_cooperative_scans_beat_private_passes(benchmark):
+def test_cooperative_scans_beat_private_passes(benchmark, trajectory):
     """m concurrent scans: one elevator pass vs m private cold passes."""
     catalog = _catalog()
     pages = catalog.table("stream").page_count(PAGE_ROWS)
@@ -70,6 +72,18 @@ def test_cooperative_scans_beat_private_passes(benchmark):
     reference = sorted(catalog.table("stream").rows())
     for handle in handles:
         assert sorted(handle.rows) == reference
+    trajectory.record(
+        "scan_cooperative",
+        sim_time=coop,
+        wall_samples=wall_samples(benchmark),
+        rows=sum(len(handle.rows) for handle in handles),
+        counters={
+            "sim_independent": indep,
+            "physical_reads": stats.physical_reads,
+            "pages_served": stats.pages_served,
+        },
+        tolerance_pct=20.0,
+    )
 
 
 def test_prefetch_shrinks_cold_scan(benchmark):

@@ -7,6 +7,8 @@ synchronous read-back at the same budget — plus the host-side cost of
 the pure sorting kernel the stage is built on.
 """
 
+from conftest import wall_samples
+
 from repro.engine import CostModel, Engine, MemoryBroker, scan, sort
 from repro.engine.operators.sort import sort_rows
 from repro.sim import Simulator
@@ -46,7 +48,7 @@ def _run_sort(catalog, work_mem, prefetch_depth=0, processors=4):
     return handle.rows, sim.now
 
 
-def test_external_sort_degrades_gracefully(benchmark):
+def test_external_sort_degrades_gracefully(benchmark, trajectory):
     """Tight budgets spill more but never change the answer."""
     catalog = _catalog()
 
@@ -58,6 +60,14 @@ def test_external_sort_degrades_gracefully(benchmark):
     reference, unbounded, tight_rows, tight = benchmark.pedantic(run, rounds=1)
     assert tight_rows == reference
     assert tight > unbounded
+    trajectory.record(
+        "sort_external",
+        sim_time=tight,
+        wall_samples=wall_samples(benchmark),
+        rows=ROWS,
+        counters={"sim_unbounded": unbounded},
+        tolerance_pct=20.0,
+    )
 
 
 def test_spill_prefetch_shrinks_merge(benchmark):

@@ -7,25 +7,29 @@ use ``benchmark.pedantic(rounds=1)`` — the interesting number is the
 experiment's output, not micro-timing stability.
 
 The session-scoped :func:`trajectory` fixture is the perf-trajectory
-harness: benches that opt in record one named entry each (simulated
-time, wall seconds, and whatever counters characterize the run), and
-at session end the collected entries are written to ``BENCH_6.json``
-at the repo root — ``{bench_name: {"sim_time": ..., "wall_s": ...,
-"counters": {...}}}`` — which CI's bench-smoke step uploads as an
-artifact, giving every PR a comparable performance trace.
+harness: every smoke bench records one named entry (simulated time,
+wall seconds, and whatever counters characterize the run), and at
+session end the collected entries are written to ``BENCH_7.json`` at
+the repo root under the versioned ``repro-bench/1`` schema
+(:mod:`repro.obs.bench`) — host fingerprint plus per-bench
+``{sim_time, wall_s, rows_per_s, counters, wall_samples,
+tolerance_pct}``. CI's perf job uploads the file as an artifact and
+diffs it against the previous PR's checkpoint with
+``repro perf diff`` (report-only), giving every PR a comparable,
+gateable performance trace.
 """
 
-import json
 from pathlib import Path
 
 import pytest
 
+from repro.obs.bench import BenchTrajectory
 from repro.tpch.generator import generate
 
 BENCH_SCALE_FACTOR = 0.0005
 BENCH_SEED = 2007
 
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 
 
 @pytest.fixture(scope="session")
@@ -34,36 +38,27 @@ def catalog():
     return generate(scale_factor=BENCH_SCALE_FACTOR, seed=BENCH_SEED)
 
 
-class Trajectory:
-    """Collects per-bench performance entries for ``BENCH_6.json``."""
+def wall_samples(benchmark):
+    """Per-round wall-clock samples out of a pytest-benchmark fixture.
 
-    def __init__(self) -> None:
-        self.entries: dict[str, dict] = {}
-
-    def record(
-        self,
-        name: str,
-        sim_time: float,
-        wall_s: float,
-        counters: dict | None = None,
-    ) -> None:
-        """Store one bench's entry (last write per name wins)."""
-        self.entries[name] = {
-            "sim_time": sim_time,
-            "wall_s": round(wall_s, 6),
-            "counters": dict(counters or {}),
-        }
-
-    def write(self, path: Path = TRAJECTORY_FILE) -> None:
-        path.write_text(
-            json.dumps(self.entries, indent=2, sort_keys=True) + "\n"
-        )
+    Feeds the trajectory's median-of-k rule: every timed round becomes
+    one sample, so a single noisy round cannot fake a regression.
+    Returns ``None`` when the fixture recorded no stats (``--benchmark-
+    disable`` runs) — callers then fall back to their own timing.
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return None
+    data = getattr(getattr(stats, "stats", None), "data", None)
+    if not data:
+        return None
+    return list(data)
 
 
 @pytest.fixture(scope="session")
 def trajectory():
     """The session-wide trajectory sink; written at session end."""
-    sink = Trajectory()
+    sink = BenchTrajectory()
     yield sink
     if sink.entries:
-        sink.write()
+        sink.write(TRAJECTORY_FILE)

@@ -2,20 +2,29 @@
 
 The experiment figures have their own entry point
 (``repro-experiments``); this CLI is for the *observability* surface
-added with the ``repro.obs`` package. Its first subcommand drives the
-flight recorder end to end::
+added with the ``repro.obs`` package. Two subcommand families drive
+the simulated-time and wall-clock instruments end to end::
 
     repro trace                      # text timeline of a shared demo run
     repro trace --out trace.json     # Chrome/Perfetto trace_event JSON
     repro trace --validate           # schema-check the export (CI smoke)
     repro trace --queries 4 --pages 32 --metrics --audit
 
-``repro trace`` builds a small deterministic catalog, opens a
-``laptop``-preset session with ``trace=True``, runs a forced-share
-batch of identical scans (so the elevator attach/prefetch/throttle
-machinery fires), and exports what the recorder saw. Everything is
-simulated-time only: two invocations with the same arguments produce
-byte-identical JSON.
+    repro perf                       # hotspot table of the same demo run
+    repro perf run --out perf.json   # speedscope/Perfetto-loadable JSON
+    repro perf run --collapsed out.folded   # flamegraph collapsed stacks
+    repro perf diff BENCH_6.json BENCH_7.json --fail-over 20
+
+``repro trace`` and ``repro perf run`` build the same small
+deterministic catalog, open a ``laptop``-preset session with the
+requested instrument attached, run a forced-share batch of identical
+scans (so the elevator attach/prefetch/throttle machinery fires), and
+export what the instrument saw. The trace side is simulated-time only
+(two invocations produce byte-identical JSON); the perf side reports
+*host* wall time, so numbers vary run to run while the simulated
+outcome stays fixed. ``repro perf diff`` compares two ``BENCH_*.json``
+trajectory checkpoints and exits 1 when a wall-clock regression
+exceeds the gate.
 """
 
 from __future__ import annotations
@@ -24,22 +33,30 @@ import argparse
 import sys
 
 from repro.db import Database, RuntimeConfig
+from repro.obs.bench import BenchSchemaError, BenchTrajectory, diff_trajectories
 from repro.obs.trace import validate_chrome_trace
 from repro.storage.catalog import Catalog
 from repro.storage.page import DEFAULT_PAGE_ROWS
 from repro.storage.schema import DataType, Schema
 
-__all__ = ["main", "demo_trace_session"]
+__all__ = ["main", "demo_session", "demo_trace_session"]
 
 
-def demo_trace_session(pages: int = 16, queries: int = 2, preset: str = "laptop"):
-    """Run the canonical traced demo batch; returns the live session.
+def demo_session(
+    pages: int = 16,
+    queries: int = 2,
+    preset: str = "laptop",
+    trace: bool = False,
+    perf: bool = False,
+):
+    """Run the canonical instrumented demo batch; returns the session.
 
     ``queries`` identical full scans of a ``pages``-page table are
-    forced into one sharing group on a traced ``preset`` session — the
+    forced into one sharing group on a ``preset`` session — the
     smallest workload that exercises every event family (compute
     slices, queue blocks, pool hits/misses, elevator attach/prefetch,
-    drift throttling when the preset bounds drift).
+    drift throttling when the preset bounds drift). ``trace``/``perf``
+    pick which instruments ride along.
     """
     catalog = Catalog()
     table = catalog.create(
@@ -48,7 +65,7 @@ def demo_trace_session(pages: int = 16, queries: int = 2, preset: str = "laptop"
     table.insert_many(
         [(i, i % 7) for i in range(pages * DEFAULT_PAGE_ROWS)]
     )
-    config = RuntimeConfig.preset(preset).with_(trace=True)
+    config = RuntimeConfig.preset(preset).with_(trace=trace, perf=perf)
     session = Database.open(catalog, config)
     for i in range(queries):
         session.submit(
@@ -60,6 +77,58 @@ def demo_trace_session(pages: int = 16, queries: int = 2, preset: str = "laptop"
     return session
 
 
+def demo_trace_session(pages: int = 16, queries: int = 2, preset: str = "laptop"):
+    """The traced demo batch (kept as the stable name ``repro trace``
+    and its tests import; :func:`demo_session` is the general form)."""
+    return demo_session(pages=pages, queries=queries, preset=preset, trace=True)
+
+
+# ----------------------------------------------------------------------
+# shared export plumbing
+# ----------------------------------------------------------------------
+
+
+def _add_export_args(parser) -> None:
+    """The ``--out``/``--validate`` pair every chrome-trace-exporting
+    subcommand shares (``repro trace``, ``repro perf run``)."""
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write Chrome/Perfetto trace_event JSON to PATH",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the export; exit 1 on problems",
+    )
+
+
+def _export(args, exporter, valid_line: str, unit: str) -> int:
+    """Run the shared ``--validate``/``--out`` handling.
+
+    ``exporter`` needs ``to_chrome()`` and ``write(path) -> int``
+    (both the tracer and the profiler satisfy this); ``valid_line``
+    is printed when validation passes and ``unit`` names what
+    ``write`` counts. Returns the exit status (1 on invalid export).
+    """
+    status = 0
+    if args.validate:
+        problems = validate_chrome_trace(exporter.to_chrome())
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(valid_line)
+    if args.out:
+        count = exporter.write(args.out)
+        print(f"wrote {count} {unit} to {args.out}")
+    return status
+
+
+# ----------------------------------------------------------------------
+# repro trace
+# ----------------------------------------------------------------------
+
+
 def _cmd_trace(args) -> int:
     session = demo_trace_session(
         pages=args.pages, queries=args.queries, preset=args.preset
@@ -67,18 +136,9 @@ def _cmd_trace(args) -> int:
     tracer = session.tracer
     assert tracer is not None  # trace=True attached it
 
-    status = 0
-    if args.validate:
-        problems = validate_chrome_trace(tracer.to_chrome())
-        if problems:
-            for problem in problems:
-                print(f"invalid: {problem}", file=sys.stderr)
-            status = 1
-        else:
-            print(f"trace valid: {len(tracer.events)} events")
-    if args.out:
-        count = tracer.write(args.out)
-        print(f"wrote {count} events to {args.out}")
+    status = _export(
+        args, tracer, f"trace valid: {len(tracer.events)} events", "events"
+    )
     if args.text or not (args.out or args.validate):
         print(tracer.timeline(limit=args.limit))
     if args.metrics:
@@ -86,6 +146,65 @@ def _cmd_trace(args) -> int:
     if args.audit:
         print(session.audit_log().render())
     return status
+
+
+# ----------------------------------------------------------------------
+# repro perf
+# ----------------------------------------------------------------------
+
+
+def _cmd_perf_run(args) -> int:
+    session = demo_session(
+        pages=args.pages, queries=args.queries, preset=args.preset, perf=True
+    )
+    profiler = session.perf()
+
+    status = _export(
+        args, profiler,
+        f"perf export valid: {len(profiler.profile())} operators",
+        "operator profiles",
+    )
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(profiler.collapsed() + "\n")
+        print(f"wrote collapsed stacks to {args.collapsed}")
+    if args.text or not (args.out or args.validate or args.collapsed):
+        print(profiler.hotspot_table(limit=args.limit))
+    return status
+
+
+def _cmd_perf_diff(args) -> int:
+    try:
+        old = BenchTrajectory.load(args.old)
+        new = BenchTrajectory.load(args.new)
+    except (OSError, BenchSchemaError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = diff_trajectories(old, new, fail_over_pct=args.fail_over)
+    print(report.render())
+    return report.exit_status()
+
+
+# ----------------------------------------------------------------------
+# argument wiring
+# ----------------------------------------------------------------------
+
+
+def _add_demo_args(parser) -> None:
+    """The demo-batch shape arguments ``trace`` and ``perf run`` share."""
+    parser.add_argument(
+        "--queries", type=int, default=2,
+        help="identical scans forced into one sharing group (default 2)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=16,
+        help="pages in the scanned table (default 16)",
+    )
+    parser.add_argument(
+        "--preset", default="laptop",
+        choices=["laptop", "cmp32", "unbounded"],
+        help="RuntimeConfig preset to run under (default laptop)",
+    )
 
 
 def main(argv=None) -> int:
@@ -99,23 +218,8 @@ def main(argv=None) -> int:
         "trace",
         help="record a traced demo batch and export the flight recording",
     )
-    trace.add_argument(
-        "--queries", type=int, default=2,
-        help="identical scans forced into one sharing group (default 2)",
-    )
-    trace.add_argument(
-        "--pages", type=int, default=16,
-        help="pages in the scanned table (default 16)",
-    )
-    trace.add_argument(
-        "--preset", default="laptop",
-        choices=["laptop", "cmp32", "unbounded"],
-        help="RuntimeConfig preset to trace under (default laptop)",
-    )
-    trace.add_argument(
-        "--out", metavar="PATH",
-        help="write Chrome/Perfetto trace_event JSON to PATH",
-    )
+    _add_demo_args(trace)
+    _add_export_args(trace)
     trace.add_argument(
         "--text", action="store_true",
         help="print the text timeline (default when no --out/--validate)",
@@ -123,10 +227,6 @@ def main(argv=None) -> int:
     trace.add_argument(
         "--limit", type=int, default=None,
         help="cap the text timeline at this many events",
-    )
-    trace.add_argument(
-        "--validate", action="store_true",
-        help="schema-check the export; exit 1 on problems",
     )
     trace.add_argument(
         "--metrics", action="store_true",
@@ -137,6 +237,51 @@ def main(argv=None) -> int:
         help="also print the routing-decision audit table",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock profiling: hotspots, flamegraphs, and the "
+        "BENCH trajectory regression gate",
+    )
+    # Bare `repro perf` behaves like `repro perf run` with defaults.
+    perf.set_defaults(
+        func=_cmd_perf_run, queries=2, pages=16, preset="laptop",
+        out=None, validate=False, collapsed=None, text=False, limit=None,
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command")
+
+    perf_run = perf_sub.add_parser(
+        "run",
+        help="profile a demo batch and export hotspots / flamegraph JSON",
+    )
+    _add_demo_args(perf_run)
+    _add_export_args(perf_run)
+    perf_run.add_argument(
+        "--collapsed", metavar="PATH",
+        help="write collapsed-stack flamegraph text to PATH",
+    )
+    perf_run.add_argument(
+        "--text", action="store_true",
+        help="print the hotspot table (default when nothing else asked)",
+    )
+    perf_run.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the hotspot table at this many operators",
+    )
+    perf_run.set_defaults(func=_cmd_perf_run)
+
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json checkpoints; exit 1 past the gate",
+    )
+    perf_diff.add_argument("old", help="baseline BENCH_*.json")
+    perf_diff.add_argument("new", help="candidate BENCH_*.json")
+    perf_diff.add_argument(
+        "--fail-over", type=float, default=None, metavar="PCT",
+        help="fail when any bench regresses more than PCT percent over "
+        "its own noise tolerance floor (default: tolerance only)",
+    )
+    perf_diff.set_defaults(func=_cmd_perf_diff)
 
     args = parser.parse_args(argv)
     return args.func(args)

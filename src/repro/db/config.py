@@ -88,6 +88,14 @@ class RuntimeConfig:
         site and records nothing; enabled, every task lifecycle edge
         and storage event is recorded in deterministic order
         (``Session.tracer``), without changing any simulated outcome.
+    perf:
+        Attach a :class:`~repro.obs.perf.WallProfiler` to the
+        session's simulator and engine — the *wall-clock* counterpart
+        of ``trace``: per-operator host time and rows/s, plus the
+        simulated-work vs harness-overhead decomposition
+        (``Session.perf()``). Same cost discipline (one pointer test
+        per hook site when off) and, like the tracer, it never
+        changes a simulated outcome — only host time is observed.
 
     Examples
     --------
@@ -126,6 +134,7 @@ require pool_pages: elevator cursors read through a buffer pool
     cost_model: CostModel = DEFAULT_COST_MODEL
     queue_capacity: int = 4
     trace: bool = False
+    perf: bool = False
 
     def __post_init__(self) -> None:
         if self.work_mem is not None and self.work_mem < 1:

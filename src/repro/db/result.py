@@ -72,6 +72,19 @@ class QueryResult:
     metrics: Optional[dict] = None
     # The audit records whose routing covered this submission.
     audit: tuple = ()
+    # Per-operator wall-clock profiles at batch drain (hottest first,
+    # session-cumulative like every other counter); None unless the
+    # session was opened with RuntimeConfig(perf=True). Entries are
+    # :class:`~repro.obs.perf.OpProfile` values.
+    perf: Optional[tuple] = None
+
+    @property
+    def hot_operator(self) -> Optional[str]:
+        """The operator the host spent most wall time in (``None``
+        without profiling or before any slice ran)."""
+        if not self.perf:
+            return None
+        return self.perf[0].op
 
     @property
     def latency(self) -> float:

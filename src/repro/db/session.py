@@ -44,7 +44,15 @@ from repro.engine.packet import QueryHandle
 from repro.engine.plan import PlanNode
 from repro.engine.stats import ResourceReport, resource_report, stage_report
 from repro.errors import EngineError
-from repro.obs import AuditLog, AuditRecord, MetricsRegistry, Tracer, attach_tracer
+from repro.obs import (
+    AuditLog,
+    AuditRecord,
+    MetricsRegistry,
+    Tracer,
+    WallProfiler,
+    attach_profiler,
+    attach_tracer,
+)
 from repro.policies.base import SharingPolicy
 from repro.policies.resource_outlook import ResourceOutlook, ResourceProfile
 from repro.profiling.profiler import QueryProfiler
@@ -214,6 +222,12 @@ class Session:
                 memory=self.engine.memory,
                 scans=self.engine.scan_manager,
             )
+        # Wall-clock profiler (opt-in via config.perf): the host-time
+        # counterpart of the tracer — attached before any plan is
+        # built so every stage's emitter reports rows to it.
+        self._perf: Optional[WallProfiler] = None
+        if config.perf:
+            self._perf = attach_profiler(self.sim, self.engine)
         self._metrics = MetricsRegistry.for_engine(self.engine, self.sim)
         self._audit = AuditLog()
         self._batch_records: list[tuple[AuditRecord, list[_Submission]]] = []
@@ -252,6 +266,18 @@ class Session:
         """Every routing decision this session has made, with its
         projections and (after the run) the measured outcome."""
         return self._audit
+
+    def perf(self) -> WallProfiler:
+        """The session's wall-clock operator profiler — per-operator
+        host time, rows/s, and the work-vs-harness decomposition
+        (:class:`~repro.obs.perf.WallProfiler`). Requires
+        ``RuntimeConfig(perf=True)``."""
+        if self._perf is None:
+            raise EngineError(
+                "session has no wall-clock profiler; open it with "
+                "RuntimeConfig(perf=True) (or .with_(perf=True))"
+            )
+        return self._perf
 
     def stages(self, **kwargs):
         """Per-operator busy-time breakdown of this session so far."""
@@ -356,6 +382,9 @@ class Session:
         self._join_audit(reads_before)
         report = self.resources()
         snapshot = self._metrics.snapshot()
+        wall_profile = (
+            tuple(self._perf.profile()) if self._perf is not None else None
+        )
         makespan = self.sim.now
         results = []
         for entry in batch:
@@ -384,6 +413,7 @@ class Session:
                         for record, members in self._batch_records
                         if any(member is entry for member in members)
                     ),
+                    perf=wall_profile,
                 )
             )
         self.results.extend(results)

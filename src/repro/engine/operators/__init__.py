@@ -49,6 +49,13 @@ class StageContext:
     when re-reading their spill runs through a
     :class:`~repro.storage.spill_cursor.SpillCursor` (0 = synchronous
     read-back, the pre-cursor behavior).
+
+    ``perf`` is the opt-in wall-clock profiler
+    (:class:`~repro.obs.perf.WallProfiler`): stages hand it to their
+    :class:`~repro.engine.stage.OutputEmitter` so flushed pages report
+    per-operator row counts. ``None`` (the default) disables the hook
+    entirely; :func:`~repro.obs.perf.attach_profiler` swaps a live
+    engine's context for one carrying a profiler.
     """
 
     catalog: Catalog
@@ -58,6 +65,7 @@ class StageContext:
     memory: Optional[MemoryBroker] = None
     scans: Optional[ScanShareManager] = None
     spill_prefetch: int = 0
+    perf: Optional[object] = None
 
 
 def build_operator_task(node, in_queues: Sequence[SimQueue],

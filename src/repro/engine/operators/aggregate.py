@@ -160,7 +160,8 @@ def task(node, in_queues, out_queues, ctx):
                 accumulator.update(fn(row))
 
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     ordered_keys = sorted(groups, key=_sort_key)
     if ordered_keys:
         yield Compute(ctx.costs.agg_emit * len(ordered_keys))
@@ -311,7 +312,8 @@ def _governed_task(node, in_q, out_queues, ctx, group_idx, value_fns, aggs):
     grant.resize_used(0)
 
     emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     output.sort(key=lambda row: _sort_key(row[:key_width]))
     if output:
         yield Compute(costs.agg_emit * len(output))

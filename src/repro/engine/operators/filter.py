@@ -18,7 +18,8 @@ def task(node, in_queues, out_queues, ctx):
     predicate = node.params["predicate"].compile(node.children[0].schema)
     cost_factor = node.params.get("cost_factor", 1.0)
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(in_q)
         if page is CLOSED:

@@ -141,7 +141,8 @@ def task(node, in_queues, out_queues, ctx):
 
     # Probe phase: fully pipelined.
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(probe_q)
         if page is CLOSED:
@@ -219,7 +220,8 @@ def _hybrid_task(node, build_q, probe_q, out_queues, ctx,
     # Probe phase: resident partitions stream through pipelined;
     # spilled partitions buffer their probe rows in spill files.
     emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(probe_q)
         if page is CLOSED:

@@ -25,7 +25,8 @@ def task(node, in_queues, out_queues, ctx):
     (in_q,) = in_queues
     remaining = node.params["count"]
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(in_q)
         if page is CLOSED:

@@ -78,7 +78,8 @@ def task(node, in_queues, out_queues, ctx):
     joined = merge_join_rows(left_rows, right_rows, left_index, right_index)
 
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     if joined:
         yield Compute(ctx.costs.join_emit * len(joined))
         yield from emitter.emit(joined)

@@ -40,7 +40,8 @@ def task(node, in_queues, out_queues, ctx):
         inner.extend(page.rows)
 
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(left_q)
         if page is CLOSED:

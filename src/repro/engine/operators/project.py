@@ -18,7 +18,8 @@ def task(node, in_queues, out_queues, ctx):
     child_schema = node.children[0].schema
     fns = [expr.compile(child_schema) for _, expr, _ in node.params["outputs"]]
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     while True:
         page = yield Get(in_q)
         if page is CLOSED:

@@ -89,7 +89,8 @@ def task(node, in_queues, out_queues, ctx):
 
     cost_factor = node.params.get("cost_factor", 1.0)
     emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema))
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     if ctx.scans is not None and ctx.pool is not None and len(table):
         yield from _elevator_scan(
             table, columns, ctx, emitter, cost_factor, predicate_fn, output_fns,

@@ -147,7 +147,9 @@ def task(node, in_queues, out_queues, ctx):
         yield Compute(ctx.costs.sort_tuple * len(page))
         buffered.extend(page.rows)
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs, width=len(node.schema))
+    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
     if buffered:
         # The in-memory sort itself; the per-tuple constant subsumes the
         # log factor at the engine's buffer sizes.
@@ -207,7 +209,9 @@ def _governed_task(node, in_q, out_queues, ctx, schema, keys):
             yield from cut_run(budget_rows)
         grant.resize_used(-(-len(buffered) // page_rows))
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, costs, width=len(node.schema))
+    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
+                            width=len(node.schema),
+                            op=node.op_id, perf=ctx.perf)
 
     if not runs:
         # Everything fit in the grant: the in-memory path, bit-for-bit.

@@ -12,15 +12,31 @@ detached:
   ``snapshot()``/``delta()`` and flat-dict JSON export;
 * :mod:`repro.obs.audit` — :class:`AuditLog`/:class:`AuditRecord`,
   the projected-vs-measured ledger of every share/solo routing
-  decision.
+  decision;
+* :mod:`repro.obs.perf` — :class:`WallProfiler`, the *wall-clock*
+  counterpart of the tracer: per-operator host time, rows/s, and the
+  simulated-work vs harness-overhead decomposition, exportable as a
+  hotspot table, collapsed stacks, or speedscope/Perfetto JSON;
+* :mod:`repro.obs.bench` — :class:`BenchTrajectory` and
+  :func:`diff_trajectories`, the versioned ``BENCH_*.json``
+  checkpoint format and the regression gate behind
+  ``repro perf diff``.
 
-Enable all three through the facade with
-``RuntimeConfig.with_(trace=True)`` (see ``docs/observability.md``),
-or attach a tracer to a hand-wired engine via :func:`attach_tracer`.
+Enable the simulated-time instruments through the facade with
+``RuntimeConfig.with_(trace=True)`` and the wall-clock profiler with
+``RuntimeConfig.with_(perf=True)`` (see ``docs/observability.md``),
+or attach to a hand-wired engine via :func:`attach_tracer` /
+:func:`attach_profiler`.
 """
 
 from repro.obs.audit import AuditLog, AuditRecord
+from repro.obs.bench import (
+    BenchTrajectory,
+    DiffReport,
+    diff_trajectories,
+)
 from repro.obs.metrics import MetricsRegistry, stall_breakdown
+from repro.obs.perf import OpProfile, WallProfiler, attach_profiler
 from repro.obs.trace import (
     TID_MEMORY,
     TID_POOL,
@@ -43,6 +59,12 @@ __all__ = [
     "stall_breakdown",
     "AuditLog",
     "AuditRecord",
+    "WallProfiler",
+    "OpProfile",
+    "attach_profiler",
+    "BenchTrajectory",
+    "DiffReport",
+    "diff_trajectories",
     "TID_TASKS",
     "TID_QUEUES",
     "TID_POOL",

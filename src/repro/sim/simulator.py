@@ -82,6 +82,11 @@ class Simulator:
         # scheduling decision — traced and untraced runs are
         # timeline-identical.
         self.tracer = None
+        # Optional wall-clock profiler (see repro.obs.perf). Same
+        # contract as the tracer: ``None`` is the hot default, every
+        # hook site is one pointer test, and the profiler observes the
+        # *host* clock only — it never feeds back into scheduling.
+        self.perf = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -128,17 +133,23 @@ class Simulator:
         Raises :class:`DeadlockError` if tasks remain blocked with no
         pending events.
         """
-        while True:
-            self._dispatch()
-            if not self._heap:
-                break
-            t, seq, fn = heapq.heappop(self._heap)
-            if until is not None and t > until:
-                heapq.heappush(self._heap, (t, seq, fn))
-                self.now = until
-                return
-            self.now = t
-            fn()
+        perf = self.perf
+        started = perf.clock() if perf is not None else 0.0
+        try:
+            while True:
+                self._dispatch()
+                if not self._heap:
+                    break
+                t, seq, fn = heapq.heappop(self._heap)
+                if until is not None and t > until:
+                    heapq.heappush(self._heap, (t, seq, fn))
+                    self.now = until
+                    return
+                self.now = t
+                fn()
+        finally:
+            if perf is not None:
+                perf.record_run(perf.clock() - started)
         if self._alive > 0 and not self._run_queue:
             blocked = [t.name for t in self.tasks if t.state == BLOCKED]
             raise DeadlockError(
@@ -233,9 +244,22 @@ class Simulator:
         value = task.resume_value
         task.resume_value = None
         tracer = self.tracer
+        perf = self.perf
         while True:
             try:
-                request = task.gen.send(value)
+                if perf is not None:
+                    # Time the generator slice (resume to next yield /
+                    # return) with the host clock; the finally clause
+                    # attributes the terminal StopIteration slice too.
+                    slice_start = perf.clock()
+                    try:
+                        request = task.gen.send(value)
+                    finally:
+                        perf.record_slice(
+                            task.name, perf.clock() - slice_start
+                        )
+                else:
+                    request = task.gen.send(value)
             except StopIteration:
                 self._release(proc)
                 self._finish(task)

@@ -77,6 +77,35 @@ def test_for_engine_registers_every_family():
     assert result.metrics == snap
 
 
+def test_for_engine_registers_spill_family():
+    """Any engine with a pool serves the spill.* family, mirroring the
+    buffer.spill_* aliases value-for-value."""
+    session = _session()
+    session.run(session.table("t", columns=["k"]))
+    snap = session.metrics().snapshot()
+    for counter in (
+        "pages_written",
+        "pages_read",
+        "prefetch_issued",
+        "read_stall",
+        "read_overlapped",
+    ):
+        assert snap[f"spill.{counter}"] == snap[f"buffer.spill_{counter}"]
+
+
+def test_spill_family_counts_external_sort_traffic():
+    """An under-memory sort spills and the family records the traffic."""
+    catalog = Catalog()
+    table = catalog.create("t", Schema([("k", DataType.INT)]))
+    table.insert_many([((i * 7919) % 4096,) for i in range(4096)])
+    config = RuntimeConfig(work_mem=2, pool_pages=64, processors=2)
+    session = Database.open(catalog, config)
+    session.run(session.table("t", columns=["k"]).order_by("k"))
+    snap = session.metrics().snapshot()
+    assert snap["spill.pages_written"] > 0
+    assert snap["spill.pages_read"] > 0
+
+
 def test_snapshot_is_live_and_delta_isolates_batches():
     session = _session()
     query = session.table("t", columns=["k"])
@@ -127,6 +156,27 @@ def test_query_result_render_includes_stall_table():
     text = result.render()
     assert "category" in text and "queue_block" in text
     assert result.stalls == stall_breakdown(result.metrics)
+
+
+def test_render_stall_table_spill_footer():
+    """Snapshots carrying the spill.* family gain a read-back footer;
+    stall-only snapshots render exactly as before."""
+    stalls = {"stall.cpu": 75.0, "stall.io": 25.0,
+              "stall.drift_throttle": 0.0, "stall.queue_block": 0.0}
+    plain = render_stall_table(stalls)
+    assert "spill" not in plain
+    with_spill = render_stall_table({
+        **stalls,
+        "spill.pages_written": 12.0,
+        "spill.pages_read": 12.0,
+        "spill.read_stall": 30.0,
+        "spill.read_overlapped": 10.0,
+    })
+    lines = with_spill.splitlines()
+    assert lines[:5] == plain.splitlines()
+    assert "spill read-back" in lines[5]
+    assert "25.0% overlapped" in lines[5]
+    assert "12w/12r pages" in lines[5]
 
 
 def test_report_stall_table_wrapper():

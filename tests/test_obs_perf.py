@@ -1,0 +1,305 @@
+"""The wall-clock profiler: attribution, decomposition, invisibility.
+
+Mirror of the tracer's trust properties, adapted to an instrument that
+reads the *host* clock:
+
+* **attribution** — slices aggregate per ``op_id`` (engine task-name
+  convention), rows land on the emitting operator, and with a fake
+  clock the whole profile is deterministic;
+* **decomposition** — operator walls sum exactly to ``work_s`` and
+  work plus harness overhead reconstructs the run total;
+* **invisibility** — attached or not, the profiler never changes
+  simulated time or answers (it only observes host time).
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import demo_session, main
+from repro.db import Database, RuntimeConfig
+from repro.errors import EngineError
+from repro.obs.perf import WallProfiler, attach_profiler
+from repro.obs.trace import validate_chrome_trace
+from repro.sim import CLOSED, Close, Compute, Get, Put, Simulator
+from repro.storage import Catalog, DataType, Schema
+
+costs = st.floats(min_value=0.01, max_value=10.0, allow_nan=False,
+                  allow_infinity=False)
+
+
+class FakeClock:
+    """Monotonic counter advancing a fixed step per read: every timed
+    interval spanning k reads is exactly ``k * step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def _pipeline(sim, item_costs, capacity):
+    q = sim.queue("q", capacity=capacity)
+    received = []
+
+    def producer():
+        for i, c in enumerate(item_costs):
+            yield Compute(c, io=c / 4)
+            yield Put(q, i)
+        yield Close(q)
+
+    def consumer():
+        while True:
+            item = yield Get(q)
+            if item is CLOSED:
+                return
+            yield Compute(0.1)
+            received.append(item)
+
+    sim.spawn(producer(), name="p")
+    sim.spawn(consumer(), name="c")
+    return received
+
+
+def _session(perf=True, pages=4):
+    catalog = Catalog()
+    table = catalog.create("t", Schema([("k", DataType.INT)]))
+    table.insert_many([(i,) for i in range(pages * 64)])
+    config = RuntimeConfig.preset("laptop").with_(perf=perf)
+    return Database.open(catalog, config)
+
+
+# ----------------------------------------------------------------------
+# attribution
+# ----------------------------------------------------------------------
+
+
+def test_slices_aggregate_per_op_id():
+    profiler = WallProfiler()
+    profiler.record_slice("q0/scan", 0.25)
+    profiler.record_slice("q1/scan", 0.25)
+    profiler.record_slice("q0/sink", 0.5)
+    profiler.record_slice("bare", 0.1)
+    by_op = {p.op: p for p in profiler.profile()}
+    assert by_op["scan"].calls == 2
+    assert by_op["scan"].wall_s == 0.5
+    assert by_op["sink"].calls == 1
+    assert by_op["bare"].wall_s == 0.1
+
+
+def test_profile_sorted_hottest_first_with_shares():
+    profiler = WallProfiler()
+    profiler.record_slice("a/cold", 1.0)
+    profiler.record_slice("a/hot", 3.0)
+    profiles = profiler.profile()
+    assert [p.op for p in profiles] == ["hot", "cold"]
+    assert profiles[0].share == 0.75
+    assert math.isclose(sum(p.share for p in profiles), 1.0)
+
+
+def test_rows_and_throughput():
+    profiler = WallProfiler()
+    profiler.record_slice("q/scan", 2.0)
+    profiler.add_rows("scan", 500)
+    profiler.add_rows("scan", 500)
+    (p,) = profiler.profile()
+    assert p.rows == 1000
+    assert p.rows_per_s == 500.0
+
+
+def test_fake_clock_profiles_are_deterministic():
+    def run():
+        sim = Simulator(processors=2)
+        attach_profiler(sim, clock=FakeClock(step=0.5))
+        _pipeline(sim, [1.0, 2.5, 0.5], capacity=1)
+        sim.run()
+        return sim.perf
+
+    first, second = run(), run()
+    assert first.to_json() == second.to_json()
+    assert first.totals() == second.totals()
+    # Every slice spans exactly one clock step.
+    assert first.totals()["work_s"] == 0.5 * first.totals()["slices"]
+
+
+# ----------------------------------------------------------------------
+# decomposition
+# ----------------------------------------------------------------------
+
+
+def test_work_plus_overhead_reconstructs_run_total():
+    sim = Simulator(processors=2)
+    profiler = attach_profiler(sim)
+    _pipeline(sim, [1.0, 2.0, 3.0], capacity=2)
+    sim.run()
+    t = profiler.totals()
+    assert t["runs"] == 1
+    assert 0.0 < t["work_s"] <= t["run_wall_s"]
+    assert math.isclose(
+        t["work_s"] + t["overhead_s"], t["run_wall_s"], rel_tol=1e-9
+    )
+    # Per-operator walls sum to the work side exactly (5% acceptance
+    # gate met by construction).
+    assert math.isclose(
+        sum(p.wall_s for p in profiler.profile()), t["work_s"], rel_tol=1e-9
+    )
+
+
+def test_overhead_floored_when_slices_recorded_outside_runs():
+    profiler = WallProfiler()
+    profiler.record_slice("t", 5.0)  # no record_run at all
+    t = profiler.totals()
+    assert t["overhead_s"] == 0.0
+    assert t["overhead_share"] == 0.0
+    assert t["work_s"] == 5.0
+
+
+# ----------------------------------------------------------------------
+# invisibility (never changes the simulation)
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(costs, min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_profiler_changes_no_simulated_outcome(item_costs, processors, capacity):
+    """Attached vs detached profiler: same clock, same answers."""
+    plain = Simulator(processors=processors)
+    plain_received = _pipeline(plain, item_costs, capacity)
+    plain.run()
+
+    profiled = Simulator(processors=processors)
+    attach_profiler(profiled)
+    profiled_received = _pipeline(profiled, item_costs, capacity)
+    profiled.run()
+
+    assert profiled.now == plain.now
+    assert profiled_received == plain_received
+    assert [p.busy_time for p in profiled._processors] == [
+        p.busy_time for p in plain._processors
+    ]
+
+
+def test_session_sim_time_identical_with_and_without_profiling():
+    off = _session(perf=False)
+    on = _session(perf=True)
+    off_result = off.run(off.table("t", columns=["k"]), label="q")
+    on_result = on.run(on.table("t", columns=["k"]), label="q")
+    assert on.now == off.now
+    assert on_result.rows == off_result.rows
+
+
+# ----------------------------------------------------------------------
+# exports
+# ----------------------------------------------------------------------
+
+
+def _profiled():
+    profiler = WallProfiler(clock=FakeClock())
+    profiler.record_run(10.0)
+    profiler.record_slice("q/scan", 6.0)
+    profiler.record_slice("q/sink", 2.0)
+    profiler.add_rows("scan", 300)
+    return profiler
+
+
+def test_hotspot_table_shape_and_limit():
+    table = _profiled().hotspot_table()
+    lines = table.splitlines()
+    assert lines[0].split() == ["operator", "calls", "rows", "wall", "ms",
+                                "share", "rows/s"]
+    assert "scan" in lines[1] and "75.0%" in lines[1]
+    assert "harness overhead" in table and "run total" in table
+    limited = _profiled().hotspot_table(limit=1)
+    assert "... 1 more operators" in limited
+
+
+def test_collapsed_stacks_in_integer_usec():
+    lines = _profiled().collapsed().splitlines()
+    assert "run;work;scan 6000000" in lines
+    assert "run;work;sink 2000000" in lines
+    assert "run;harness 2000000" in lines
+
+
+def test_chrome_export_validates_and_tiles():
+    chrome = _profiled().to_chrome()
+    assert validate_chrome_trace(chrome) == []
+    spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    hotspots = [e for e in spans if e["tid"] == 0]
+    assert [e["name"] for e in hotspots] == ["scan", "sink"]
+    # Tiles abut: each span starts where the previous ended.
+    assert hotspots[1]["ts"] == hotspots[0]["ts"] + hotspots[0]["dur"]
+    decomposition = {e["name"]: e["dur"] for e in spans if e["tid"] == 1}
+    assert decomposition == {"work": 8_000_000.0, "harness": 2_000_000.0}
+
+
+def test_write_returns_operator_count(tmp_path):
+    path = tmp_path / "perf.json"
+    assert _profiled().write(path) == 2
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+# ----------------------------------------------------------------------
+# session + engine integration
+# ----------------------------------------------------------------------
+
+
+def test_session_profiler_sees_operators_and_rows():
+    session = _session()
+    result = session.run(session.table("t", columns=["k"]), label="q")
+    profiles = session.perf().profile()
+    assert profiles, "profiled session recorded no slices"
+    by_op = {p.op: p for p in profiles}
+    scan_ops = [op for op in by_op if op.startswith("scan")]
+    assert scan_ops and by_op[scan_ops[0]].rows == len(result.rows)
+    assert result.perf == tuple(profiles)
+    assert result.hot_operator == profiles[0].op
+
+
+def test_unprofiled_surfaces_raise_and_default_none():
+    session = _session(perf=False)
+    result = session.run(session.table("t", columns=["k"]))
+    assert result.perf is None
+    assert result.hot_operator is None
+    with pytest.raises(EngineError, match="perf=True"):
+        session.perf()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_bare_perf_prints_hotspots(capsys):
+    assert main(["perf"]) == 0
+    out = capsys.readouterr().out
+    assert "operator" in out and "harness overhead" in out
+
+
+def test_cli_perf_run_exports(tmp_path, capsys):
+    out_json = tmp_path / "perf.json"
+    folded = tmp_path / "perf.folded"
+    status = main([
+        "perf", "run", "--pages", "4", "--validate",
+        "--out", str(out_json), "--collapsed", str(folded),
+    ])
+    assert status == 0
+    stdout = capsys.readouterr().out
+    assert "perf export valid" in stdout
+    assert validate_chrome_trace(json.loads(out_json.read_text())) == []
+    assert folded.read_text().startswith("run;")
+
+
+def test_demo_session_instruments_compose():
+    session = demo_session(pages=4, queries=2, trace=True, perf=True)
+    assert session.tracer is not None
+    assert len(session.perf().profile()) > 0
