@@ -57,7 +57,11 @@ def test_external_sort_degrades_gracefully(benchmark, trajectory):
         tight_rows, tight = _run_sort(catalog, 4)
         return reference, unbounded, tight_rows, tight
 
-    reference, unbounded, tight_rows, tight = benchmark.pedantic(run, rounds=1)
+    # Warm multi-round sampling: the trajectory judges the median, so
+    # one noisy round on a busy host cannot fake a regression.
+    reference, unbounded, tight_rows, tight = benchmark.pedantic(
+        run, rounds=5, warmup_rounds=1
+    )
     assert tight_rows == reference
     assert tight > unbounded
     trajectory.record(

@@ -9,14 +9,14 @@ experiment's output, not micro-timing stability.
 The session-scoped :func:`trajectory` fixture is the perf-trajectory
 harness: every smoke bench records one named entry (simulated time,
 wall seconds, and whatever counters characterize the run), and at
-session end the collected entries are written to ``BENCH_7.json`` at
+session end the collected entries are written to ``BENCH_8.json`` at
 the repo root under the versioned ``repro-bench/1`` schema
 (:mod:`repro.obs.bench`) — host fingerprint plus per-bench
 ``{sim_time, wall_s, rows_per_s, counters, wall_samples,
 tolerance_pct}``. CI's perf job uploads the file as an artifact and
-diffs it against the previous PR's checkpoint with
-``repro perf diff`` (report-only), giving every PR a comparable,
-gateable performance trace.
+diffs it against the committed checkpoint with a blocking
+``repro perf diff --fail-over`` gate, so every PR carries a
+comparable, gated performance trace.
 """
 
 from pathlib import Path
@@ -29,7 +29,7 @@ from repro.tpch.generator import generate
 BENCH_SCALE_FACTOR = 0.0005
 BENCH_SEED = 2007
 
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_8.json"
 
 
 @pytest.fixture(scope="session")

@@ -56,11 +56,17 @@ class Query:
     name all agree — the signature is the engine's merge test, the
     op_id is how the engine addresses the pivot in every member, and
     the name is what policies key their specs on.
+
+    ``batch_size`` overrides the session's exchange batch size for
+    this query (``None`` = inherit). A batch-size override changes the
+    simulated flush boundaries, so the session also refuses to merge
+    submissions whose effective batch sizes differ.
     """
 
     plan: PlanNode
     pivot_op_id: Optional[str]
     name: str
+    batch_size: Optional[int] = None
 
     @property
     def pivot_signature(self) -> Optional[str]:
@@ -126,6 +132,7 @@ schema has ('k', 'v')
         self._pivot_id: Optional[str] = None
         self._pivot_explicit = False
         self._name = name or table
+        self._batch_size: Optional[int] = None
 
     # -- scan fusion -----------------------------------------------------
 
@@ -327,6 +334,19 @@ schema has ('k', 'v')
         self._name = name
         return self
 
+    def batch_size(self, rows: int) -> "QueryBuilder":
+        """Override the exchange batch size for this query.
+
+        ``rows`` tuples per :class:`~repro.engine.packet.RowBatch`
+        between this query's stages, instead of the session default.
+        A modeled knob: flush boundaries move, so the simulated
+        timeline changes with it.
+        """
+        if rows < 1:
+            raise PlanError(f"batch_size must be >= 1, got {rows}")
+        self._batch_size = rows
+        return self
+
     # -- terminals -------------------------------------------------------
 
     @property
@@ -341,7 +361,12 @@ schema has ('k', 'v')
     def build(self) -> Query:
         """The built :class:`Query` with its sharing pivot."""
         plan = self._materialize()
-        return Query(plan=plan, pivot_op_id=self._pivot_id, name=self._name)
+        return Query(
+            plan=plan,
+            pivot_op_id=self._pivot_id,
+            name=self._name,
+            batch_size=self._batch_size,
+        )
 
     def __repr__(self) -> str:
         if self._scan is not None:

@@ -74,7 +74,20 @@ class RuntimeConfig:
         Read-ahead for spill read-back; ``None`` inherits the scan
         manager's depth (the engine's own inheritance rule).
     page_rows:
-        Tuples per exchanged page.
+        Tuples per *storage* page — the scan/pool/spill granularity.
+    batch_size:
+        Tuples per exchanged :class:`~repro.engine.packet.RowBatch`
+        between stages. ``None`` (default) inherits ``page_rows``, the
+        classic one-batch-per-page pipeline; a larger batch amortizes
+        per-batch host overhead, a smaller one tightens pipelining.
+        Changing it changes flush boundaries and therefore the
+        simulated timeline — it is a *modeled* knob, not a host-only
+        one.
+    vectorize:
+        Run operators on the columnar batch fast path (default). With
+        ``False`` every operator takes its row-at-a-time reference
+        path — same rows, same simulated timeline, slower on the host;
+        kept as the differential-testing oracle.
     processors:
         Simulated hardware contexts of the session's machine.
     cost_model:
@@ -120,6 +133,18 @@ class RuntimeConfig:
         ...
     repro.errors.EngineError: cooperative scans (prefetch_depth) \
 require pool_pages: elevator cursors read through a buffer pool
+
+    The exchange batch size defaults to the storage page geometry and
+    can be widened independently of it:
+
+    >>> RuntimeConfig().effective_batch_size  # inherits page_rows
+    64
+    >>> RuntimeConfig.preset("cmp32").with_(batch_size=256).effective_batch_size
+    256
+    >>> RuntimeConfig(batch_size=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.EngineError: batch_size must be >= 1, got 0
     """
 
     work_mem: Optional[int] = None
@@ -130,6 +155,8 @@ require pool_pages: elevator cursors read through a buffer pool
     group_windows: Union[bool, str] = False
     spill_prefetch_depth: Optional[int] = None
     page_rows: int = DEFAULT_PAGE_ROWS
+    batch_size: Optional[int] = None
+    vectorize: bool = True
     processors: int = 8
     cost_model: CostModel = DEFAULT_COST_MODEL
     queue_capacity: int = 4
@@ -143,6 +170,8 @@ require pool_pages: elevator cursors read through a buffer pool
             raise EngineError(f"pool_pages must be >= 1, got {self.pool_pages}")
         if self.prefetch_depth is not None and self.prefetch_depth < 0:
             raise EngineError(f"prefetch_depth must be >= 0, got {self.prefetch_depth}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise EngineError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.processors < 1:
             raise EngineError(f"processors must be >= 1, got {self.processors}")
         if self.prefetch_depth is not None and self.pool_pages is None:
@@ -167,6 +196,12 @@ require pool_pages: elevator cursors read through a buffer pool
                 "group_windows needs a drift_bound: windows open when a "
                 "consumer's lag crosses the bound"
             )
+
+    @property
+    def effective_batch_size(self) -> int:
+        """The exchange batch size actually in force: ``batch_size``
+        when set, otherwise the storage page geometry."""
+        return self.batch_size if self.batch_size is not None else self.page_rows
 
     @classmethod
     def preset(cls, name: str) -> "RuntimeConfig":

@@ -55,6 +55,7 @@ from repro.obs import (
 )
 from repro.policies.base import SharingPolicy
 from repro.policies.resource_outlook import ResourceOutlook, ResourceProfile
+from repro.policies.workset import estimate_work_pages
 from repro.profiling.profiler import QueryProfiler
 from repro.sim.events import Sleep
 from repro.sim.simulator import Simulator
@@ -198,6 +199,7 @@ class Session:
             memory=memory,
             scan_manager=scans,
             spill_prefetch_depth=spill_depth,
+            vectorize=config.vectorize,
         )
         self.policy = policy
         self.threshold = threshold
@@ -422,9 +424,11 @@ class Session:
     def _route(self, batch: Sequence[_Submission]) -> None:
         # Merge candidates must agree on the pivot's *signature* (the
         # engine's merge test), its *op_id* (execute_group addresses
-        # the pivot by id in every member), and the query *name*
-        # (policies key their specs on it).
-        groups: dict[tuple[str, str, str], list[_Submission]] = {}
+        # the pivot by id in every member), the query *name* (policies
+        # key their specs on it), and the effective *batch size* (a
+        # merged group shares one stage pipeline, so its members must
+        # agree on the exchange batching).
+        groups: dict[tuple, list[_Submission]] = {}
         for entry in batch:
             if entry.delay > 0:
                 self._audit_route("solo", "solo", [entry])
@@ -436,7 +440,12 @@ class Session:
                 self._audit_route(source, "solo", [entry])
                 self._launch(None, [entry])
                 continue
-            key = (signature, entry.query.pivot_op_id, entry.query.name)
+            key = (
+                signature,
+                entry.query.pivot_op_id,
+                entry.query.name,
+                self._batch_rows(entry.query),
+            )
             groups.setdefault(key, []).append(entry)
         for members in groups.values():
             forced = [m for m in members if m.share is True]
@@ -472,11 +481,20 @@ class Session:
                 for entry in members:
                     self._launch(None, [entry])
 
+    def _batch_rows(self, query: Query) -> Optional[int]:
+        """The exchange batch size in force for one query: its own
+        override, else the session config's (``None`` = engine
+        default, i.e. the page geometry)."""
+        if query.batch_size is not None:
+            return query.batch_size
+        return self.config.batch_size
+
     def _launch(self, pivot: Optional[str], members: list[_Submission]) -> None:
         group = self.engine.execute_group(
             [entry.query.plan for entry in members],
             pivot_op_id=pivot,
             labels=[entry.label for entry in members],
+            batch_rows=self._batch_rows(members[0].query),
         )
         for entry, handle in zip(members, group.handles):
             entry.handle = handle
@@ -489,10 +507,13 @@ class Session:
 
     def _launch_delayed(self, entry: _Submission) -> None:
         engine = self.engine
+        batch_rows = self._batch_rows(entry.query)
 
         def submitter():
             yield Sleep(entry.delay)
-            entry.handle = engine.execute(entry.query.plan, entry.label)
+            entry.handle = engine.execute(
+                entry.query.plan, entry.label, batch_rows=batch_rows
+            )
 
         self.sim.spawn(submitter(), name=f"submit/{entry.label}")
 
@@ -710,12 +731,26 @@ class Session:
         spec = profile.to_query_spec()
         self._specs[signature] = (spec, query.pivot_op_id)
         pivot_node = query.plan.find(query.pivot_op_id)
-        if pivot_node.kind == "scan":
-            table = pivot_node.params["table"]
-            self._outlook.profiles[signature] = ResourceProfile(
-                table=table,
-                pages=self.catalog.table(table).page_count(self.config.page_rows),
-            )
+        # Resource profile: the pivot subtree's dominant base scan
+        # feeds the I/O projection; the *whole plan's* estimated
+        # stateful working set feeds the spill projection (a sort
+        # above the pivot still competes for this query's work_mem).
+        scans_below = [n for n in pivot_node.walk() if n.kind == "scan"]
+        if scans_below:
+            table = max(
+                scans_below,
+                key=lambda n: len(self.catalog.table(n.params["table"])),
+            ).params["table"]
+            pages = self.catalog.table(table).page_count(self.config.page_rows)
+        else:
+            table, pages = "", 0
+        self._outlook.profiles[signature] = ResourceProfile(
+            table=table,
+            pages=pages,
+            work_pages=estimate_work_pages(
+                query.plan, self.catalog, self.config.page_rows
+            ),
+        )
         return self._specs[signature]
 
     def __repr__(self) -> str:

@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.engine.memory import MemoryBroker
 from repro.engine.operators import StageContext, build_operator_task
-from repro.engine.packet import GroupHandle, QueryHandle
+from repro.engine.packet import GroupHandle, QueryHandle, RowBatch
 from repro.engine.plan import PlanNode
 from repro.engine.wiring import resolve_storage
 from repro.errors import EngineError, PivotError
@@ -90,6 +90,11 @@ class Engine:
         CPU work. ``None`` (default) inherits the scan manager's
         prefetch depth when one is attached, else 0 (synchronous
         read-back).
+    vectorize:
+        Selects the operators' columnar batch implementations
+        (default). ``False`` pins the row-at-a-time reference path —
+        identical answers and simulated time, only host speed differs
+        (see :class:`~repro.engine.operators.api.StageContext`).
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class Engine:
         memory: Optional[MemoryBroker] = None,
         scan_manager: Optional[ScanShareManager] = None,
         spill_prefetch_depth: Optional[int] = None,
+        vectorize: bool = True,
     ) -> None:
         if queue_capacity < 1:
             raise EngineError(
@@ -120,7 +126,8 @@ class Engine:
         self.ctx = StageContext(catalog=catalog, costs=costs,
                                 page_rows=page_rows, pool=buffer_pool,
                                 memory=memory, scans=scan_manager,
-                                spill_prefetch=spill_prefetch_depth)
+                                spill_prefetch=spill_prefetch_depth,
+                                vectorize=vectorize)
         self.queue_capacity = queue_capacity
         self.handles: list[QueryHandle] = []
         self.groups: list[GroupHandle] = []
@@ -140,10 +147,12 @@ class Engine:
         plan: PlanNode,
         label: str,
         on_complete: Optional[Callable[[QueryHandle], None]] = None,
+        batch_rows: Optional[int] = None,
     ) -> QueryHandle:
         """Run one query independently (a sharing group of one)."""
         group = self.execute_group([plan], pivot_op_id=None, labels=[label],
-                                   on_complete=on_complete)
+                                   on_complete=on_complete,
+                                   batch_rows=batch_rows)
         return group.handles[0]
 
     def execute_group(
@@ -155,6 +164,7 @@ class Engine:
             Callable[[QueryHandle], None]
             | Sequence[Optional[Callable[[QueryHandle], None]]]
         ] = None,
+        batch_rows: Optional[int] = None,
     ) -> GroupHandle:
         """Run a group of queries, shared at ``pivot_op_id``.
 
@@ -162,7 +172,11 @@ class Engine:
         or a single plan, execution is plain independent execution.
         For m > 1 the pivot subtree runs once, multiplexed m ways.
         ``on_complete`` may be one callback for every member or a
-        per-member sequence.
+        per-member sequence. ``batch_rows`` overrides the engine's
+        ``page_rows`` for this group's stages only — the batch size the
+        group's operators exchange (the simulated page geometry follows
+        it, so differing batch sizes are different work and must not be
+        merged into one sharing group).
         """
         if not plans:
             raise EngineError("execute_group() needs at least one plan")
@@ -196,12 +210,19 @@ class Engine:
             for plan, label, callback in zip(plans, labels, callbacks)
         ]
 
+        if batch_rows is not None and batch_rows < 1:
+            raise EngineError(f"batch_rows must be >= 1, got {batch_rows}")
+        group_ctx = (
+            self.ctx if batch_rows is None
+            else replace(self.ctx, page_rows=batch_rows)
+        )
         collected: list = []
         self._collect_tasks = collected
         if pivot_op_id is None or len(plans) == 1:
             for plan, handle in zip(plans, handles):
                 sink_q = self._build_subplan(plan, consumers=1,
-                                             prefix=handle.label)[0]
+                                             prefix=handle.label,
+                                             ctx=group_ctx)[0]
                 self._spawn_sink(sink_q, handle)
         else:
             pivot = plans[0].find(pivot_op_id)
@@ -213,7 +234,7 @@ class Engine:
             )
             member_queues = self._build_subplan(
                 pivot, consumers=len(plans), prefix=f"g{group_id}",
-                rotation_ok=pivot_rotation_ok,
+                rotation_ok=pivot_rotation_ok, ctx=group_ctx,
             )
             for plan, handle, shared_q in zip(plans, handles, member_queues):
                 if plan.op_id == pivot_op_id:
@@ -226,6 +247,7 @@ class Engine:
                     consumers=1,
                     prefix=handle.label,
                     substitutions={pivot_op_id: shared_q},
+                    ctx=group_ctx,
                 )[0]
                 self._spawn_sink(root_q, handle)
 
@@ -287,6 +309,7 @@ class Engine:
         prefix: str,
         substitutions: Optional[dict[str, SimQueue]] = None,
         rotation_ok: bool = True,
+        ctx: Optional[StageContext] = None,
     ) -> list[SimQueue]:
         """Recursively spawn stage tasks; returns the output queues.
 
@@ -296,8 +319,11 @@ class Engine:
         at this position may ride a shared elevator cursor (emit its
         rows rotated to the attach offset): an order-sensitive
         ancestor clears it, an order-restoring barrier resets it.
+        ``ctx`` overrides the engine-wide stage context (used to apply
+        a per-group batch-size override).
         """
         substitutions = substitutions or {}
+        base_ctx = self.ctx if ctx is None else ctx
         out_queues = [
             self.sim.queue(
                 f"{prefix}:{node.op_id}->out{i}", self.queue_capacity
@@ -319,13 +345,14 @@ class Engine:
                     child, consumers=1, prefix=prefix,
                     substitutions=substitutions,
                     rotation_ok=child_rotation_ok,
+                    ctx=ctx,
                 )
                 in_queues.append(child_q)
-        ctx = self.ctx
+        stage_ctx = base_ctx
         if (node.kind == "scan" and not rotation_ok
-                and ctx.scans is not None):
-            ctx = replace(ctx, scans=None)
-        task_gen = build_operator_task(node, in_queues, out_queues, ctx)
+                and stage_ctx.scans is not None):
+            stage_ctx = replace(stage_ctx, scans=None)
+        task_gen = build_operator_task(node, in_queues, out_queues, stage_ctx)
         self._task_counter += 1
         task = self.sim.spawn(
             task_gen,
@@ -345,8 +372,9 @@ class Engine:
                 page = yield Get(in_queue)
                 if page is CLOSED:
                     break
-                yield Compute(costs.sink_tuple * len(page))
-                handle.rows.extend(page.rows)
+                n = page._n if page.__class__ is RowBatch else len(page)
+                yield Compute(costs.sink_tuple * n)
+                handle.append_batch(page)
 
         def finished(_task):
             handle.mark_done(sim.now)

@@ -1,9 +1,15 @@
 """Operator stages of the staged engine.
 
-Each operator module exposes:
+The execution protocol — :class:`~repro.engine.operators.api.StageContext`,
+:class:`~repro.engine.operators.api.BatchOperator` and the
+:func:`~repro.engine.operators.api.drive` loop — lives in
+:mod:`repro.engine.operators.api`. Each operator module exposes:
 
-* ``task(node, in_queues, out_queues, ctx)`` — the simulator generator
-  implementing the stage (charges costs, moves pages), and
+* a :class:`~repro.engine.operators.api.BatchOperator` subclass
+  implementing the stage (charges costs, moves batches),
+* ``task(node, in_queues, out_queues, ctx)`` — the classic factory
+  returning the stage's simulator generator (kept so existing callers
+  and custom pipelines keep working), and
 * a pure row-transformation function reused by the reference executor
   (:mod:`repro.engine.reference`), so the staged and naive paths share
   one implementation of the relational semantics and can only diverge
@@ -15,57 +21,13 @@ factory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
-from repro.engine.costs import CostModel
-from repro.engine.memory import MemoryBroker
+from repro.engine.operators.api import BatchOperator, StageContext, drive
 from repro.errors import PlanError
 from repro.sim.queues import SimQueue
-from repro.storage.buffer import BufferPool
-from repro.storage.catalog import Catalog
-from repro.storage.shared_scan import ScanShareManager
 
-__all__ = ["StageContext", "build_operator_task"]
-
-
-@dataclass(frozen=True)
-class StageContext:
-    """Everything a stage needs besides its queues.
-
-    ``pool``, ``memory`` and ``scans`` are the optional
-    resource-governance layer: with a
-    :class:`~repro.storage.buffer.BufferPool` attached, scans charge
-    ``io_page`` per cold page; with a
-    :class:`~repro.engine.memory.MemoryBroker` attached, the hash
-    join, hash aggregate and sort take working-memory grants and spill
-    when over budget; with a
-    :class:`~repro.storage.shared_scan.ScanShareManager` attached,
-    scans ride per-table elevator cursors (cooperative scan sharing
-    with async prefetch). All default to ``None`` — the seed's
-    unbounded-memory behavior.
-
-    ``spill_prefetch`` is the read-ahead depth governed operators use
-    when re-reading their spill runs through a
-    :class:`~repro.storage.spill_cursor.SpillCursor` (0 = synchronous
-    read-back, the pre-cursor behavior).
-
-    ``perf`` is the opt-in wall-clock profiler
-    (:class:`~repro.obs.perf.WallProfiler`): stages hand it to their
-    :class:`~repro.engine.stage.OutputEmitter` so flushed pages report
-    per-operator row counts. ``None`` (the default) disables the hook
-    entirely; :func:`~repro.obs.perf.attach_profiler` swaps a live
-    engine's context for one carrying a profiler.
-    """
-
-    catalog: Catalog
-    costs: CostModel
-    page_rows: int
-    pool: Optional[BufferPool] = None
-    memory: Optional[MemoryBroker] = None
-    scans: Optional[ScanShareManager] = None
-    spill_prefetch: int = 0
-    perf: Optional[object] = None
+__all__ = ["StageContext", "BatchOperator", "drive", "build_operator_task"]
 
 
 def build_operator_task(node, in_queues: Sequence[SimQueue],
@@ -83,27 +45,24 @@ def build_operator_task(node, in_queues: Sequence[SimQueue],
         sort,
     )
 
-    factories = {
-        "scan": scan.task,
-        "filter": filter_op.task,
-        "project": project.task,
-        "aggregate": aggregate.task,
-        "sort": sort.task,
-        "limit": limit.task,
-        "hash_join": hash_join.task,
-        "merge_join": merge_join.task,
-        "nested_loop_join": nested_loop_join.task,
+    operators = {
+        "scan": scan.ScanOperator,
+        "filter": filter_op.FilterOperator,
+        "project": project.ProjectOperator,
+        "aggregate": aggregate.AggregateOperator,
+        "sort": sort.SortOperator,
+        "limit": limit.LimitOperator,
+        "hash_join": hash_join.HashJoinOperator,
+        "merge_join": merge_join.MergeJoinOperator,
+        "nested_loop_join": nested_loop_join.NestedLoopJoinOperator,
     }
     try:
-        factory = factories[node.kind]
+        operator_cls = operators[node.kind]
     except KeyError:
         raise PlanError(f"no stage implementation for operator kind {node.kind!r}")
-    expected_inputs = {"scan": 0, "filter": 1, "project": 1, "aggregate": 1,
-                       "sort": 1, "limit": 1, "hash_join": 2, "merge_join": 2,
-                       "nested_loop_join": 2}[node.kind]
-    if len(in_queues) != expected_inputs:
+    if len(in_queues) != operator_cls.ports:
         raise PlanError(
-            f"{node.kind} expects {expected_inputs} input queue(s), "
+            f"{node.kind} expects {operator_cls.ports} input queue(s), "
             f"got {len(in_queues)}"
         )
-    return factory(node, in_queues, out_queues, ctx)
+    return drive(operator_cls(node, ctx, out_queues), in_queues)

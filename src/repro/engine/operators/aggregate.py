@@ -8,6 +8,14 @@ NULL semantics: aggregate inputs that evaluate to ``None`` are skipped
 (``count(expr)`` counts non-NULL values; ``count(*)`` counts rows) —
 TPC-H Q13's ``count(o_orderkey)`` over a left join depends on this.
 
+Vectorized, the group keys and aggregate inputs of a whole batch are
+extracted column-at-a-time (one ``zip`` over the key columns, one
+batch-compiled evaluation per aggregate expression) before the fold
+loop runs; a global aggregate (no group-by) folds each input column in
+one tight loop per accumulator. Float accumulation order is preserved
+exactly — sums still add value by value in row order — so results stay
+bit-identical to the row-at-a-time path.
+
 Without memory governance (``ctx.memory is None``) the stage buffers
 every group unconditionally, exactly as the seed did. With a
 :class:`~repro.engine.memory.MemoryBroker` attached it takes a
@@ -26,12 +34,13 @@ unbounded aggregate's at every budget.
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
+from repro.engine.expressions import try_compile_batch
+from repro.engine.operators.api import BatchOperator, drive
 from repro.errors import PlanError
-from repro.sim.events import CLOSED, Compute, Get
+from repro.sim.events import Compute
 from repro.storage.spill_cursor import SpillCursor
 
-__all__ = ["task", "aggregate_rows", "Accumulator"]
+__all__ = ["AggregateOperator", "task", "aggregate_rows", "Accumulator"]
 
 # Group-state partitions of the governed aggregate; clamped to the
 # memory grant like the hybrid hash join's fanout.
@@ -67,6 +76,35 @@ class Accumulator:
             self.best = value if self.best is None else max(self.best, value)
         else:  # pragma: no cover - constructor validates
             raise PlanError(f"unknown aggregate {self.func!r}")
+
+    def update_column(self, values) -> None:
+        """Fold a whole value column, preserving row-order arithmetic."""
+        func = self.func
+        if func == "count":
+            self.count += sum(1 for v in values if v is not None)
+            return
+        if func in ("sum", "avg"):
+            total = self.total
+            count = self.count
+            for v in values:
+                if v is not None:
+                    total += v
+                    count += 1
+            self.total = total
+            self.count = count
+            return
+        if func == "min":
+            kept = [v for v in values if v is not None]
+            if kept:
+                low = min(kept)
+                self.best = low if self.best is None else min(self.best, low)
+        elif func == "max":
+            kept = [v for v in values if v is not None]
+            if kept:
+                high = max(kept)
+                self.best = high if self.best is None else max(self.best, high)
+        else:  # pragma: no cover - constructor validates
+            raise PlanError(f"unknown aggregate {func!r}")
 
     def state(self) -> tuple:
         """Serializable partial state, mergeable via :meth:`absorb`."""
@@ -127,53 +165,242 @@ def aggregate_rows(rows, schema, group_by, aggs):
     return output
 
 
-def task(node, in_queues, out_queues, ctx):
-    (in_q,) = in_queues
-    schema = node.children[0].schema
-    group_by = node.params["group_by"]
-    aggs = node.params["aggs"]
-    group_idx = [schema.index_of(name) for name in group_by]
-    value_fns = [
-        (spec.expr.compile(schema) if spec.expr is not None else (lambda row: True))
-        for spec in aggs
-    ]
-
-    if ctx.memory is not None:
-        yield from _governed_task(
-            node, in_q, out_queues, ctx, group_idx, value_fns, aggs,
+class AggregateOperator(BatchOperator):
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        schema = node.children[0].schema
+        self.aggs = node.params["aggs"]
+        self.group_idx = [schema.index_of(n) for n in node.params["group_by"]]
+        self.value_fns = [
+            (spec.expr.compile(schema) if spec.expr is not None
+             else (lambda row: True))
+            for spec in self.aggs
+        ]
+        # Batch value extractors; None stands for count(*)'s constant.
+        batch_fns = [
+            (try_compile_batch(spec.expr, schema)
+             if spec.expr is not None else None)
+            for spec in self.aggs
+        ]
+        self.vector = ctx.vectorize and all(
+            bf is not None or spec.expr is None
+            for bf, spec in zip(batch_fns, self.aggs)
         )
-        return
+        self.batch_fns = batch_fns if self.vector else None
+        self.make_emitter(len(node.schema))
+        self.groups: dict[tuple, list[Accumulator]] = {}
+        self.grant = None
 
-    groups: dict[tuple, list[Accumulator]] = {}
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.agg_update * len(page))
-        for row in page.rows:
+    # -- batch-wise extraction -------------------------------------------
+
+    def _batch_keys_values(self, batch):
+        """Key tuples and per-aggregate value columns for one batch."""
+        n = len(batch)
+        cols = batch.columns
+        if self.group_idx:
+            keys = list(zip(*[cols[i] for i in self.group_idx]))
+        else:
+            keys = None
+        values = [
+            ([True] * n if bf is None else bf(cols, n))
+            for bf in self.batch_fns
+        ]
+        return keys, values
+
+    def _fresh_accumulators(self):
+        return [Accumulator(spec.func) for spec in self.aggs]
+
+    def _fold_ungoverned(self, batch):
+        if self.vector:
+            keys, values = self._batch_keys_values(batch)
+            groups = self.groups
+            if keys is None:
+                accumulators = groups.get(())
+                if accumulators is None:
+                    accumulators = self._fresh_accumulators()
+                    groups[()] = accumulators
+                for accumulator, column in zip(accumulators, values):
+                    accumulator.update_column(column)
+                return
+            make = self._fresh_accumulators
+            if len(values) == 1:
+                column = values[0]
+                for i, key in enumerate(keys):
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = make()
+                        groups[key] = accumulators
+                    accumulators[0].update(column[i])
+                return
+            for i, key in enumerate(keys):
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = make()
+                    groups[key] = accumulators
+                for accumulator, column in zip(accumulators, values):
+                    accumulator.update(column[i])
+            return
+        group_idx = self.group_idx
+        groups = self.groups
+        for row in batch.rows:
             key = tuple(row[i] for i in group_idx)
             accumulators = groups.get(key)
             if accumulators is None:
-                accumulators = [Accumulator(spec.func) for spec in aggs]
+                accumulators = self._fresh_accumulators()
                 groups[key] = accumulators
-            for accumulator, fn in zip(accumulators, value_fns):
+            for accumulator, fn in zip(accumulators, self.value_fns):
                 accumulator.update(fn(row))
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    ordered_keys = sorted(groups, key=_sort_key)
-    if ordered_keys:
-        yield Compute(ctx.costs.agg_emit * len(ordered_keys))
-    for key in ordered_keys:
-        row = key + tuple(a.result() for a in groups[key])
-        yield from emitter.emit([row])
-    yield from emitter.close()
+    # -- protocol --------------------------------------------------------
 
+    def open(self):
+        ctx = self.ctx
+        if ctx.memory is not None:
+            # Grant acquisition stays at task start (not construction)
+            # so broker bookkeeping keeps its spawn-order timeline.
+            self.grant = ctx.memory.grant(
+                self.node.op_id, self.node.params.get("mem_pages")
+            )
+            self.fanout = max(
+                2,
+                min(self.node.params.get("fanout", DEFAULT_FANOUT),
+                    self.grant.pages),
+            )
+            self.parts = [_AggPartition() for _ in range(self.fanout)]
+        return
+        yield  # pragma: no cover
 
-# ----------------------------------------------------------------------
-# Memory-governed partitioned aggregate
-# ----------------------------------------------------------------------
+    def next_batch(self, batch, port):
+        if self.grant is not None:
+            yield from self._governed_fold(batch)
+            return
+        yield Compute(self.ctx.costs.agg_update * len(batch))
+        self._fold_ungoverned(batch)
+
+    def finish(self):
+        if self.grant is not None:
+            yield from self._governed_finish()
+            return
+        emitter = self.emitter
+        groups = self.groups
+        ordered_keys = sorted(groups, key=_sort_key)
+        if ordered_keys:
+            yield Compute(self.ctx.costs.agg_emit * len(ordered_keys))
+        output = [
+            key + tuple(a.result() for a in groups[key])
+            for key in ordered_keys
+        ]
+        yield from emitter.emit_rows(output)
+        yield from emitter.close()
+
+    # -- memory-governed partitioned aggregate ---------------------------
+
+    def _spill_largest(self) -> int:
+        """Spill the largest resident partition's state; pages written."""
+        victim = max(
+            (p for p in self.parts if not p.spilled and p.groups),
+            key=lambda p: len(p.groups),
+        )
+        if victim.file is None:
+            victim.file = self.ctx.pool.spill_file(self.ctx.page_rows)
+        written = victim.file.append_rows(
+            _state_row(key, accumulators)
+            for key, accumulators in victim.groups.items()
+        )
+        victim.groups = None
+        return written
+
+    def _governed_fold(self, batch):
+        """Fold one batch into partitioned group state, spilling the
+        largest partition whenever the grant is exceeded."""
+        from repro.engine.operators.hash_join import _partition_of
+
+        costs = self.ctx.costs
+        page_rows = self.ctx.page_rows
+        parts = self.parts
+        fanout = self.fanout
+        grant = self.grant
+        cost = costs.agg_update * len(batch)
+        if self.vector:
+            keys, values = self._batch_keys_values(batch)
+            if keys is None:
+                keys = [()] * len(batch)
+            rows_values = zip(keys, *values)
+        else:
+            group_idx = self.group_idx
+            value_fns = self.value_fns
+            rows_values = (
+                (tuple(row[i] for i in group_idx),
+                 *(fn(row) for fn in value_fns))
+                for row in batch.rows
+            )
+        for key, *row_values in rows_values:
+            p = parts[_partition_of(key, 0, fanout)]
+            if p.spilled:
+                fresh = self._fresh_accumulators()
+                for accumulator, value in zip(fresh, row_values):
+                    accumulator.update(value)
+                cost += costs.spill_page * p.file.append_rows(
+                    (_state_row(key, fresh),)
+                )
+            else:
+                accumulators = p.groups.get(key)
+                if accumulators is None:
+                    accumulators = self._fresh_accumulators()
+                    p.groups[key] = accumulators
+                for accumulator, value in zip(accumulators, row_values):
+                    accumulator.update(value)
+        while _group_pages(parts, page_rows) > grant.pages:
+            cost += costs.spill_page * self._spill_largest()
+        grant.resize_used(_group_pages(parts, page_rows))
+        yield Compute(cost)
+
+    def _governed_finish(self):
+        """Resident partitions emit directly; spilled partitions re-read
+        and merge their state runs (overcommitting at the floor if a
+        single partition still exceeds the grant)."""
+        ctx = self.ctx
+        costs = ctx.costs
+        grant = self.grant
+        key_width = len(self.group_idx)
+        output = []
+        for p in self.parts:
+            if not p.spilled:
+                output.extend(
+                    key + tuple(a.result() for a in p.groups[key])
+                    for key in p.groups
+                )
+                p.groups = None
+                continue
+            seal = costs.spill_page * p.file.flush()
+            if seal:
+                yield Compute(seal)
+            grant.resize_used(p.file.page_count)
+            merged: dict = {}
+            # Stream the state run back through a prefetched cursor: the
+            # absorb CPU of this page drains the next pages' reads.
+            reader = SpillCursor(p.file, costs.io_page, ctx.spill_prefetch)
+            credit = 0.0
+            while not reader.exhausted:
+                spill_page, stall = reader.next_page(credit)
+                for row in spill_page.rows:
+                    _absorb_state_row(merged, row, key_width, self.aggs)
+                credit = costs.agg_update * len(spill_page)
+                yield Compute(credit + stall, io=stall)
+            output.extend(
+                key + tuple(a.result() for a in merged[key])
+                for key in merged
+            )
+            p.file.drop()
+        grant.resize_used(0)
+
+        emitter = self.emitter
+        output.sort(key=lambda row: _sort_key(row[:key_width]))
+        if output:
+            yield Compute(costs.agg_emit * len(output))
+        yield from emitter.emit_rows(output)
+        yield from emitter.close()
+        grant.close()
 
 
 class _AggPartition:
@@ -219,104 +446,5 @@ def _absorb_state_row(groups, row, key_width, aggs) -> None:
         offset += 3
 
 
-def _governed_task(node, in_q, out_queues, ctx, group_idx, value_fns, aggs):
-    costs = ctx.costs
-    pool = ctx.pool
-    page_rows = ctx.page_rows
-    key_width = len(group_idx)
-    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
-    fanout = max(2, min(node.params.get("fanout", DEFAULT_FANOUT),
-                        grant.pages))
-    parts = [_AggPartition() for _ in range(fanout)]
-
-    # Reuse the join's deterministic partition hash so both governed
-    # operators split state the same way.
-    from repro.engine.operators.hash_join import _partition_of
-
-    def spill_largest() -> int:
-        """Spill the largest resident partition's state; pages written."""
-        victim = max(
-            (p for p in parts if not p.spilled and p.groups),
-            key=lambda p: len(p.groups),
-        )
-        if victim.file is None:
-            victim.file = pool.spill_file(page_rows)
-        written = victim.file.append_rows(
-            _state_row(key, accumulators)
-            for key, accumulators in victim.groups.items()
-        )
-        victim.groups = None
-        return written
-
-    # Input phase: fold rows into partitioned group state, spilling
-    # the largest partition whenever the grant is exceeded.
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        cost = costs.agg_update * len(page)
-        for row in page.rows:
-            key = tuple(row[i] for i in group_idx)
-            p = parts[_partition_of(key, 0, fanout)]
-            if p.spilled:
-                fresh = [Accumulator(spec.func) for spec in aggs]
-                for accumulator, fn in zip(fresh, value_fns):
-                    accumulator.update(fn(row))
-                cost += costs.spill_page * p.file.append_rows(
-                    (_state_row(key, fresh),)
-                )
-            else:
-                accumulators = p.groups.get(key)
-                if accumulators is None:
-                    accumulators = [Accumulator(spec.func) for spec in aggs]
-                    p.groups[key] = accumulators
-                for accumulator, fn in zip(accumulators, value_fns):
-                    accumulator.update(fn(row))
-        while _group_pages(parts, page_rows) > grant.pages:
-            cost += costs.spill_page * spill_largest()
-        grant.resize_used(_group_pages(parts, page_rows))
-        yield Compute(cost)
-
-    # Finalize: resident partitions emit directly; spilled partitions
-    # re-read and merge their state runs (overcommitting at the floor
-    # if a single partition still exceeds the grant).
-    output = []
-    for p in parts:
-        if not p.spilled:
-            output.extend(
-                key + tuple(a.result() for a in p.groups[key])
-                for key in p.groups
-            )
-            p.groups = None
-            continue
-        seal = costs.spill_page * p.file.flush()
-        if seal:
-            yield Compute(seal)
-        grant.resize_used(p.file.page_count)
-        merged: dict = {}
-        # Stream the state run back through a prefetched cursor: the
-        # absorb CPU of this page drains the next pages' reads.
-        reader = SpillCursor(p.file, costs.io_page, ctx.spill_prefetch)
-        credit = 0.0
-        while not reader.exhausted:
-            spill_page, stall = reader.next_page(credit)
-            for row in spill_page.rows:
-                _absorb_state_row(merged, row, key_width, aggs)
-            credit = costs.agg_update * len(spill_page)
-            yield Compute(credit + stall, io=stall)
-        output.extend(
-            key + tuple(a.result() for a in merged[key])
-            for key in merged
-        )
-        p.file.drop()
-    grant.resize_used(0)
-
-    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    output.sort(key=lambda row: _sort_key(row[:key_width]))
-    if output:
-        yield Compute(costs.agg_emit * len(output))
-    yield from emitter.emit(output)
-    yield from emitter.close()
-    grant.close()
+def task(node, in_queues, out_queues, ctx):
+    return drive(AggregateOperator(node, ctx, out_queues), in_queues)

@@ -1,11 +1,17 @@
-"""Row filter stage: evaluates a predicate, drops non-matching rows."""
+"""Row filter stage: evaluates a predicate, drops non-matching rows.
+
+Vectorized, the predicate runs once per batch as a compiled
+comprehension producing a selection vector; the surviving rows flow on
+as a zero-copy selection view of the input batch.
+"""
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+from repro.engine.expressions import try_compile_batch
+from repro.engine.operators.api import BatchOperator, drive
+from repro.sim.events import Compute
 
-__all__ = ["task", "filter_rows"]
+__all__ = ["FilterOperator", "task", "filter_rows"]
 
 
 def filter_rows(rows, predicate_fn):
@@ -13,19 +19,31 @@ def filter_rows(rows, predicate_fn):
     return [row for row in rows if predicate_fn(row)]
 
 
+class FilterOperator(BatchOperator):
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        schema = node.children[0].schema
+        predicate = node.params["predicate"]
+        self.predicate_fn = predicate.compile(schema)
+        self.batch_pred = (
+            try_compile_batch(predicate, schema) if ctx.vectorize else None
+        )
+        self.cost_factor = node.params.get("cost_factor", 1.0)
+        self.make_emitter(len(node.schema))
+
+    def next_batch(self, batch, port):
+        n = len(batch)
+        yield Compute(self.ctx.costs.filter_tuple * self.cost_factor * n)
+        if self.batch_pred is not None:
+            flags = self.batch_pred(batch.columns, n)
+            kept = sum(map(bool, flags))
+            if kept:
+                yield from self.emitter.emit_batch(batch.select(flags, kept))
+        else:
+            kept_rows = filter_rows(batch.rows, self.predicate_fn)
+            if kept_rows:
+                yield from self.emitter.emit_rows(kept_rows)
+
+
 def task(node, in_queues, out_queues, ctx):
-    (in_q,) = in_queues
-    predicate = node.params["predicate"].compile(node.children[0].schema)
-    cost_factor = node.params.get("cost_factor", 1.0)
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.filter_tuple * cost_factor * len(page))
-        kept = filter_rows(page.rows, predicate)
-        if kept:
-            yield from emitter.emit(kept)
-    yield from emitter.close()
+    return drive(FilterOperator(node, ctx, out_queues), in_queues)

@@ -12,6 +12,11 @@ phase then streams, emitting per ``join_type``:
   (TPC-H Q4's EXISTS);
 * ``anti``  — probe rows with no match, probe columns only.
 
+Vectorized, the join key column is pulled out of each batch once (the
+batch is columnar, so this is a single list reference) and the
+build/probe loops walk ``zip(keys, rows)`` instead of indexing into
+every row tuple.
+
 Without memory governance (``ctx.memory is None``) the stage holds its
 entire build side, exactly as the seed did. With a
 :class:`~repro.engine.memory.MemoryBroker` attached it becomes a
@@ -35,11 +40,11 @@ from __future__ import annotations
 
 import zlib
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+from repro.engine.operators.api import BatchOperator, drive
+from repro.sim.events import Compute
 from repro.storage.spill_cursor import SpillCursor
 
-__all__ = ["task", "build_table", "probe_rows"]
+__all__ = ["HashJoinOperator", "task", "build_table", "probe_rows"]
 
 # Build-side partitions at every level of the hybrid join. The actual
 # fanout is clamped to the memory grant (more partitions than budget
@@ -61,27 +66,36 @@ def build_table(build_rows, key_index):
 
 def probe_rows(rows, table, key_index, join_type, build_width):
     """Pure function: join output for a batch of probe rows."""
+    return _probe_keyed(
+        rows, [row[key_index] for row in rows], table, join_type, build_width
+    )
+
+
+def _probe_keyed(rows, keys, table, join_type, build_width):
+    """Join output for probe rows whose keys are already extracted."""
     output = []
     if join_type == "inner":
-        for row in rows:
-            for match in table.get(row[key_index], ()):
+        get = table.get
+        for key, row in zip(keys, rows):
+            for match in get(key, ()):
                 output.append(row + match)
     elif join_type == "left":
         nulls = (None,) * build_width
-        for row in rows:
-            matches = table.get(row[key_index])
+        get = table.get
+        for key, row in zip(keys, rows):
+            matches = get(key)
             if matches:
                 for match in matches:
                     output.append(row + match)
             else:
                 output.append(row + nulls)
     elif join_type == "semi":
-        for row in rows:
-            if row[key_index] in table:
+        for key, row in zip(keys, rows):
+            if key in table:
                 output.append(row)
     elif join_type == "anti":
-        for row in rows:
-            if row[key_index] not in table:
+        for key, row in zip(keys, rows):
+            if key not in table:
                 output.append(row)
     else:  # pragma: no cover - plan constructor validates
         raise AssertionError(f"unknown join type {join_type!r}")
@@ -113,53 +127,6 @@ class _Partition:
         return self.table is None
 
 
-def task(node, in_queues, out_queues, ctx):
-    build_q, probe_q = in_queues
-    build_schema, probe_schema = (child.schema for child in node.children)
-    build_index = build_schema.index_of(node.params["build_key"])
-    probe_index = probe_schema.index_of(node.params["probe_key"])
-    join_type = node.params["join_type"]
-    build_width = len(build_schema)
-
-    if ctx.memory is not None:
-        yield from _hybrid_task(
-            node, build_q, probe_q, out_queues, ctx,
-            build_index, probe_index, join_type, build_width,
-        )
-        return
-
-    # Ungoverned path (the seed behavior): hold the whole build side.
-    # Build phase (stop-&-go): drain the build input completely.
-    table: dict = {}
-    while True:
-        page = yield Get(build_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.hash_build * len(page))
-        for row in page.rows:
-            table.setdefault(row[build_index], []).append(row)
-
-    # Probe phase: fully pipelined.
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(probe_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.hash_probe * len(page))
-        joined = probe_rows(page.rows, table, probe_index, join_type, build_width)
-        if joined:
-            yield Compute(ctx.costs.join_emit * len(joined))
-            yield from emitter.emit(joined)
-    yield from emitter.close()
-
-
-# ----------------------------------------------------------------------
-# Memory-governed hybrid hash join
-# ----------------------------------------------------------------------
-
-
 def _resident_pages(parts, page_rows: int) -> int:
     """Pages held by resident partitions (each holds its own pages)."""
     return sum(
@@ -167,105 +134,167 @@ def _resident_pages(parts, page_rows: int) -> int:
     )
 
 
-def _hybrid_task(node, build_q, probe_q, out_queues, ctx,
-                 build_index, probe_index, join_type, build_width):
-    costs = ctx.costs
-    pool = ctx.pool
-    page_rows = ctx.page_rows
-    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
-    fanout = max(2, min(node.params.get("fanout", DEFAULT_FANOUT), grant.pages))
-    parts = [_Partition() for _ in range(fanout)]
+class HashJoinOperator(BatchOperator):
+    ports = 2
 
-    def spill_largest() -> int:
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        build_schema, probe_schema = (child.schema for child in node.children)
+        self.build_index = build_schema.index_of(node.params["build_key"])
+        self.probe_index = probe_schema.index_of(node.params["probe_key"])
+        self.join_type = node.params["join_type"]
+        self.build_width = len(build_schema)
+        self.table: dict = {}
+        self.grant = None
+        self.make_emitter(len(node.schema))
+
+    def _keys(self, batch, index):
+        """The join-key column of one batch."""
+        if self.ctx.vectorize:
+            return batch.column(index)
+        return [row[index] for row in batch.rows]
+
+    # -- protocol --------------------------------------------------------
+
+    def open(self):
+        ctx = self.ctx
+        if ctx.memory is not None:
+            self.grant = ctx.memory.grant(
+                self.node.op_id, self.node.params.get("mem_pages")
+            )
+            self.fanout = max(
+                2,
+                min(self.node.params.get("fanout", DEFAULT_FANOUT),
+                    self.grant.pages),
+            )
+            self.parts = [_Partition() for _ in range(self.fanout)]
+        return
+        yield  # pragma: no cover
+
+    def next_batch(self, batch, port):
+        if port == 0:
+            if self.grant is not None:
+                yield from self._governed_build(batch)
+            else:
+                yield Compute(self.ctx.costs.hash_build * len(batch))
+                table = self.table
+                keys = self._keys(batch, self.build_index)
+                for key, row in zip(keys, batch.rows):
+                    table.setdefault(key, []).append(row)
+            return
+        if self.grant is not None:
+            yield from self._governed_probe(batch)
+            return
+        yield Compute(self.ctx.costs.hash_probe * len(batch))
+        joined = _probe_keyed(
+            batch.rows, self._keys(batch, self.probe_index),
+            self.table, self.join_type, self.build_width,
+        )
+        if joined:
+            yield Compute(self.ctx.costs.join_emit * len(joined))
+            yield from self.emitter.emit_rows(joined)
+
+    def close_port(self, port):
+        if port == 0 and self.grant is not None:
+            # Seal spilled build files (a partial trailing page still
+            # costs a write when it goes out).
+            seal_cost = sum(
+                self.ctx.costs.spill_page * p.build_file.flush()
+                for p in self.parts if p.spilled
+            )
+            if seal_cost:
+                yield Compute(seal_cost)
+
+    def finish(self):
+        if self.grant is None:
+            yield from self.emitter.close()
+            return
+        # Resident partitions are fully probed; release their memory
+        # before the cleanup phase claims pages for re-reading runs.
+        for p in self.parts:
+            if not p.spilled:
+                p.table = None
+                p.rows = 0
+        self.grant.resize_used(0)
+        # Cleanup phase: join every spilled partition pair, recursively.
+        costs = self.ctx.costs
+        for p in self.parts:
+            if p.build_file is None:
+                continue
+            if p.probe_file is not None:
+                seal = costs.spill_page * p.probe_file.flush()
+                if seal:
+                    yield Compute(seal)
+            yield from _join_spilled(
+                p.build_file, p.probe_file, 1, self.ctx, self.grant,
+                self.emitter, self.build_index, self.probe_index,
+                self.join_type, self.build_width, self.fanout,
+            )
+        yield from self.emitter.close()
+        self.grant.close()
+
+    # -- memory-governed hybrid phases -----------------------------------
+
+    def _spill_largest(self) -> int:
         """Evict the largest resident partition; returns pages written."""
         victim = max(
-            (p for p in parts if not p.spilled and p.rows),
+            (p for p in self.parts if not p.spilled and p.rows),
             key=lambda p: p.rows,
         )
         rows = [row for bucket in victim.table.values() for row in bucket]
-        victim.build_file = pool.spill_file(page_rows)
+        victim.build_file = self.ctx.pool.spill_file(self.ctx.page_rows)
         written = victim.build_file.append_rows(rows)
         victim.table = None
         victim.rows = 0
         return written
 
-    # Build phase: partition into resident hash tables, spilling the
-    # largest partition whenever the grant is exceeded.
-    while True:
-        page = yield Get(build_q)
-        if page is CLOSED:
-            break
-        cost = costs.hash_build * len(page)
-        for row in page.rows:
-            p = parts[_partition_of(row[build_index], 0, fanout)]
+    def _governed_build(self, batch):
+        """Partition one build batch into resident hash tables, spilling
+        the largest partition whenever the grant is exceeded."""
+        costs = self.ctx.costs
+        page_rows = self.ctx.page_rows
+        parts = self.parts
+        fanout = self.fanout
+        grant = self.grant
+        cost = costs.hash_build * len(batch)
+        keys = self._keys(batch, self.build_index)
+        for key, row in zip(keys, batch.rows):
+            p = parts[_partition_of(key, 0, fanout)]
             if p.spilled:
                 cost += costs.spill_page * p.build_file.append_rows((row,))
             else:
-                p.table.setdefault(row[build_index], []).append(row)
+                p.table.setdefault(key, []).append(row)
                 p.rows += 1
         while _resident_pages(parts, page_rows) > grant.pages:
-            cost += costs.spill_page * spill_largest()
+            cost += costs.spill_page * self._spill_largest()
         grant.resize_used(_resident_pages(parts, page_rows))
         yield Compute(cost)
 
-    # Seal spilled build files (a partial trailing page still costs a
-    # write when it goes out).
-    seal_cost = sum(
-        costs.spill_page * p.build_file.flush()
-        for p in parts if p.spilled
-    )
-    if seal_cost:
-        yield Compute(seal_cost)
-
-    # Probe phase: resident partitions stream through pipelined;
-    # spilled partitions buffer their probe rows in spill files.
-    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(probe_q)
-        if page is CLOSED:
-            break
-        cost = costs.hash_probe * len(page)
+    def _governed_probe(self, batch):
+        """Probe resident partitions pipelined; buffer probe rows of
+        spilled partitions in spill files."""
+        ctx = self.ctx
+        costs = ctx.costs
+        parts = self.parts
+        fanout = self.fanout
+        cost = costs.hash_probe * len(batch)
         joined = []
-        for row in page.rows:
-            p = parts[_partition_of(row[probe_index], 0, fanout)]
+        keys = self._keys(batch, self.probe_index)
+        for key, row in zip(keys, batch.rows):
+            p = parts[_partition_of(key, 0, fanout)]
             if p.spilled:
                 if p.probe_file is None:
-                    p.probe_file = pool.spill_file(page_rows)
+                    p.probe_file = ctx.pool.spill_file(ctx.page_rows)
                 cost += costs.spill_page * p.probe_file.append_rows((row,))
             else:
                 joined.extend(
-                    probe_rows((row,), p.table, probe_index, join_type,
-                               build_width)
+                    _probe_keyed((row,), (key,), p.table, self.join_type,
+                                 self.build_width)
                 )
         yield Compute(cost)
         if joined:
             yield Compute(costs.join_emit * len(joined))
-            yield from emitter.emit(joined)
-
-    # Resident partitions are fully probed; release their memory before
-    # the cleanup phase claims pages for re-reading spilled runs.
-    for p in parts:
-        if not p.spilled:
-            p.table = None
-            p.rows = 0
-    grant.resize_used(0)
-
-    # Cleanup phase: join every spilled partition pair, recursively.
-    for p in parts:
-        if p.build_file is None:
-            continue
-        if p.probe_file is not None:
-            seal = costs.spill_page * p.probe_file.flush()
-            if seal:
-                yield Compute(seal)
-        yield from _join_spilled(
-            p.build_file, p.probe_file, 1, ctx, grant, emitter,
-            build_index, probe_index, join_type, build_width, fanout,
-        )
-    yield from emitter.close()
-    grant.close()
+            yield from self.emitter.emit_rows(joined)
 
 
 def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
@@ -312,7 +341,7 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
                 emit_cost = costs.join_emit * len(joined)
                 credit += emit_cost
                 yield Compute(emit_cost)
-                yield from emitter.emit(joined)
+                yield from emitter.emit_rows(joined)
         grant.resize_used(0)
         build_file.drop()
         probe_file.drop()
@@ -346,3 +375,7 @@ def _join_spilled(build_file, probe_file, depth, ctx, grant, emitter,
             sub_b, sub_p, depth + 1, ctx, grant, emitter,
             build_index, probe_index, join_type, build_width, fanout,
         )
+
+
+def task(node, in_queues, out_queues, ctx):
+    return drive(HashJoinOperator(node, ctx, out_queues), in_queues)

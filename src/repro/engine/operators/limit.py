@@ -10,10 +10,10 @@ pushdown.
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+from repro.engine.operators.api import BatchOperator, drive
+from repro.sim.events import Compute
 
-__all__ = ["task", "limit_rows"]
+__all__ = ["LimitOperator", "task", "limit_rows"]
 
 
 def limit_rows(rows, n):
@@ -21,21 +21,26 @@ def limit_rows(rows, n):
     return list(rows[:n])
 
 
-def task(node, in_queues, out_queues, ctx):
-    (in_q,) = in_queues
-    remaining = node.params["count"]
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        if remaining > 0:
-            take = page.rows[:remaining]
-            remaining -= len(take)
-            yield Compute(ctx.costs.project_tuple * len(take))
-            yield from emitter.emit(take)
+class LimitOperator(BatchOperator):
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        self.remaining = node.params["count"]
+        self.make_emitter(len(node.schema))
+
+    def next_batch(self, batch, port):
+        if self.remaining > 0:
+            n = len(batch)
+            take = min(n, self.remaining)
+            self.remaining -= take
+            yield Compute(self.ctx.costs.project_tuple * take)
+            if take == n:
+                # Whole batch survives: forward it without re-rowing.
+                yield from self.emitter.emit_batch(batch)
+            else:
+                yield from self.emitter.emit_rows(batch.rows[:take])
         # Keep draining after the quota so producers never deadlock on
         # full queues.
-    yield from emitter.close()
+
+
+def task(node, in_queues, out_queues, ctx):
+    return drive(LimitOperator(node, ctx, out_queues), in_queues)

@@ -4,22 +4,26 @@ Inner equality join of two inputs sorted ascending on their keys.
 Both inputs are buffered before merging — a simplification that keeps
 the cost accounting right (per-tuple merge cost) while reusing one
 merge implementation for the staged and reference paths. Input
-sortedness is verified; violations indicate a malformed plan (a
-missing :func:`repro.engine.plan.sort`).
+sortedness is verified (one batched ``itemgetter`` key-column pass per
+side); violations indicate a malformed plan (a missing
+:func:`repro.engine.plan.sort`).
 """
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.errors import PlanError
-from repro.sim.events import CLOSED, Compute, Get
+from operator import itemgetter
 
-__all__ = ["task", "merge_join_rows"]
+from repro.engine.operators.api import BatchOperator, drive
+from repro.errors import PlanError
+from repro.sim.events import Compute
+
+__all__ = ["MergeJoinOperator", "task", "merge_join_rows"]
 
 
 def _check_sorted(rows, index, side):
-    for a, b in zip(rows, rows[1:]):
-        if a[index] > b[index]:
+    keys = list(map(itemgetter(index), rows))
+    for a, b in zip(keys, keys[1:]):
+        if a > b:
             raise PlanError(
                 f"merge join {side} input is not sorted on its key; "
                 "insert a sort below the join"
@@ -53,34 +57,34 @@ def merge_join_rows(left_rows, right_rows, left_index, right_index):
     return output
 
 
+class MergeJoinOperator(BatchOperator):
+    ports = 2
+
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        left_schema, right_schema = (child.schema for child in node.children)
+        self.left_index = left_schema.index_of(node.params["left_key"])
+        self.right_index = right_schema.index_of(node.params["right_key"])
+        self.left_rows: list[tuple] = []
+        self.right_rows: list[tuple] = []
+        self.make_emitter(len(node.schema))
+
+    def next_batch(self, batch, port):
+        yield Compute(self.ctx.costs.sort_tuple * 0.2 * len(batch))
+        (self.left_rows if port == 0 else self.right_rows).extend(batch.rows)
+
+    def finish(self):
+        costs = self.ctx.costs
+        left_rows, right_rows = self.left_rows, self.right_rows
+        yield Compute(costs.hash_probe * (len(left_rows) + len(right_rows)))
+        joined = merge_join_rows(
+            left_rows, right_rows, self.left_index, self.right_index
+        )
+        if joined:
+            yield Compute(costs.join_emit * len(joined))
+            yield from self.emitter.emit_rows(joined)
+        yield from self.emitter.close()
+
+
 def task(node, in_queues, out_queues, ctx):
-    left_q, right_q = in_queues
-    left_schema, right_schema = (child.schema for child in node.children)
-    left_index = left_schema.index_of(node.params["left_key"])
-    right_index = right_schema.index_of(node.params["right_key"])
-
-    left_rows: list[tuple] = []
-    while True:
-        page = yield Get(left_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.sort_tuple * 0.2 * len(page))
-        left_rows.extend(page.rows)
-    right_rows: list[tuple] = []
-    while True:
-        page = yield Get(right_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.sort_tuple * 0.2 * len(page))
-        right_rows.extend(page.rows)
-
-    yield Compute(ctx.costs.hash_probe * (len(left_rows) + len(right_rows)))
-    joined = merge_join_rows(left_rows, right_rows, left_index, right_index)
-
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    if joined:
-        yield Compute(ctx.costs.join_emit * len(joined))
-        yield from emitter.emit(joined)
-    yield from emitter.close()
+    return drive(MergeJoinOperator(node, ctx, out_queues), in_queues)

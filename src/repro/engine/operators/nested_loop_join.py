@@ -1,18 +1,19 @@
 """Block nested-loop join stage (Section 5.3.1).
 
 The right (inner) input is buffered in full — the "block" — and the
-left (outer) input streams against it. The join predicate is an
-arbitrary compiled expression over the concatenated row, so non-equi
-joins work. Cost is charged per (outer, inner) pair examined, which
-is what makes NLJ expensive and fully pipelined on its outer input.
+left (outer) input streams against it (:attr:`port_order` makes the
+driver drain the inner port first). The join predicate is an arbitrary
+compiled expression over the concatenated row, so non-equi joins work.
+Cost is charged per (outer, inner) pair examined, which is what makes
+NLJ expensive and fully pipelined on its outer input.
 """
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+from repro.engine.operators.api import BatchOperator, drive
+from repro.sim.events import Compute
 
-__all__ = ["task", "nlj_rows"]
+__all__ = ["NestedLoopJoinOperator", "task", "nlj_rows"]
 
 
 def nlj_rows(left_rows, right_rows, predicate_fn):
@@ -26,29 +27,28 @@ def nlj_rows(left_rows, right_rows, predicate_fn):
     return output
 
 
-def task(node, in_queues, out_queues, ctx):
-    left_q, right_q = in_queues
-    predicate = node.params["predicate"].compile(node.schema)
+class NestedLoopJoinOperator(BatchOperator):
+    ports = 2
+    port_order = (1, 0)  # buffer the inner (right) input first
 
-    # Buffer the inner input (stop-&-go on the right child).
-    inner: list[tuple] = []
-    while True:
-        page = yield Get(right_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.scan_tuple * 0.1 * len(page))
-        inner.extend(page.rows)
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        self.predicate_fn = node.params["predicate"].compile(node.schema)
+        self.inner: list[tuple] = []
+        self.make_emitter(len(node.schema))
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(left_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.nlj_pair * len(page) * max(len(inner), 1))
-        joined = nlj_rows(page.rows, inner, predicate)
+    def next_batch(self, batch, port):
+        costs = self.ctx.costs
+        if port == 1:
+            yield Compute(costs.scan_tuple * 0.1 * len(batch))
+            self.inner.extend(batch.rows)
+            return
+        yield Compute(costs.nlj_pair * len(batch) * max(len(self.inner), 1))
+        joined = nlj_rows(batch.rows, self.inner, self.predicate_fn)
         if joined:
-            yield Compute(ctx.costs.join_emit * len(joined))
-            yield from emitter.emit(joined)
-    yield from emitter.close()
+            yield Compute(costs.join_emit * len(joined))
+            yield from self.emitter.emit_rows(joined)
+
+
+def task(node, in_queues, out_queues, ctx):
+    return drive(NestedLoopJoinOperator(node, ctx, out_queues), in_queues)

@@ -1,11 +1,18 @@
-"""Projection stage: computes output columns from input rows."""
+"""Projection stage: computes output columns from input rows.
+
+Vectorized, each output expression is batch-compiled and evaluated
+column-at-a-time over the input batch's columns; the stage builds the
+output batch directly in columnar form.
+"""
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
-from repro.sim.events import CLOSED, Compute, Get
+from repro.engine.expressions import try_compile_batch
+from repro.engine.operators.api import BatchOperator, drive
+from repro.engine.packet import RowBatch
+from repro.sim.events import Compute
 
-__all__ = ["task", "project_rows"]
+__all__ = ["ProjectOperator", "task", "project_rows"]
 
 
 def project_rows(rows, output_fns):
@@ -13,17 +20,32 @@ def project_rows(rows, output_fns):
     return [tuple(fn(row) for fn in output_fns) for row in rows]
 
 
+class ProjectOperator(BatchOperator):
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        schema = node.children[0].schema
+        outputs = node.params["outputs"]
+        self.fns = [expr.compile(schema) for _, expr, _ in outputs]
+        batch_fns = (
+            [try_compile_batch(expr, schema) for _, expr, _ in outputs]
+            if ctx.vectorize
+            else None
+        )
+        if batch_fns is not None and any(fn is None for fn in batch_fns):
+            batch_fns = None
+        self.batch_fns = batch_fns
+        self.make_emitter(len(node.schema))
+
+    def next_batch(self, batch, port):
+        n = len(batch)
+        yield Compute(self.ctx.costs.project_tuple * n * len(self.fns))
+        if self.batch_fns is not None:
+            cols = batch.columns
+            out = RowBatch.from_columns([fn(cols, n) for fn in self.batch_fns], n)
+            yield from self.emitter.emit_batch(out)
+        else:
+            yield from self.emitter.emit_rows(project_rows(batch.rows, self.fns))
+
+
 def task(node, in_queues, out_queues, ctx):
-    (in_q,) = in_queues
-    child_schema = node.children[0].schema
-    fns = [expr.compile(child_schema) for _, expr, _ in node.params["outputs"]]
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.project_tuple * len(page) * len(fns))
-        yield from emitter.emit(project_rows(page.rows, fns))
-    yield from emitter.close()
+    return drive(ProjectOperator(node, ctx, out_queues), in_queues)

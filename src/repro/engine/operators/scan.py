@@ -7,6 +7,14 @@ expressions (``project_tuple`` per surviving tuple per expression)
 inside the same stage, mirroring the paper's scan stages which apply
 the query's predicates before handing pages to the consumer.
 
+On the vectorized path the page never leaves columnar form: the
+storage layer hands back raw column slices
+(:meth:`~repro.storage.table.Table.column_slices`), the fused
+predicate runs as one batch-compiled comprehension producing a
+selection vector, and the fused outputs evaluate column-at-a-time over
+the selected columns — rows are materialized only if a downstream
+consumer actually asks for tuples.
+
 When the engine carries a :class:`~repro.storage.buffer.BufferPool`,
 every table page goes through it: a resident page is a hit (CPU-only,
 as in the seed), a cold page charges ``io_page`` and is admitted. A
@@ -41,11 +49,13 @@ consumers attached, its emitter multiplexes every page M ways.
 
 from __future__ import annotations
 
-from repro.engine.stage import OutputEmitter
+from repro.engine.expressions import try_compile_batch
+from repro.engine.operators.api import BatchOperator, drive
+from repro.engine.packet import RowBatch
 from repro.sim.events import Compute, Sleep
 from repro.storage.buffer import table_page_key
 
-__all__ = ["task", "scan_rows"]
+__all__ = ["ScanOperator", "task", "scan_rows"]
 
 
 def scan_rows(table, columns, predicate_fn=None, output_fns=None):
@@ -61,90 +71,164 @@ def scan_rows(table, columns, predicate_fn=None, output_fns=None):
     return rows
 
 
-def _page_cost(page, costs, cost_factor, predicate_fn, output_fns):
-    """CPU cost of one page and its transformed batch."""
-    cost = costs.scan_tuple * len(page)
-    batch = page.rows
-    if predicate_fn is not None:
-        cost += costs.filter_tuple * cost_factor * len(batch)
-        batch = [row for row in batch if predicate_fn(row)]
-    if output_fns is not None and batch:
-        cost += costs.project_tuple * cost_factor * len(batch) * len(output_fns)
-        batch = [tuple(fn(row) for fn in output_fns) for row in batch]
-    return cost, batch
+class ScanOperator(BatchOperator):
+    """Source stage over one base table (0 input ports)."""
+
+    ports = 0
+
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        self.table = ctx.catalog.table(node.params["table"])
+        self.columns = list(node.params["columns"])
+        base_schema = self.table.projected_schema(self.columns)
+        predicate = node.params.get("predicate")
+        outputs = node.params.get("outputs")
+        self.predicate_fn = (
+            predicate.compile(base_schema) if predicate is not None else None
+        )
+        self.output_fns = (
+            [expr.compile(base_schema) for _, expr, _ in outputs]
+            if outputs is not None
+            else None
+        )
+        self.cost_factor = node.params.get("cost_factor", 1.0)
+        # Batch-compile the fused expressions; any node the batch
+        # compiler does not know drops this scan to the row path.
+        self.batch_pred = (
+            try_compile_batch(predicate, base_schema)
+            if predicate is not None
+            else None
+        )
+        batch_outs = (
+            [try_compile_batch(expr, base_schema) for _, expr, _ in outputs]
+            if outputs is not None
+            else None
+        )
+        if batch_outs is not None and any(fn is None for fn in batch_outs):
+            batch_outs = None
+        self.batch_outs = batch_outs
+        self.vector = (
+            ctx.vectorize
+            and (predicate is None or self.batch_pred is not None)
+            and (outputs is None or self.batch_outs is not None)
+        )
+        # Fused-page memo: scans with the same signature (same table,
+        # projection, fused expressions, cost factor — the identity the
+        # sharing layer itself keys on) reuse each decoded + filtered
+        # page and its cost across queries. The vector flag is part of
+        # the key so the row-at-a-time reference path never sees
+        # vector-built batches (and vice versa).
+        self._memo = self.table.fused_cache(
+            ("fused", node.signature, ctx.page_rows, self.vector),
+            self.table.page_count(ctx.page_rows),
+        )
+        self.make_emitter(len(node.schema))
+
+    # -- page transforms -------------------------------------------------
+
+    def _page_cost_batch(self, batch):
+        """CPU cost of one columnar page and its transformed batch."""
+        costs = self.ctx.costs
+        n = batch._n
+        cost = costs.scan_tuple * n
+        if self.batch_pred is not None:
+            cost += costs.filter_tuple * self.cost_factor * n
+            flags = self.batch_pred(batch.columns, n)
+            kept = sum(map(bool, flags))
+            batch = batch.select(flags, kept)
+        if self.batch_outs is not None and len(batch):
+            kept = len(batch)
+            cost += costs.project_tuple * self.cost_factor * kept * len(self.batch_outs)
+            cols = batch.columns
+            batch = RowBatch.from_columns(
+                [fn(cols, kept) for fn in self.batch_outs], kept
+            )
+        return cost, batch
+
+    def _page_cost_rows(self, page):
+        """Row-at-a-time reference: cost and transformed row list."""
+        costs = self.ctx.costs
+        cost = costs.scan_tuple * len(page)
+        batch = page.rows
+        if self.predicate_fn is not None:
+            cost += costs.filter_tuple * self.cost_factor * len(batch)
+            batch = [row for row in batch if self.predicate_fn(row)]
+        if self.output_fns is not None and batch:
+            cost += (
+                costs.project_tuple * self.cost_factor * len(batch) * len(self.output_fns)
+            )
+            batch = [tuple(fn(row) for fn in self.output_fns) for row in batch]
+        return cost, batch
+
+    def _load_page(self, index):
+        """One physical page as a transformed batch plus its CPU cost."""
+        memo = self._memo
+        hit = memo[index]
+        if hit is not None:
+            return hit
+        if self.vector:
+            slices = self.table.column_slices(
+                index, self.columns, self.ctx.page_rows
+            )
+            batch = RowBatch.from_columns(slices, len(slices[0]))
+            result = self._page_cost_batch(batch)
+        else:
+            page = self.table.page_at(index, self.columns, self.ctx.page_rows)
+            cost, rows = self._page_cost_rows(page)
+            result = cost, RowBatch.from_rows(rows, len(self.node.schema))
+        memo[index] = result
+        return result
+
+    # -- protocol --------------------------------------------------------
+
+    def open(self):
+        ctx = self.ctx
+        if ctx.scans is not None and ctx.pool is not None and len(self.table):
+            yield from self._elevator_scan()
+        else:
+            yield from self._sequential_scan()
+
+    def _sequential_scan(self):
+        """The seed's scan: page 0 to the end, synchronous misses."""
+        ctx = self.ctx
+        pool = ctx.pool
+        emitter = self.emitter
+        name = self.table.name
+        for index in range(self.table.page_count(ctx.page_rows)):
+            cost, batch = self._load_page(index)
+            io = 0.0
+            if pool is not None and not pool.access(table_page_key(name, index)):
+                io = ctx.costs.io_page
+            yield Compute(cost + io, io=io)
+            if batch._n:
+                yield from emitter.emit_batch(batch)
+
+    def _elevator_scan(self):
+        """Ride the table's shared elevator cursor (see shared_scan)."""
+        ctx = self.ctx
+        manager = ctx.scans
+        emitter = self.emitter
+        io_page = ctx.costs.io_page
+        ticket = manager.attach(self.table.name, self.table.page_count(ctx.page_rows))
+        previous_cpu = 0.0
+        try:
+            while not ticket.exhausted:
+                # Pacing hook: a drift-bounded head pauses (off-
+                # processor) until the convoy closes up, then re-checks.
+                wait = manager.throttle_wait(ticket, io_page)
+                if wait > 0.0:
+                    yield Sleep(wait, throttle=True)
+                    continue
+                cost, batch = self._load_page(ticket.page_index)
+                stall = manager.acquire(ticket, io_page, cpu_credit=previous_cpu)
+                yield Compute(cost + stall, io=stall)
+                previous_cpu = cost
+                ticket.advance()
+                if batch._n:
+                    yield from emitter.emit_batch(batch)
+        finally:
+            manager.detach(ticket)
 
 
 def task(node, in_queues, out_queues, ctx):
-    table = ctx.catalog.table(node.params["table"])
-    columns = node.params["columns"]
-    base_schema = table.projected_schema(list(columns))
-    predicate = node.params.get("predicate")
-    outputs = node.params.get("outputs")
-    predicate_fn = predicate.compile(base_schema) if predicate is not None else None
-    output_fns = (
-        [expr.compile(base_schema) for _, expr, _ in outputs]
-        if outputs is not None
-        else None
-    )
-
-    cost_factor = node.params.get("cost_factor", 1.0)
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    if ctx.scans is not None and ctx.pool is not None and len(table):
-        yield from _elevator_scan(
-            table, columns, ctx, emitter, cost_factor, predicate_fn, output_fns,
-        )
-    else:
-        yield from _sequential_scan(
-            table, columns, ctx, emitter, cost_factor, predicate_fn, output_fns,
-        )
-    yield from emitter.close()
-
-
-def _sequential_scan(table, columns, ctx, emitter, cost_factor,
-                     predicate_fn, output_fns):
-    """The seed's scan: page 0 to the end, synchronous misses."""
-    pool = ctx.pool
-    for index, page in enumerate(
-        table.scan_pages(columns=list(columns), page_rows=ctx.page_rows)
-    ):
-        cost, batch = _page_cost(page, ctx.costs, cost_factor,
-                                 predicate_fn, output_fns)
-        io = 0.0
-        if pool is not None and not pool.access(table_page_key(table.name, index)):
-            io = ctx.costs.io_page
-        yield Compute(cost + io, io=io)
-        if batch:
-            yield from emitter.emit(batch)
-
-
-def _elevator_scan(table, columns, ctx, emitter, cost_factor,
-                   predicate_fn, output_fns):
-    """Ride the table's shared elevator cursor (see shared_scan)."""
-    manager = ctx.scans
-    columns = list(columns)
-    io_page = ctx.costs.io_page
-    ticket = manager.attach(table.name, table.page_count(ctx.page_rows))
-    previous_cpu = 0.0
-    try:
-        while not ticket.exhausted:
-            # Pacing hook: a drift-bounded head pauses (off-processor)
-            # until the convoy closes up, then re-checks.
-            wait = manager.throttle_wait(ticket, io_page)
-            if wait > 0.0:
-                yield Sleep(wait, throttle=True)
-                continue
-            index = ticket.page_index
-            page = table.page_at(index, columns, ctx.page_rows)
-            cost, batch = _page_cost(page, ctx.costs, cost_factor,
-                                     predicate_fn, output_fns)
-            stall = manager.acquire(ticket, io_page,
-                                    cpu_credit=previous_cpu)
-            yield Compute(cost + stall, io=stall)
-            previous_cpu = cost
-            ticket.advance()
-            if batch:
-                yield from emitter.emit(batch)
-    finally:
-        manager.detach(ticket)
+    return drive(ScanOperator(node, ctx, out_queues), in_queues)

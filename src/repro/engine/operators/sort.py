@@ -4,7 +4,8 @@ Without memory governance (``ctx.memory is None``) the stage buffers
 its entire input, sorts by the key list, then streams the sorted rows
 out — exactly as the seed did. Multi-key ordering with mixed
 ascending/descending directions is implemented as stable sorts applied
-from the least to the most significant key group.
+from the least to the most significant key group, each group compared
+through one composite ``itemgetter`` key.
 
 With a :class:`~repro.engine.memory.MemoryBroker` attached it becomes
 an **external-merge sort**: rows accumulate up to the operator's
@@ -37,12 +38,12 @@ from __future__ import annotations
 import heapq
 from operator import itemgetter
 
-from repro.engine.stage import OutputEmitter
+from repro.engine.operators.api import BatchOperator, drive
 from repro.errors import EngineError
-from repro.sim.events import CLOSED, Compute, Get
+from repro.sim.events import Compute
 from repro.storage.spill_cursor import SpillCursor
 
-__all__ = ["task", "sort_rows", "merge_key", "plan_merge_passes"]
+__all__ = ["SortOperator", "task", "sort_rows", "merge_key", "plan_merge_passes"]
 
 
 def _key_groups(schema, keys):
@@ -129,64 +130,68 @@ def plan_merge_passes(run_count: int, fan_in: int) -> int:
     return passes
 
 
-def task(node, in_queues, out_queues, ctx):
-    (in_q,) = in_queues
-    schema = node.children[0].schema
-    keys = node.params["keys"]
+class SortOperator(BatchOperator):
+    def __init__(self, node, ctx, out_queues):
+        super().__init__(node, ctx, out_queues)
+        self.schema = node.children[0].schema
+        self.keys = node.params["keys"]
+        self.buffered: list[tuple] = []
+        self.grant = None
+        self.runs: list = []
+        self.spilled_pages = 0
+        self.make_emitter(len(node.schema))
 
-    if ctx.memory is not None:
-        yield from _governed_task(node, in_q, out_queues, ctx, schema, keys)
+    def open(self):
+        ctx = self.ctx
+        if ctx.memory is not None:
+            self.grant = ctx.memory.grant(
+                self.node.op_id, self.node.params.get("mem_pages")
+            )
+            self.budget_rows = self.grant.pages * ctx.page_rows
+            self.key_fn = merge_key(self.schema, self.keys)
         return
+        yield  # pragma: no cover
 
-    # Ungoverned path (the seed behavior): buffer everything.
-    buffered: list[tuple] = []
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        yield Compute(ctx.costs.sort_tuple * len(page))
-        buffered.extend(page.rows)
+    def next_batch(self, batch, port):
+        yield Compute(self.ctx.costs.sort_tuple * len(batch))
+        self.buffered.extend(batch.rows)
+        if self.grant is not None:
+            while len(self.buffered) >= self.budget_rows:
+                yield from self._cut_run(self.budget_rows)
+            self.grant.resize_used(
+                -(-len(self.buffered) // self.ctx.page_rows)
+            )
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, ctx.costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
-    if buffered:
-        # The in-memory sort itself; the per-tuple constant subsumes the
-        # log factor at the engine's buffer sizes.
-        yield Compute(ctx.costs.sort_tuple * len(buffered))
-        yield from emitter.emit(sort_rows(buffered, schema, keys))
-    yield from emitter.close()
+    def finish(self):
+        if self.grant is not None:
+            yield from self._governed_finish()
+            return
+        emitter = self.emitter
+        if self.buffered:
+            # The in-memory sort itself; the per-tuple constant subsumes
+            # the log factor at the engine's buffer sizes.
+            yield Compute(self.ctx.costs.sort_tuple * len(self.buffered))
+            yield from emitter.emit_rows(
+                sort_rows(self.buffered, self.schema, self.keys)
+            )
+        yield from emitter.close()
 
+    # -- memory-governed external-merge sort -----------------------------
 
-# ----------------------------------------------------------------------
-# Memory-governed external-merge sort
-# ----------------------------------------------------------------------
-
-
-def _governed_task(node, in_q, out_queues, ctx, schema, keys):
-    costs = ctx.costs
-    pool = ctx.pool
-    page_rows = ctx.page_rows
-    grant = ctx.memory.grant(node.op_id, node.params.get("mem_pages"))
-    budget_rows = grant.pages * page_rows
-    key_fn = merge_key(schema, keys)
-
-    runs: list = []
-    buffered: list[tuple] = []
-    spilled_pages = 0
-
-    def cut_run(n_rows: int):
+    def _cut_run(self, n_rows: int):
         """Sort the oldest ``n_rows`` buffered rows into a new run.
 
         The sort + write cost is charged page by page — the engine's
         cost granularity everywhere else — so a large run cut does not
         stall the producer behind one giant compute burst.
         """
-        nonlocal spilled_pages
-        run_rows = sort_rows(buffered[:n_rows], schema, keys)
-        del buffered[:n_rows]
-        run = pool.spill_file(page_rows)
-        runs.append(run)
+        ctx = self.ctx
+        costs = ctx.costs
+        page_rows = ctx.page_rows
+        run_rows = sort_rows(self.buffered[:n_rows], self.schema, self.keys)
+        del self.buffered[:n_rows]
+        run = ctx.pool.spill_file(page_rows)
+        self.runs.append(run)
         for start in range(0, len(run_rows), page_rows):
             chunk = run_rows[start : start + page_rows]
             written = run.append_rows(chunk)
@@ -195,70 +200,65 @@ def _governed_task(node, in_q, out_queues, ctx, schema, keys):
         written = run.flush()
         if written:
             yield Compute(costs.spill_page * written)
-        spilled_pages += run.page_count
+        self.spilled_pages += run.page_count
 
-    # Intake: accumulate up to the grant, cutting a sorted run every
-    # time the budget fills.
-    while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
-            break
-        yield Compute(costs.sort_tuple * len(page))
-        buffered.extend(page.rows)
-        while len(buffered) >= budget_rows:
-            yield from cut_run(budget_rows)
-        grant.resize_used(-(-len(buffered) // page_rows))
+    def _governed_finish(self):
+        ctx = self.ctx
+        costs = ctx.costs
+        grant = self.grant
+        emitter = self.emitter
 
-    emitter = OutputEmitter(out_queues, ctx.page_rows, costs,
-                            width=len(node.schema),
-                            op=node.op_id, perf=ctx.perf)
+        if not self.runs:
+            # Everything fit in the grant: the in-memory path, bit-for-bit.
+            if self.buffered:
+                yield Compute(costs.sort_tuple * len(self.buffered))
+                yield from emitter.emit_rows(
+                    sort_rows(self.buffered, self.schema, self.keys)
+                )
+            grant.note(sort_runs=0, merge_passes=0, spilled_pages=0)
+            yield from emitter.close()
+            grant.close()
+            return
 
-    if not runs:
-        # Everything fit in the grant: the in-memory path, bit-for-bit.
-        if buffered:
-            yield Compute(costs.sort_tuple * len(buffered))
-            yield from emitter.emit(sort_rows(buffered, schema, keys))
-        grant.note(sort_runs=0, merge_passes=0, spilled_pages=0)
+        if self.buffered:
+            yield from self._cut_run(len(self.buffered))
+        grant.resize_used(0)
+
+        # Merge: fan-in bounded by the grant (one page reserved for the
+        # output buffer); recursive passes while runs outnumber it. The
+        # floor of 2 overcommits 1- and 2-page grants (the broker
+        # records it) — merging any narrower is impossible.
+        fan_in = max(2, grant.pages - 1)
+        runs = self.runs
+        initial_runs = len(runs)
+        merge_passes = 0
+        while len(runs) > fan_in:
+            merge_passes += 1
+            next_runs: list = []
+            for start in range(0, len(runs), fan_in):
+                batch = runs[start : start + fan_in]
+                if len(batch) == 1:
+                    # A trailing singleton batch is already a sorted run;
+                    # copying it through the merge would be pure waste.
+                    next_runs.append(batch[0])
+                    continue
+                out_file = ctx.pool.spill_file(ctx.page_rows)
+                written = yield from _merge_runs(
+                    batch, ctx, self.key_fn, grant, out_file=out_file
+                )
+                self.spilled_pages += written
+                next_runs.append(out_file)
+            runs = next_runs
+        merge_passes += 1
+        yield from _merge_runs(runs, ctx, self.key_fn, grant, emitter=emitter)
+        grant.resize_used(0)
+        grant.note(
+            sort_runs=initial_runs,
+            merge_passes=merge_passes,
+            spilled_pages=self.spilled_pages,
+        )
         yield from emitter.close()
         grant.close()
-        return
-
-    if buffered:
-        yield from cut_run(len(buffered))
-    grant.resize_used(0)
-
-    # Merge: fan-in bounded by the grant (one page reserved for the
-    # output buffer); recursive passes while runs outnumber it. The
-    # floor of 2 overcommits 1- and 2-page grants (the broker records
-    # it) — merging any narrower is impossible.
-    fan_in = max(2, grant.pages - 1)
-    initial_runs = len(runs)
-    merge_passes = 0
-    while len(runs) > fan_in:
-        merge_passes += 1
-        next_runs: list = []
-        for start in range(0, len(runs), fan_in):
-            batch = runs[start : start + fan_in]
-            if len(batch) == 1:
-                # A trailing singleton batch is already a sorted run;
-                # copying it through the merge would be pure waste.
-                next_runs.append(batch[0])
-                continue
-            out_file = pool.spill_file(page_rows)
-            written = yield from _merge_runs(batch, ctx, key_fn, grant, out_file=out_file)
-            spilled_pages += written
-            next_runs.append(out_file)
-        runs = next_runs
-    merge_passes += 1
-    yield from _merge_runs(runs, ctx, key_fn, grant, emitter=emitter)
-    grant.resize_used(0)
-    grant.note(
-        sort_runs=initial_runs,
-        merge_passes=merge_passes,
-        spilled_pages=spilled_pages,
-    )
-    yield from emitter.close()
-    grant.close()
 
 
 def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
@@ -310,7 +310,7 @@ def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
                 written += pages_out
                 yield Compute(costs.spill_page * pages_out)
         else:
-            yield from emitter.emit([row])
+            yield from emitter.emit_rows((row,))
         if not buffers[index]:
             yield from fetch(index)
         if buffers[index]:
@@ -325,3 +325,7 @@ def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
     for spent in files:
         spent.drop()
     return written
+
+
+def task(node, in_queues, out_queues, ctx):
+    return drive(SortOperator(node, ctx, out_queues), in_queues)

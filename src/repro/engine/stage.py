@@ -1,58 +1,233 @@
-"""Stage plumbing: page streams in, multiplexed page streams out.
+"""Stage plumbing: batch streams in, multiplexed batch streams out.
 
 Every engine operator runs as one simulator task: a generator yielding
 :mod:`repro.sim.events` requests. Input is consumed with the idiom::
 
     while True:
-        page = yield Get(in_q)
-        if page is CLOSED:
+        batch = yield Get(in_q)
+        if batch is CLOSED:
             break
         ...
 
-Output goes through :class:`OutputEmitter`, which buffers rows into
-full pages and delivers each page to *every* consumer queue, charging
-the cost model's per-consumer output costs. With one consumer this is
-plain pipelining; with M consumers it is the pivot's multiplexing —
-the serialization the paper identifies as the hidden cost of sharing.
+Output goes through :class:`BatchEmitter`, which accumulates rows into
+full batches and delivers each batch to *every* consumer queue,
+charging the cost model's per-consumer output costs. With one consumer
+this is plain pipelining; with M consumers it is the pivot's
+multiplexing — the serialization the paper identifies as the hidden
+cost of sharing.
+
+The emitter is representation-polymorphic: producers hand it column
+lists (:meth:`~BatchEmitter.emit_columns` — the vectorized scan /
+filter path), row tuples (:meth:`~BatchEmitter.emit_rows` — joins,
+sorts, aggregates) or whole :class:`~repro.engine.packet.RowBatch`
+objects, and it buffers in whichever representation arrives, so no
+row<->column transpose happens unless a consumer actually asks for the
+other view. A batch that is already exactly ``batch_rows`` long passes
+straight through without copying — the common case for a saturated
+scan.
+
+:class:`OutputEmitter` is the deprecated per-row facade kept for
+external operator code written against the old protocol; it forwards
+to :meth:`~BatchEmitter.emit_rows` (one release of warning, then it
+goes away).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Generator, Iterable, Sequence
 
 from repro.engine.costs import CostModel
+from repro.engine.packet import RowBatch
 from repro.errors import EngineError
 from repro.sim.events import Close, Compute, Put
 from repro.sim.queues import SimQueue
-from repro.storage.page import Page
 
-__all__ = ["OutputEmitter"]
+__all__ = ["BatchEmitter", "OutputEmitter"]
 
 
-class OutputEmitter:
-    """Buffers rows and multiplexes full pages to all consumers.
+class BatchEmitter:
+    """Accumulates rows and multiplexes full batches to all consumers.
 
     Driven from inside an operator generator::
 
-        emitter = OutputEmitter(out_queues, page_rows, costs)
+        emitter = BatchEmitter(out_queues, batch_rows, costs)
         ...
-        yield from emitter.emit(rows)     # may flush full pages
+        yield from emitter.emit_columns(cols, n)   # may flush batches
+        yield from emitter.emit_rows(rows)         # ditto, row tuples
         ...
-        yield from emitter.close()        # flush remainder + Close
+        yield from emitter.close()                 # flush tail + Close
 
-    Per page flushed, each consumer costs
-    ``output_page + output_value * len(page) * width`` compute units
+    Per batch flushed, each consumer costs
+    ``output_page + output_value * len(batch) * width`` compute units
     before the Put — a pivot with M consumers spends M times the output
     work of an unshared operator, exactly the model's ``s * M`` term.
     ``width`` is the emitted tuple width in columns (copy cost scales
-    with tuple bytes).
+    with tuple bytes). Flush boundaries depend only on the cumulative
+    row count, so any split of the same row stream into emit calls
+    yields the identical event sequence — that equivalence is what lets
+    the vectorized and row-at-a-time operator paths share one simulated
+    timeline.
 
     ``op``/``perf`` are the wall-clock profiling hook (see
-    :mod:`repro.obs.perf`): with a profiler attached, every page flush
+    :mod:`repro.obs.perf`): with a profiler attached, every batch flush
     reports its row count against the operator id, giving the profiler
     a measured rows/s per operator. One pointer test per flush;
     ``perf=None`` (the default) costs nothing.
     """
+
+    def __init__(
+        self,
+        out_queues: Sequence[SimQueue],
+        batch_rows: int,
+        costs: CostModel,
+        width: int = 1,
+        op: str = "",
+        perf=None,
+    ) -> None:
+        if not out_queues:
+            raise EngineError("operator needs at least one output queue")
+        if batch_rows < 1:
+            raise EngineError(f"batch_rows must be >= 1, got {batch_rows}")
+        if width < 1:
+            raise EngineError(f"width must be >= 1, got {width}")
+        self.out_queues = list(out_queues)
+        self.batch_rows = batch_rows
+        self.costs = costs
+        self.width = width
+        self.op = op
+        self.perf = perf
+        # Pending rows live in exactly one representation at a time;
+        # mixed producers trigger a (rare) transpose on the boundary.
+        self._rows: list[tuple] = []
+        self._cols: list[list] | None = None
+        self._count = 0
+        self.pages_emitted = 0
+        self.rows_emitted = 0
+        # A full batch always costs the same, and Compute requests are
+        # immutable — deliver one shared instance instead of allocating
+        # per flush (the steady-state case for a saturated producer).
+        self._full_compute = Compute(
+            costs.page_output_cost(batch_rows, width, consumers=1)
+        )
+
+    @property
+    def consumers(self) -> int:
+        return len(self.out_queues)
+
+    @property
+    def page_rows(self) -> int:
+        """Legacy alias for :attr:`batch_rows`."""
+        return self.batch_rows
+
+    # -- producing -------------------------------------------------------
+
+    def emit_columns(self, columns: Sequence[Sequence[Any]], n: int) -> Generator:
+        """Buffer one batch of column slices holding ``n`` rows."""
+        if n == 0:
+            return
+        if self._count == 0 and n == self.batch_rows:
+            yield from self._deliver(RowBatch.from_columns(columns, n))
+            return
+        cols = self._to_columns(len(columns))
+        for buf, col in zip(cols, columns):
+            buf.extend(col)
+        self._count += n
+        while self._count >= self.batch_rows:
+            yield from self._flush_columns()
+
+    def emit_rows(self, rows: Sequence[tuple]) -> Generator:
+        """Buffer a sequence of row tuples."""
+        n = len(rows)
+        if n == 0:
+            return
+        if self._count == 0 and n == self.batch_rows:
+            yield from self._deliver(RowBatch.from_rows(rows, self.width))
+            return
+        self._to_rows().extend(rows)
+        self._count += n
+        while self._count >= self.batch_rows:
+            yield from self._flush_rows()
+
+    def emit_batch(self, batch: RowBatch) -> Generator:
+        """Buffer a whole batch, passing it through unsplit if aligned."""
+        n = batch._n
+        if n == 0:
+            return
+        if self._count == 0 and n == self.batch_rows:
+            yield from self._deliver(batch)
+            return
+        yield from self.emit_rows(batch.rows)
+
+    def close(self) -> Generator:
+        """Flush the partial batch and close every consumer queue."""
+        if self._count:
+            if self._cols is not None:
+                yield from self._flush_columns()
+            else:
+                yield from self._flush_rows()
+        for queue in self.out_queues:
+            yield Close(queue)
+
+    # -- internals -------------------------------------------------------
+
+    def _to_columns(self, width: int) -> list[list]:
+        if self._cols is None:
+            self._cols = [[] for _ in range(width)]
+            if self._rows:
+                for buf, col in zip(self._cols, zip(*self._rows)):
+                    buf.extend(col)
+                self._rows.clear()
+        return self._cols
+
+    def _to_rows(self) -> list[tuple]:
+        if self._cols is not None:
+            self._rows.extend(zip(*self._cols))
+            self._cols = None
+        return self._rows
+
+    def _flush_columns(self) -> Generator:
+        cols = self._cols
+        take = min(self._count, self.batch_rows)
+        batch = RowBatch.from_columns([col[:take] for col in cols], take)
+        for col in cols:
+            del col[:take]
+        self._count -= take
+        yield from self._deliver(batch)
+
+    def _flush_rows(self) -> Generator:
+        take = min(self._count, self.batch_rows)
+        batch = RowBatch.from_rows(self._rows[:take], self.width)
+        del self._rows[:take]
+        self._count -= take
+        yield from self._deliver(batch)
+
+    def _deliver(self, batch: RowBatch) -> Generator:
+        n = batch._n
+        self.pages_emitted += 1
+        self.rows_emitted += n
+        if self.perf is not None:
+            self.perf.add_rows(self.op, n)
+        if n == self.batch_rows:
+            compute = self._full_compute
+        else:
+            compute = Compute(
+                self.costs.page_output_cost(n, self.width, consumers=1)
+            )
+        for queue in self.out_queues:
+            yield compute
+            yield Put(queue, batch)
+
+
+class OutputEmitter(BatchEmitter):
+    """Deprecated per-row emitter facade.
+
+    The operator API now batches output; :meth:`emit` survives one
+    release so externally written operator tasks keep running, then the
+    batched :class:`BatchEmitter` methods become the only protocol.
+    """
+
+    _warned = False
 
     def __init__(
         self,
@@ -63,49 +238,16 @@ class OutputEmitter:
         op: str = "",
         perf=None,
     ) -> None:
-        if not out_queues:
-            raise EngineError("operator needs at least one output queue")
-        if page_rows < 1:
-            raise EngineError(f"page_rows must be >= 1, got {page_rows}")
-        if width < 1:
-            raise EngineError(f"width must be >= 1, got {width}")
-        self.out_queues = list(out_queues)
-        self.page_rows = page_rows
-        self.costs = costs
-        self.width = width
-        self.op = op
-        self.perf = perf
-        self._buffer: list[tuple] = []
-        self.pages_emitted = 0
-        self.rows_emitted = 0
+        super().__init__(out_queues, page_rows, costs, width=width, op=op, perf=perf)
 
-    @property
-    def consumers(self) -> int:
-        return len(self.out_queues)
-
-    def emit(self, rows: Iterable[tuple]) -> Generator[Any, Any, None]:
-        """Buffer rows, flushing every time a full page accumulates."""
-        for row in rows:
-            self._buffer.append(row)
-            if len(self._buffer) >= self.page_rows:
-                yield from self._flush()
-
-    def close(self) -> Generator[Any, Any, None]:
-        """Flush the partial page and close every consumer queue."""
-        if self._buffer:
-            yield from self._flush()
-        for queue in self.out_queues:
-            yield Close(queue)
-
-    def _flush(self) -> Generator[Any, Any, None]:
-        page = Page(self._buffer[: self.page_rows])
-        del self._buffer[: len(page)]
-        self.pages_emitted += 1
-        self.rows_emitted += len(page)
-        if self.perf is not None:
-            self.perf.add_rows(self.op, len(page))
-        for queue in self.out_queues:
-            yield Compute(
-                self.costs.page_output_cost(len(page), self.width, consumers=1)
+    def emit(self, rows: Iterable[tuple]) -> Generator:
+        """Buffer rows one by one (deprecated; use ``emit_rows``)."""
+        if not OutputEmitter._warned:
+            OutputEmitter._warned = True
+            warnings.warn(
+                "OutputEmitter.emit() is deprecated; use "
+                "BatchEmitter.emit_rows()/emit_columns() instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            yield Put(queue, page)
+        yield from self.emit_rows(rows if isinstance(rows, (list, tuple)) else list(rows))

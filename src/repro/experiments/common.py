@@ -39,7 +39,10 @@ __all__ = [
     "speedup_series",
 ]
 
-DEFAULT_SCALE_FACTOR = 0.001
+# Raised 0.001 -> 0.005 with the columnar batch engine: the ~5-8x
+# host-side speedup buys a 5x larger default database at the same
+# figure-generation wall time.
+DEFAULT_SCALE_FACTOR = 0.005
 DEFAULT_SEED = 2007
 PAPER_PROCESSOR_COUNTS = (1, 2, 8, 32)
 

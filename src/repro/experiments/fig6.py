@@ -116,6 +116,13 @@ def run(
     scale_factor: float = DEFAULT_SCALE_FACTOR,
     seed: int = DEFAULT_SEED,
 ) -> Fig6Result:
+    # warmup/window are *simulated* time calibrated at scale 0.001;
+    # service times grow linearly with the database, so the window
+    # must stretch with it or a large scale starves the steady-state
+    # measurement of completions entirely.
+    stretch = scale_factor / 0.001
+    warmup *= stretch
+    window *= stretch
     catalog = shared_catalog(scale_factor, seed)
     profiler = QueryProfiler(catalog)
     specs = {}

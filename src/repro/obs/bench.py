@@ -316,10 +316,17 @@ class DiffReport:
         return [d for d in self.deltas if d.sim_changed]
 
     def exit_status(self) -> int:
-        """``2`` structural errors, ``1`` gate failures, else ``0``."""
+        """``2`` structural errors, ``1`` gate failures, else ``0``.
+
+        Under a gate (``fail_over_pct`` set) a simulated-time change
+        also fails: the simulator is deterministic, so a sim delta is
+        a behavior change, not noise — no wall tolerance excuses it.
+        """
         if self.missing:
             return 2
         if self.failures:
+            return 1
+        if self.fail_over_pct is not None and self.sim_changes:
             return 1
         return 0
 

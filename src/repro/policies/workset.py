@@ -1,0 +1,101 @@
+"""Working-set estimation for the session's automatic advisor.
+
+The spill projection in :class:`~repro.policies.resource_outlook`
+needs to know how many ``work_mem`` pages a query's *stateful*
+operators (hash tables, sort buffers, grouped accumulators) will
+claim. The profiler cannot measure that — it runs on ungoverned
+simulators — and before this module the session simply passed
+``work_pages=0``, so the auto-advisor never saw spill pressure and
+the ``fig_mem`` memory flip only worked with hand-built specs.
+
+:func:`estimate_work_pages` closes that gap with a textbook
+cardinality walk over the plan: base-table row counts come from the
+catalog, predicates and joins apply the standard selectivity
+defaults, and each stateful operator's held rows are converted to
+pages at the engine's exchange geometry. Estimates are deliberately
+simple and deterministic — they feed a *relative* shared-vs-unshared
+projection, where being consistently approximate matters more than
+being individually right.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.engine.plan import PlanNode
+from repro.storage.catalog import Catalog
+
+__all__ = ["estimate_cardinality", "estimate_work_pages"]
+
+# Selectivity defaults (System R lineage): a predicate keeps one third
+# of its input; a grouped aggregate emits one tenth of it.
+FILTER_SELECTIVITY = 1 / 3
+GROUP_FRACTION = 1 / 10
+
+
+def estimate_cardinality(plan: PlanNode, catalog: Catalog) -> float:
+    """Estimated output rows of ``plan`` (fractional; never negative).
+
+    Scans read exact base-table counts from the catalog; everything
+    above is the standard estimate: filters (standalone or fused into
+    a scan) keep :data:`FILTER_SELECTIVITY` of their input, grouped
+    aggregates emit :data:`GROUP_FRACTION` distinct groups, ungrouped
+    aggregates one row, equi-joins ``max(|L|, |R|)`` (the containment
+    assumption with unknown key distincts), nested-loop joins the
+    filtered cross product, and ``limit`` truncates.
+    """
+    kind = plan.kind
+    if kind == "scan":
+        rows = float(len(catalog.table(plan.params["table"])))
+        if plan.params.get("predicate") is not None:
+            rows *= FILTER_SELECTIVITY
+        return rows
+    children = [estimate_cardinality(child, catalog) for child in plan.children]
+    if kind == "filter":
+        return children[0] * FILTER_SELECTIVITY
+    if kind in ("project", "sort"):
+        return children[0]
+    if kind == "limit":
+        return min(children[0], float(plan.params["count"]))
+    if kind == "aggregate":
+        if plan.params.get("group_by"):
+            return max(1.0, children[0] * GROUP_FRACTION)
+        return 1.0
+    if kind in ("hash_join", "merge_join"):
+        return max(children)
+    if kind == "nested_loop_join":
+        return children[0] * children[1] * FILTER_SELECTIVITY
+    # Unknown operator: assume it passes its (widest) input through.
+    return max(children) if children else 0.0
+
+
+def estimate_work_pages(plan: PlanNode, catalog: Catalog, page_rows: int) -> int:
+    """Estimated ``work_mem`` pages the plan's stateful operators hold
+    at once, at ``page_rows`` tuples per page.
+
+    Counts exactly the state the :class:`~repro.engine.memory` broker
+    governs: a hash join's build table, a sort's run buffer, and a
+    grouped aggregate's accumulator table (ungrouped aggregation holds
+    one row — charged nothing). A nested-loop join buffers its inner
+    side the same way a build table is held. Blocking operators in one
+    plan can be live simultaneously (a sort above a hash join holds
+    rows while the join still holds its build side), so contributions
+    sum.
+    """
+    if page_rows < 1:
+        raise ValueError(f"page_rows must be >= 1, got {page_rows}")
+    pages = 0
+    for node in plan.walk():
+        kind = node.kind
+        if kind == "hash_join":
+            held = estimate_cardinality(node.children[0], catalog)
+        elif kind == "sort":
+            held = estimate_cardinality(node.children[0], catalog)
+        elif kind == "aggregate" and node.params.get("group_by"):
+            held = estimate_cardinality(node, catalog)
+        elif kind == "nested_loop_join":
+            held = estimate_cardinality(node.children[1], catalog)
+        else:
+            continue
+        pages += ceil(held / page_rows) if held > 0 else 0
+    return pages

@@ -41,7 +41,7 @@ class SpeedModel:
         return self._model.effective(busy) / busy
 
 
-@dataclass
+@dataclass(slots=True)
 class Processor:
     """One hardware context."""
 

@@ -66,8 +66,15 @@ class Simulator:
         self.n_processors = int(processors)
         self.now = 0.0
         self._speed = SpeedModel(contention)
+        # Per-busy-count speed memo: ``SpeedModel.speed`` is a pure
+        # function of the busy count, and the hot loop asks for the
+        # same handful of values millions of times.
+        self._speed_memo: dict[int, float] = {}
         self._max_zero_time_steps = max_zero_time_steps
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # Heap entries are ``(when, seq, fn, args)`` — callable plus
+        # argument tuple rather than a bound closure, so scheduling a
+        # compute completion allocates no lambda on the hot path.
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = count()
         self._processors = [Processor(i) for i in range(self.n_processors)]
         self._idle: deque[Processor] = deque(self._processors)
@@ -135,18 +142,27 @@ class Simulator:
         """
         perf = self.perf
         started = perf.clock() if perf is not None else 0.0
+        heap = self._heap
+        heappop = heapq.heappop
+        run_queue = self._run_queue
+        idle = self._idle
+        advance = self._advance
         try:
             while True:
-                self._dispatch()
-                if not self._heap:
+                # Inline dispatch: pair runnable tasks with idle
+                # contexts (both FIFO) until one side runs dry.
+                while run_queue and idle:
+                    advance(idle.popleft(), run_queue.popleft())
+                if not heap:
                     break
-                t, seq, fn = heapq.heappop(self._heap)
+                entry = heappop(heap)
+                t = entry[0]
                 if until is not None and t > until:
-                    heapq.heappush(self._heap, (t, seq, fn))
+                    heapq.heappush(heap, entry)
                     self.now = until
                     return
                 self.now = t
-                fn()
+                entry[2](*entry[3])
         finally:
             if perf is not None:
                 perf.record_run(perf.clock() - started)
@@ -179,8 +195,10 @@ class Simulator:
     # Scheduler internals
     # ------------------------------------------------------------------
 
-    def _schedule(self, when: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (when, next(self._seq), fn))
+    def _schedule(
+        self, when: float, fn: Callable[..., None], args: tuple = ()
+    ) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), fn, args))
 
     def _make_ready(self, task: Task, value: Any) -> None:
         if task.blocked_since is not None:
@@ -193,12 +211,6 @@ class Simulator:
         task.resume_value = value
         task.state = READY
         self._run_queue.append(task)
-
-    def _dispatch(self) -> None:
-        while self._run_queue and self._idle:
-            task = self._run_queue.popleft()
-            proc = self._idle.popleft()
-            self._advance(proc, task)
 
     def _release(self, proc: Processor) -> None:
         proc.current = None
@@ -229,8 +241,13 @@ class Simulator:
             )
 
     def _compute_done(self, proc: Processor, task: Task) -> None:
-        self._release(proc)
-        self._make_ready(task, None)
+        # A compute completion: the task was RUNNING (never parked on a
+        # queue), so the _make_ready blocked-time bookkeeping is moot.
+        proc.current = None
+        self._idle.append(proc)
+        task.resume_value = None
+        task.state = READY
+        self._run_queue.append(task)
 
     def _advance(self, proc: Processor, task: Task) -> None:
         """Drive ``task`` on ``proc`` until it computes, blocks or ends.
@@ -238,6 +255,12 @@ class Simulator:
         All non-Compute requests take zero simulated time and are
         processed inline; the loop exits when the task occupies the
         processor (Compute), parks on a queue, sleeps, or finishes.
+
+        This is the simulator's innermost loop — every simulated event
+        passes through it — so it trades a little shape for speed:
+        request dispatch is on exact class identity (the isinstance
+        fallback covers subclasses), the livelock counter is inlined,
+        and per-busy-count speeds are memoized.
         """
         proc.current = task
         task.state = RUNNING
@@ -245,6 +268,10 @@ class Simulator:
         task.resume_value = None
         tracer = self.tracer
         perf = self.perf
+        send = task.gen.send
+        now = self.now  # constant within this call: requests are zero-time
+        idle = self._idle
+        max_zero = self._max_zero_time_steps
         while True:
             try:
                 if perf is not None:
@@ -253,13 +280,13 @@ class Simulator:
                     # attributes the terminal StopIteration slice too.
                     slice_start = perf.clock()
                     try:
-                        request = task.gen.send(value)
+                        request = send(value)
                     finally:
                         perf.record_slice(
                             task.name, perf.clock() - slice_start
                         )
                 else:
-                    request = task.gen.send(value)
+                    request = send(value)
             except StopIteration:
                 self._release(proc)
                 self._finish(task)
@@ -268,17 +295,28 @@ class Simulator:
                 self._release(proc)
                 self._fail(task, exc)
                 raise SimulationError(
-                    f"task {task.name!r} raised {exc!r} at t={self.now:.6g}"
+                    f"task {task.name!r} raised {exc!r} at t={now:.6g}"
                 ) from exc
             value = None
 
-            if isinstance(request, Compute):
-                if request.cost == 0:
-                    self._check_livelock(task)
+            cls = request.__class__
+            if cls is Compute:
+                cost = request.cost
+                if cost == 0:
+                    task.zero_time_steps += 1
+                    if task.zero_time_steps > max_zero:
+                        raise SimulationError(
+                            f"task {task.name!r} performed "
+                            f"{task.zero_time_steps} requests without "
+                            "consuming CPU; suspected zero-time livelock"
+                        )
                     continue
-                busy = self.n_processors - len(self._idle)
-                speed = self._speed.speed(busy)
-                duration = request.cost / speed
+                busy = self.n_processors - len(idle)
+                memo = self._speed_memo
+                speed = memo.get(busy)
+                if speed is None:
+                    speed = memo[busy] = self._speed.speed(busy)
+                duration = cost / speed
                 proc.busy_time += duration
                 task.busy_time += duration
                 task.io_time += request.io / speed
@@ -290,33 +328,48 @@ class Simulator:
                     tracer.complete(
                         task.name,
                         "compute",
-                        start=self.now,
+                        start=now,
                         dur=duration,
                         tid=proc.index,
-                        cost=request.cost,
+                        cost=cost,
                         io=request.io,
                     )
-                self._schedule(
-                    self.now + duration,
-                    lambda p=proc, t=task: self._compute_done(p, t),
+                heapq.heappush(
+                    self._heap,
+                    (now + duration, next(self._seq),
+                     self._compute_done, (proc, task)),
                 )
                 return
 
-            if isinstance(request, Get):
+            if cls is Get:
                 q = request.queue
-                if q.items:
-                    value = q.items.popleft()
+                items = q.items
+                if items:
+                    value = items.popleft()
                     q.total_dequeued += 1
-                    self._refill_from_putters(q)
-                    self._check_livelock(task)
+                    if q.waiting_putters:
+                        self._refill_from_putters(q)
+                    task.zero_time_steps += 1
+                    if task.zero_time_steps > max_zero:
+                        raise SimulationError(
+                            f"task {task.name!r} performed "
+                            f"{task.zero_time_steps} requests without "
+                            "consuming CPU; suspected zero-time livelock"
+                        )
                     continue
                 if q.closed:
                     value = CLOSED
-                    self._check_livelock(task)
+                    task.zero_time_steps += 1
+                    if task.zero_time_steps > max_zero:
+                        raise SimulationError(
+                            f"task {task.name!r} performed "
+                            f"{task.zero_time_steps} requests without "
+                            "consuming CPU; suspected zero-time livelock"
+                        )
                     continue
                 q.waiting_getters.append(task)
                 task.state = BLOCKED
-                task.blocked_since = self.now
+                task.blocked_since = now
                 if tracer is not None:
                     tracer.instant(
                         "block", "queue", tid=TID_QUEUES,
@@ -325,16 +378,23 @@ class Simulator:
                 self._release(proc)
                 return
 
-            if isinstance(request, Put):
+            if cls is Put:
                 q = request.queue
-                q.check_can_put()
-                if not q.full:
+                if q.closed:
+                    q.check_can_put()
+                if len(q.items) < q.capacity:
                     self._enqueue(q, request.item)
-                    self._check_livelock(task)
+                    task.zero_time_steps += 1
+                    if task.zero_time_steps > max_zero:
+                        raise SimulationError(
+                            f"task {task.name!r} performed "
+                            f"{task.zero_time_steps} requests without "
+                            "consuming CPU; suspected zero-time livelock"
+                        )
                     continue
                 q.waiting_putters.append((task, request.item))
                 task.state = BLOCKED
-                task.blocked_since = self.now
+                task.blocked_since = now
                 if tracer is not None:
                     tracer.instant(
                         "block", "queue", tid=TID_QUEUES,
@@ -343,7 +403,7 @@ class Simulator:
                 self._release(proc)
                 return
 
-            if isinstance(request, Close):
+            if cls is Close:
                 q = request.queue
                 q.closed = True
                 if q.waiting_putters:
@@ -353,10 +413,16 @@ class Simulator:
                 while q.waiting_getters:
                     getter = q.waiting_getters.popleft()
                     self._make_ready(getter, CLOSED)
-                self._check_livelock(task)
+                task.zero_time_steps += 1
+                if task.zero_time_steps > max_zero:
+                    raise SimulationError(
+                        f"task {task.name!r} performed "
+                        f"{task.zero_time_steps} requests without "
+                        "consuming CPU; suspected zero-time livelock"
+                    )
                 continue
 
-            if isinstance(request, Sleep):
+            if cls is Sleep:
                 if request.throttle:
                     task.throttle_time += request.duration
                 if tracer is not None:
@@ -367,12 +433,19 @@ class Simulator:
                     )
                 task.state = BLOCKED
                 self._schedule(
-                    self.now + request.duration,
-                    lambda t=task: self._make_ready(t, None),
+                    now + request.duration,
+                    self._make_ready, (task, None),
                 )
                 self._release(proc)
                 return
 
+            if isinstance(request, (Compute, Get, Put, Close, Sleep)):
+                # A subclass of a request type: re-enter with the base
+                # class's handling by rebuilding a canonical request.
+                raise SimulationError(
+                    f"task {task.name!r} yielded a request subclass "
+                    f"{cls.__name__}; yield the base event types directly"
+                )
             raise SimulationError(
                 f"task {task.name!r} yielded unknown request {request!r}"
             )

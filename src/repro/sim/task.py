@@ -24,7 +24,7 @@ DONE = "done"
 FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One simulated thread of execution.
 

@@ -26,6 +26,11 @@ class Table:
         self.name = name
         self.schema = schema
         self._columns: list[list[Any]] = [[] for _ in schema.columns]
+        # Decoded-page cache for the batched scan path: per
+        # (projection, page_rows) key, the lazily filled list of column
+        # slices of each page. Cleared on ingest; entries are shared
+        # with callers and read-only by convention (like ``column``).
+        self._page_cache: dict[tuple, list] = {}
 
     def __len__(self) -> int:
         return len(self._columns[0])
@@ -40,6 +45,8 @@ class Table:
         stored = self.schema.validate_row(row)
         for column, value in zip(self._columns, stored):
             column.append(value)
+        if self._page_cache:
+            self._page_cache.clear()
 
     def insert_many(self, rows: Sequence[Sequence[Any]]) -> None:
         for row in rows:
@@ -118,6 +125,68 @@ class Table:
         start = index * page_rows
         end = min(start + page_rows, len(self))
         return Page(list(zip(*(col[start:end] for col in cols))))
+
+    def column_slices(
+        self,
+        index: int,
+        columns: Sequence[str] | None = None,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ) -> list[list[Any]]:
+        """One page's worth of raw column slices (columnar page access).
+
+        Same page geometry as :meth:`page_at`, but the page stays
+        column-wise — the batched scan path wraps these slices into a
+        :class:`~repro.engine.packet.RowBatch` without ever zipping
+        rows the downstream may never materialize.
+
+        Decoded pages are cached per (projection, page_rows) until the
+        next ingest, so concurrent scans of one table (and repeated
+        scans across queries) slice each page exactly once. The
+        returned lists are shared with the cache: read-only by
+        convention, like :meth:`column`.
+        """
+        key = (None if columns is None else tuple(columns), page_rows)
+        pages = self._page_cache.get(key)
+        if pages is not None and 0 <= index < len(pages):
+            cached = pages[index]
+            if cached is not None:
+                return cached
+        if page_rows < 1:
+            raise StorageError(f"page_rows must be >= 1, got {page_rows}")
+        n_pages = self.page_count(page_rows)
+        if not (0 <= index < n_pages):
+            raise StorageError(
+                f"page index {index} out of range for {self.name!r} "
+                f"({n_pages} pages at {page_rows} rows/page)"
+            )
+        if columns is None:
+            cols = self._columns
+        else:
+            cols = [self._columns[self.schema.index_of(c)] for c in columns]
+        start = index * page_rows
+        end = min(start + page_rows, len(self))
+        slices = [col[start:end] for col in cols]
+        if pages is None:
+            pages = self._page_cache[key] = [None] * n_pages
+        pages[index] = slices
+        return slices
+
+    def fused_cache(self, key: tuple, n_pages: int) -> list:
+        """Per-page memo slots for a derived (fused) scan of this table.
+
+        The engine's scan stage parks its decoded/filtered/projected
+        pages here, keyed by the scan's signature, so queries that
+        perform the same scan work — re-submissions, convoy members,
+        recurring templates — decode and filter each page once. This
+        is the storage-side analogue of the engine's cross-query work
+        sharing, and it shares the ingest invalidation of the plain
+        page cache. Slots start as ``None``; entries are shared and
+        read-only by convention.
+        """
+        pages = self._page_cache.get(key)
+        if pages is None or len(pages) != n_pages:
+            pages = self._page_cache[key] = [None] * n_pages
+        return pages
 
     def projected_schema(self, columns: Sequence[str] | None) -> Schema:
         return self.schema if columns is None else self.schema.project(columns)

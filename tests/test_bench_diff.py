@@ -149,6 +149,17 @@ def test_any_sim_time_change_is_flagged():
     assert not diff_trajectories(same_old, same_new).deltas[0].sim_changed
 
 
+def test_sim_time_change_fails_a_gated_diff():
+    # Report-only: flagged but exit 0. Gated: the simulator is
+    # deterministic, so any sim delta is a behavior change and fails
+    # regardless of wall tolerance.
+    old, new = _pair(sim=100.0, new_sim=100.001)
+    assert diff_trajectories(old, new).exit_status() == 0
+    report = diff_trajectories(old, new, fail_over_pct=50.0)
+    assert report.sim_changes and not report.failures
+    assert report.exit_status() == 1
+
+
 # ----------------------------------------------------------------------
 # structural problems
 # ----------------------------------------------------------------------

@@ -1,9 +1,12 @@
 """Unit tests for stage plumbing and the cost model."""
 
+import warnings
+
 import pytest
 
 from repro.engine.costs import CostModel
-from repro.engine.stage import OutputEmitter
+from repro.engine.packet import RowBatch
+from repro.engine.stage import BatchEmitter, OutputEmitter
 from repro.errors import EngineError
 from repro.sim import CLOSED, Get, Simulator
 
@@ -101,3 +104,110 @@ class TestOutputEmitter:
         sim = Simulator(processors=1)
         with pytest.raises(EngineError):
             OutputEmitter([sim.queue("q")], 4, CostModel(), width=0)
+
+
+class TestBatchEmitter:
+    """The batched emitter API and the deprecated per-row facade."""
+
+    def run_batched(self, emit_calls, page_rows=4, consumers=1, width=2):
+        sim = Simulator(processors=1)
+        queues = [sim.queue(f"q{i}", 100) for i in range(consumers)]
+        emitter = BatchEmitter(queues, page_rows, CostModel(), width=width)
+        received = []
+
+        def producer():
+            for method, payload in emit_calls:
+                yield from getattr(emitter, method)(*payload)
+            yield from emitter.close()
+
+        def consumer():
+            while True:
+                batch = yield Get(queues[0])
+                if batch is CLOSED:
+                    return
+                received.append(list(batch.rows))
+
+        sim.spawn(producer(), name="p")
+        sim.spawn(consumer(), name="c")
+        sim.run()
+        return emitter, received, sim
+
+    def test_emit_rows_and_columns_agree(self):
+        rows = [(i, float(i)) for i in range(10)]
+        cols = [list(c) for c in zip(*rows)]
+        by_rows = self.run_batched([("emit_rows", (rows,))])
+        by_cols = self.run_batched([("emit_columns", (cols, len(rows)))])
+        assert by_rows[1] == by_cols[1]
+        assert by_rows[2].now == by_cols[2].now
+
+    def test_aligned_batch_passes_through_unsplit(self):
+        rows = tuple((i, float(i)) for i in range(4))
+        batch = RowBatch.from_rows(rows, 2)
+        emitter, received, _ = self.run_batched([("emit_batch", (batch,))])
+        assert received == [list(rows)]
+        assert emitter.pages_emitted == 1
+
+    def test_mixed_representations_preserve_row_order(self):
+        rows = [(i, float(i)) for i in range(6)]
+        cols = [[10, 11], [10.0, 11.0]]
+        _, received, _ = self.run_batched(
+            [("emit_rows", (rows[:3],)),
+             ("emit_columns", (cols, 2)),
+             ("emit_rows", (rows[3:],))],
+        )
+        flat = [r for page in received for r in page]
+        assert flat == rows[:3] + [(10, 10.0), (11, 11.0)] + rows[3:]
+
+    def test_deprecated_emit_warns_once_and_forwards(self):
+        OutputEmitter._warned = False
+        rows = [(i, i) for i in range(5)]
+        sim = Simulator(processors=1)
+        queue = sim.queue("q", 100)
+        emitter = OutputEmitter([queue], 4, CostModel(), width=2)
+        received = []
+
+        def producer():
+            with pytest.warns(DeprecationWarning, match="emit_rows"):
+                yield from emitter.emit(rows)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second call: no warning
+                yield from emitter.emit([(9, 9)])
+            yield from emitter.close()
+
+        def consumer():
+            while True:
+                batch = yield Get(queue)
+                if batch is CLOSED:
+                    return
+                received.extend(batch.rows)
+
+        sim.spawn(producer(), name="p")
+        sim.spawn(consumer(), name="c")
+        sim.run()
+        assert received == rows + [(9, 9)]
+
+    def test_row_facade_timeline_matches_batched(self):
+        rows = [(i, float(i)) for i in range(11)]
+        _, batched, sim_b = self.run_batched([("emit_rows", (rows,))])
+        OutputEmitter._warned = True  # silence; equivalence is the point
+        sim = Simulator(processors=1)
+        queue = sim.queue("q", 100)
+        emitter = OutputEmitter([queue], 4, CostModel(), width=2)
+        received = []
+
+        def producer():
+            yield from emitter.emit(rows)
+            yield from emitter.close()
+
+        def consumer():
+            while True:
+                batch = yield Get(queue)
+                if batch is CLOSED:
+                    return
+                received.append(list(batch.rows))
+
+        sim.spawn(producer(), name="p")
+        sim.spawn(consumer(), name="c")
+        sim.run()
+        assert received == batched
+        assert repr(sim.now) == repr(sim_b.now)

@@ -1,0 +1,155 @@
+"""Working-set estimation feeding the auto-advisor's spill projection.
+
+Covers :mod:`repro.policies.workset` directly (cardinality walk,
+page conversion, operator coverage) and its session wiring: a
+stateful query profiled by the session now lands a non-zero
+``work_pages`` in the resource outlook, so the automatic advisor can
+see spill pressure without hand-built specs.
+"""
+
+import pytest
+
+from repro.db import Database, QueryBuilder
+from repro.engine.expressions import col, lt
+from repro.engine.plan import (
+    AggSpec,
+    aggregate,
+    filter_,
+    hash_join,
+    limit,
+    nested_loop_join,
+    scan,
+    sort,
+)
+from repro.policies.workset import (
+    FILTER_SELECTIVITY,
+    GROUP_FRACTION,
+    estimate_cardinality,
+    estimate_work_pages,
+)
+from repro.storage import Catalog, DataType, Schema
+
+PAGE_ROWS = 64
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    big = catalog.create(
+        "big", Schema([("k", DataType.INT), ("v", DataType.FLOAT)])
+    )
+    big.insert_many([(i, float(i)) for i in range(640)])
+    small = catalog.create(
+        "small", Schema([("sk", DataType.INT), ("sv", DataType.FLOAT)])
+    )
+    small.insert_many([(i, float(i)) for i in range(64)])
+    return catalog
+
+
+# -- cardinality ---------------------------------------------------------
+
+
+def test_scan_cardinality_is_exact(catalog):
+    assert estimate_cardinality(scan(catalog, "big"), catalog) == 640.0
+
+
+def test_fused_and_standalone_filters_apply_selectivity(catalog):
+    fused = scan(catalog, "big", predicate=lt(col("k"), 10))
+    standalone = filter_(scan(catalog, "big"), lt(col("k"), 10))
+    expected = 640 * FILTER_SELECTIVITY
+    assert estimate_cardinality(fused, catalog) == pytest.approx(expected)
+    assert estimate_cardinality(standalone, catalog) == pytest.approx(expected)
+
+
+def test_limit_truncates_and_aggregate_groups(catalog):
+    base = scan(catalog, "big")
+    assert estimate_cardinality(limit(base, 5), catalog) == 5.0
+    grouped = aggregate(base, ("k",), [AggSpec("count", "n")])
+    assert estimate_cardinality(grouped, catalog) == pytest.approx(
+        640 * GROUP_FRACTION
+    )
+    ungrouped = aggregate(base, (), [AggSpec("count", "n")])
+    assert estimate_cardinality(ungrouped, catalog) == 1.0
+
+
+def test_equi_join_takes_max_side(catalog):
+    plan = hash_join(
+        scan(catalog, "small"), scan(catalog, "big"),
+        build_key="sk", probe_key="k",
+    )
+    assert estimate_cardinality(plan, catalog) == 640.0
+
+
+# -- work pages ----------------------------------------------------------
+
+
+def test_pipeline_only_plan_holds_nothing(catalog):
+    plan = limit(filter_(scan(catalog, "big"), lt(col("k"), 10)), 5)
+    assert estimate_work_pages(plan, catalog, PAGE_ROWS) == 0
+
+
+def test_hash_join_charges_build_side(catalog):
+    plan = hash_join(
+        scan(catalog, "small"), scan(catalog, "big"),
+        build_key="sk", probe_key="k",
+    )
+    # Build side: 64 rows -> exactly one page at 64 rows/page.
+    assert estimate_work_pages(plan, catalog, PAGE_ROWS) == 1
+
+
+def test_sort_charges_its_input(catalog):
+    plan = sort(scan(catalog, "big"), [("k", True)])
+    assert estimate_work_pages(plan, catalog, PAGE_ROWS) == 640 // PAGE_ROWS
+
+
+def test_nested_loop_charges_inner_side(catalog):
+    plan = nested_loop_join(
+        scan(catalog, "big"), scan(catalog, "small"), lt(col("sv"), 1.0)
+    )
+    assert estimate_work_pages(plan, catalog, PAGE_ROWS) == 1
+
+
+def test_stacked_stateful_operators_sum(catalog):
+    joined = hash_join(
+        scan(catalog, "small"), scan(catalog, "big"),
+        build_key="sk", probe_key="k",
+    )
+    plan = sort(joined, [("k", True)])
+    # Build table (1 page) + sort buffer over the join's 640-row
+    # estimate (10 pages) are held simultaneously.
+    assert estimate_work_pages(plan, catalog, PAGE_ROWS) == 11
+
+
+def test_page_rows_must_be_positive(catalog):
+    with pytest.raises(ValueError):
+        estimate_work_pages(scan(catalog, "big"), catalog, 0)
+
+
+# -- session wiring ------------------------------------------------------
+
+
+def test_session_profiles_carry_estimated_work_pages(catalog):
+    session = Database.open(catalog, "cmp32")
+    query = (
+        QueryBuilder(catalog, "big")
+        .agg(AggSpec("sum", "total", col("v")), by=("k",))
+        .named("grouped")
+        .build()
+    )
+    session.advise(query, 2)
+    profile = session._outlook.profiles[query.pivot_signature]
+    assert profile.table == "big"
+    assert profile.work_pages > 0
+
+
+def test_session_profiles_pipeline_queries_stay_zero(catalog):
+    session = Database.open(catalog, "cmp32")
+    query = (
+        QueryBuilder(catalog, "big")
+        .where(lt(col("k"), 10))
+        .named("pipeline")
+        .build()
+    )
+    session.advise(query, 2)
+    profile = session._outlook.profiles[query.pivot_signature]
+    assert profile.work_pages == 0
