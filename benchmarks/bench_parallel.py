@@ -1,0 +1,99 @@
+"""Benchmarks of the exchange-partitioned parallel subsystem.
+
+Tracks the shape intra-query parallelism exists to produce — a
+``dop``-way fragmented partition-wise aggregate finishes sooner in
+simulated time than its serial pipeline on a multi-context machine
+while returning the bit-identical answer — plus a partition-wise join
+parity smoke at the same scale.
+"""
+
+from conftest import wall_samples
+
+from repro.engine import AggSpec, Engine, aggregate, hash_join, scan
+from repro.engine.expressions import col
+from repro.sim import Simulator
+from repro.storage import Catalog, DataType, Schema
+
+ROWS = 6000
+GROUPS = 64
+PROCESSORS = 8
+DOP = 4
+
+
+def _catalog(rows=ROWS):
+    catalog = Catalog()
+    schema = Schema([("g", DataType.INT), ("v", DataType.FLOAT)])
+    data = []
+    state = 2007
+    for _ in range(rows):
+        state = (state * 48271) % 2147483647
+        data.append((state % GROUPS, (state % 1000) / 1000.0))
+    catalog.create("events", schema).insert_many(data)
+    dim = Schema([("dg", DataType.INT), ("w", DataType.FLOAT)])
+    catalog.create("dims", dim).insert_many(
+        [(g, g / GROUPS) for g in range(GROUPS)]
+    )
+    return catalog
+
+
+def _agg_plan(catalog):
+    return aggregate(
+        scan(catalog, "events", columns=["g", "v"]),
+        ("g",),
+        [AggSpec("sum", "total", col("v")), AggSpec("count", "rows", None)],
+    )
+
+
+def _run(catalog, plan_fn, dop):
+    sim = Simulator(processors=PROCESSORS)
+    engine = Engine(catalog, sim)
+    handle = engine.execute(plan_fn(catalog), f"bench@dop{dop}", dop=dop)
+    sim.run()
+    return handle.rows, sim.now
+
+
+def test_partition_aggregate_speedup(benchmark, trajectory):
+    """Fragmenting the aggregate pays in sim time, answer unchanged."""
+    catalog = _catalog()
+
+    def run():
+        serial_rows, serial = _run(catalog, _agg_plan, 1)
+        parallel_rows, parallel = _run(catalog, _agg_plan, DOP)
+        return serial_rows, serial, parallel_rows, parallel
+
+    # Warm multi-round sampling: the trajectory judges the median, so
+    # one noisy round on a busy host cannot fake a regression.
+    serial_rows, serial, parallel_rows, parallel = benchmark.pedantic(
+        run, rounds=5, warmup_rounds=1
+    )
+    assert parallel_rows == serial_rows  # bit-identical, not just equal sets
+    assert parallel < serial
+    trajectory.record(
+        "parallel_agg",
+        sim_time=parallel,
+        wall_samples=wall_samples(benchmark),
+        rows=ROWS,
+        counters={"sim_serial": serial},
+        tolerance_pct=20.0,
+    )
+
+
+def test_partition_join_parity(benchmark):
+    """The partition-wise join reproduces the serial row set."""
+    catalog = _catalog()
+
+    def plan(cat):
+        return hash_join(
+            scan(cat, "dims", columns=["dg", "w"]),
+            scan(cat, "events", columns=["g", "v"]),
+            build_key="dg",
+            probe_key="g",
+        )
+
+    def run():
+        serial_rows, _ = _run(catalog, plan, 1)
+        parallel_rows, parallel = _run(catalog, plan, DOP)
+        return serial_rows, parallel_rows, parallel
+
+    serial_rows, parallel_rows, _ = benchmark.pedantic(run, rounds=1)
+    assert sorted(parallel_rows) == sorted(serial_rows)

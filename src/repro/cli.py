@@ -13,7 +13,7 @@ the simulated-time and wall-clock instruments end to end::
     repro perf                       # hotspot table of the same demo run
     repro perf run --out perf.json   # speedscope/Perfetto-loadable JSON
     repro perf run --collapsed out.folded   # flamegraph collapsed stacks
-    repro perf diff BENCH_7.json BENCH_8.json --fail-over 20
+    repro perf diff BENCH_8.json BENCH_9.json --fail-over 20
 
 ``repro trace`` and ``repro perf run`` build the same small
 deterministic catalog, open a ``laptop``-preset session with the

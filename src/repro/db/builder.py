@@ -61,12 +61,18 @@ class Query:
     this query (``None`` = inherit). A batch-size override changes the
     simulated flush boundaries, so the session also refuses to merge
     submissions whose effective batch sizes differ.
+
+    ``dop`` requests intra-query parallelism for this query (``None``
+    = inherit the session config's default). The session's routing
+    weighs parallelizing against sharing per batch; submissions whose
+    effective dop differs never merge into one group.
     """
 
     plan: PlanNode
     pivot_op_id: Optional[str]
     name: str
     batch_size: Optional[int] = None
+    dop: Optional[int] = None
 
     @property
     def pivot_signature(self) -> Optional[str]:
@@ -133,6 +139,7 @@ schema has ('k', 'v')
         self._pivot_explicit = False
         self._name = name or table
         self._batch_size: Optional[int] = None
+        self._dop: Optional[int] = None
 
     # -- scan fusion -----------------------------------------------------
 
@@ -347,6 +354,22 @@ schema has ('k', 'v')
         self._batch_size = rows
         return self
 
+    def parallel(self, dop: int) -> "QueryBuilder":
+        """Request ``dop``-way intra-query parallelism for this query.
+
+        The engine fragments the plan's parallel region (fragmented
+        scans, partition-wise join/aggregate behind exchanges — see
+        :mod:`repro.engine.parallel`) across ``dop`` worker fragments;
+        the row set is identical to serial execution. The session's
+        routing may still prefer sharing when the projection says a
+        shared group finishes sooner. ``parallel(1)`` pins the query
+        serial regardless of the session default.
+        """
+        if dop < 1:
+            raise PlanError(f"parallel degree must be >= 1, got {dop}")
+        self._dop = dop
+        return self
+
     # -- terminals -------------------------------------------------------
 
     @property
@@ -366,6 +389,7 @@ schema has ('k', 'v')
             pivot_op_id=self._pivot_id,
             name=self._name,
             batch_size=self._batch_size,
+            dop=self._dop,
         )
 
     def __repr__(self) -> str:

@@ -90,6 +90,21 @@ class RuntimeConfig:
         kept as the differential-testing oracle.
     processors:
         Simulated hardware contexts of the session's machine.
+    contention:
+        Optional power-law contention exponent ``kappa`` for the
+        session's simulator (Section 4.1.4): busying ``b`` contexts
+        yields only ``b ** kappa`` contexts' worth of effective
+        compute. ``None`` (default) keeps the contention-free model.
+        The same exponent feeds the session's share-vs-parallelize
+        projections, so the policy prices the slowdown the simulator
+        will actually apply.
+    dop:
+        Default intra-query degree of parallelism for this session's
+        queries (``1`` = serial, the default). A query-level
+        ``QueryBuilder.parallel(n)`` overrides it per query; the
+        session's routing only parallelizes when the projection says
+        it beats sharing (see ``Session.run_all``). Plans with no
+        parallelizable region fall back to serial execution.
     cost_model:
         Per-tuple/per-page cost calibration.
     queue_capacity:
@@ -158,6 +173,8 @@ require pool_pages: elevator cursors read through a buffer pool
     batch_size: Optional[int] = None
     vectorize: bool = True
     processors: int = 8
+    contention: Optional[float] = None
+    dop: int = 1
     cost_model: CostModel = DEFAULT_COST_MODEL
     queue_capacity: int = 4
     trace: bool = False
@@ -174,6 +191,12 @@ require pool_pages: elevator cursors read through a buffer pool
             raise EngineError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.processors < 1:
             raise EngineError(f"processors must be >= 1, got {self.processors}")
+        if self.dop < 1:
+            raise EngineError(f"dop must be >= 1, got {self.dop}")
+        if self.contention is not None and not (0.0 < self.contention <= 1.0):
+            raise EngineError(
+                f"contention (kappa) must be in (0, 1], got {self.contention}"
+            )
         if self.prefetch_depth is not None and self.pool_pages is None:
             raise EngineError(
                 "cooperative scans (prefetch_depth) require pool_pages: "

@@ -41,6 +41,7 @@ from repro.db.config import RuntimeConfig
 from repro.db.result import QueryResult
 from repro.engine.engine import Engine
 from repro.engine.packet import QueryHandle
+from repro.engine.parallel import find_region
 from repro.engine.plan import PlanNode
 from repro.engine.stats import ResourceReport, resource_report, stage_report
 from repro.errors import EngineError
@@ -187,7 +188,9 @@ class Session:
         self.database = database
         self.catalog = database.catalog
         self.config = config
-        self.sim = Simulator(processors=config.processors)
+        self.sim = Simulator(
+            processors=config.processors, contention=config.contention
+        )
         pool, memory, scans, spill_depth = config.build_storage()
         self.engine = Engine(
             self.catalog,
@@ -425,9 +428,10 @@ class Session:
         # Merge candidates must agree on the pivot's *signature* (the
         # engine's merge test), its *op_id* (execute_group addresses
         # the pivot by id in every member), the query *name* (policies
-        # key their specs on it), and the effective *batch size* (a
-        # merged group shares one stage pipeline, so its members must
-        # agree on the exchange batching).
+        # key their specs on it), the effective *batch size* (a merged
+        # group shares one stage pipeline, so its members must agree
+        # on the exchange batching), and the effective *dop* (the
+        # share-vs-parallelize choice is made once per group).
         groups: dict[tuple, list[_Submission]] = {}
         for entry in batch:
             if entry.delay > 0:
@@ -437,26 +441,33 @@ class Session:
             signature = entry.query.pivot_signature
             if entry.share is False or signature is None:
                 source = "forced" if entry.share is False else "solo"
-                self._audit_route(source, "solo", [entry])
-                self._launch(None, [entry])
+                self._launch_solo_entry(entry, source)
                 continue
             key = (
                 signature,
                 entry.query.pivot_op_id,
                 entry.query.name,
                 self._batch_rows(entry.query),
+                self._effective_dop(entry.query),
             )
             groups.setdefault(key, []).append(entry)
         for members in groups.values():
             forced = [m for m in members if m.share is True]
             undecided = [m for m in members if m.share is None]
+            dop = self._effective_dop(members[0].query)
             if len(members) < 2:
-                self._audit_route("solo", "solo", members)
-                self._launch(None, members)
+                self._launch_solo_entry(members[0], "solo")
                 continue
             if forced and not undecided:
                 self._audit_route("forced", "share", forced)
                 self._launch_group(forced)
+                continue
+            if dop > 1 and not forced:
+                # The four-way choice: share, parallelize, both, or
+                # neither — priced by the outlook's projection. Any
+                # forced share=True member pins the group back to the
+                # binary share path below.
+                self._route_modes(members, dop)
                 continue
             decision, record = self._decide(members)
             share = decision.share if isinstance(decision, ShareDecision) else decision
@@ -489,6 +500,100 @@ class Session:
             return query.batch_size
         return self.config.batch_size
 
+    def _effective_dop(self, query: Query) -> int:
+        """The intra-query parallelism actually available to ``query``:
+        its own override, else the session default — and 1 whenever the
+        plan has no parallelizable region (the engine would fall back
+        to serial anyway; resolving it here keeps routing and audit
+        honest)."""
+        dop = query.dop if query.dop is not None else self.config.dop
+        if dop > 1 and find_region(query.plan) is None:
+            return 1
+        return dop
+
+    def _launch_solo_entry(self, entry: _Submission, source: str) -> None:
+        """Launch one entry outside any sharing group — parallelized
+        when its effective dop asks for it, serial otherwise."""
+        dop = self._effective_dop(entry.query)
+        if dop > 1:
+            self._audit_route(source, "parallel", [entry])
+            self._launch_parallel(entry, dop)
+        else:
+            self._audit_route(source, "solo", [entry])
+            self._launch(None, [entry])
+
+    def _route_modes(self, members: list[_Submission], dop: int) -> None:
+        """Route one same-signature group through the four-way
+        share / parallelize / both / solo projection."""
+        projection, decision = self._choose_mode(members, dop)
+        for entry in members:
+            entry.decision = decision
+        if projection.mode == "share":
+            self._launch_group(members)
+        elif projection.mode == "both":
+            size = max(2, projection.partition_group_size)
+            for start in range(0, len(members), size):
+                chunk = members[start:start + size]
+                if len(chunk) >= 2:
+                    self._launch_group(chunk)
+                else:
+                    self._launch(None, chunk)
+        elif projection.mode == "parallel":
+            for entry in members:
+                self._launch_parallel(entry, dop)
+        else:
+            for entry in members:
+                self._launch(None, [entry])
+
+    def _choose_mode(self, members: list[_Submission], dop: int):
+        """Price all four execution arms for one prospective group.
+
+        An attached policy with a ``choose_mode`` method (e.g.
+        :class:`~repro.policies.model_guided.ModelGuidedPolicy`) is
+        consulted directly; otherwise the built-in advisor's rates
+        feed the outlook's projection. Either way one audit record
+        with ``outcome = mode`` binds to the launched members.
+        """
+        query = members[0].query
+        m = len(members)
+        chooser = getattr(self.policy, "choose_mode", None)
+        if chooser is not None:
+            projection = chooser(
+                query.name, m, self.config.processors, dop
+            )
+            self._audit_route("policy", projection.mode, members)
+            return projection, None
+        decision = self.advise(query, m)
+        signature = query.pivot_signature
+        spec, pivot_id = self._specs[signature]
+        adjusted = self._outlook.adjusted_spec(signature, spec, pivot_id, m)
+        projection = self._outlook.share_vs_parallelize(
+            query.name,
+            m,
+            self.config.processors,
+            dop,
+            shared_rate=decision.shared_rate,
+            unshared_rate=decision.unshared_rate,
+            contention=self.config.contention,
+            spec=adjusted,
+            pivot_name=pivot_id,
+        )
+        self._audit_route("advisor", projection.mode, members, decision)
+        return projection, decision
+
+    def _launch_parallel(self, entry: _Submission, dop: int) -> None:
+        handle = self.engine.execute(
+            entry.query.plan,
+            entry.label,
+            batch_rows=self._batch_rows(entry.query),
+            dop=dop,
+        )
+        entry.handle = handle
+        entry.group_size = 1
+        entry.shared = False
+        group = self.engine.groups[-1]
+        self._live_groups.append((entry.query.name, group.size, group.group_id))
+
     def _launch(self, pivot: Optional[str], members: list[_Submission]) -> None:
         group = self.engine.execute_group(
             [entry.query.plan for entry in members],
@@ -508,11 +613,12 @@ class Session:
     def _launch_delayed(self, entry: _Submission) -> None:
         engine = self.engine
         batch_rows = self._batch_rows(entry.query)
+        dop = self._effective_dop(entry.query)
 
         def submitter():
             yield Sleep(entry.delay)
             entry.handle = engine.execute(
-                entry.query.plan, entry.label, batch_rows=batch_rows
+                entry.query.plan, entry.label, batch_rows=batch_rows, dop=dop
             )
 
         self.sim.spawn(submitter(), name=f"submit/{entry.label}")

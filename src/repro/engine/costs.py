@@ -88,6 +88,11 @@ class CostModel:
         partition writes). Charged write-through at spill time, so
         total spill cost is proportional to pages spilled and shrinks
         monotonically as ``work_mem`` grows. Defaults to 0.
+    exchange_tuple:
+        Hashing and routing one tuple through an exchange operator
+        (intra-query repartitioning across parallel fragments). Only
+        parallel plans (``dop > 1``) ever charge it; serial timelines
+        are unaffected by its value.
     """
 
     scan_tuple: float = 1.0
@@ -105,6 +110,7 @@ class CostModel:
     sink_tuple: float = 0.1
     io_page: float = 0.0
     spill_page: float = 0.0
+    exchange_tuple: float = 0.3
 
     def __post_init__(self) -> None:
         for name, value in self.__dict__.items():

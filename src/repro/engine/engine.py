@@ -148,12 +148,76 @@ class Engine:
         label: str,
         on_complete: Optional[Callable[[QueryHandle], None]] = None,
         batch_rows: Optional[int] = None,
+        dop: int = 1,
     ) -> QueryHandle:
-        """Run one query independently (a sharing group of one)."""
+        """Run one query independently (a sharing group of one).
+
+        ``dop > 1`` requests intra-query parallelism: the plan's
+        parallel region (see :mod:`repro.engine.parallel`) runs as
+        ``dop`` exchange-connected fragments; plans with no such
+        region silently fall back to serial execution. The returned
+        row set is identical to the serial plan's either way.
+        """
+        if dop is None:
+            dop = 1
+        if dop < 1:
+            raise EngineError(f"dop must be >= 1, got {dop}")
+        if dop > 1:
+            handle = self._execute_parallel(
+                plan, label, dop, on_complete, batch_rows
+            )
+            if handle is not None:
+                return handle
         group = self.execute_group([plan], pivot_op_id=None, labels=[label],
                                    on_complete=on_complete,
                                    batch_rows=batch_rows)
         return group.handles[0]
+
+    def _execute_parallel(
+        self,
+        plan: PlanNode,
+        label: str,
+        dop: int,
+        on_complete: Optional[Callable[[QueryHandle], None]],
+        batch_rows: Optional[int],
+    ) -> Optional[QueryHandle]:
+        """Spawn ``plan`` as a ``dop``-way fragmented task graph.
+
+        Returns ``None`` when the plan has no parallelizable region,
+        letting :meth:`execute` fall back to the serial path. The
+        bookkeeping mirrors a singleton ``execute_group``: one
+        group id, one handle, tasks collected for the profiler.
+        """
+        from repro.engine.parallel.builder import build_parallel_query, find_region
+
+        if find_region(plan) is None:
+            return None
+        if batch_rows is not None and batch_rows < 1:
+            raise EngineError(f"batch_rows must be >= 1, got {batch_rows}")
+        group_ctx = (
+            self.ctx if batch_rows is None
+            else replace(self.ctx, page_rows=batch_rows)
+        )
+        group_id = self._group_counter
+        self._group_counter += 1
+        handle = QueryHandle(
+            label=label,
+            schema=plan.schema,
+            submitted_at=self.sim.now,
+            group_id=group_id,
+            shared=False,
+            on_complete=on_complete,
+        )
+        collected: list = []
+        self._collect_tasks = collected
+        root_q = build_parallel_query(self, plan, dop, prefix=label, ctx=group_ctx)
+        self._spawn_sink(root_q, handle)
+        self._collect_tasks = None
+        self.group_tasks[group_id] = collected
+        group = GroupHandle(group_id=group_id, pivot_op_id=None, handles=[handle])
+        self.groups.append(group)
+        self.handles.append(handle)
+        return handle
 
     def execute_group(
         self,

@@ -205,11 +205,22 @@ class ScanOperator(BatchOperator):
 
     def _elevator_scan(self):
         """Ride the table's shared elevator cursor (see shared_scan)."""
+        ticket = self.ctx.scans.attach(
+            self.table.name, self.table.page_count(self.ctx.page_rows)
+        )
+        yield from self._ride_elevator(ticket)
+
+    def _ride_elevator(self, ticket):
+        """The per-page elevator protocol over an attached ticket.
+
+        Shared with the parallel scan fragments, which attach *ranged*
+        tickets (fixed start offset, page-range span) to the same
+        cursor and therefore convoy with full scans of the table.
+        """
         ctx = self.ctx
         manager = ctx.scans
         emitter = self.emitter
         io_page = ctx.costs.io_page
-        ticket = manager.attach(self.table.name, self.table.page_count(ctx.page_rows))
         previous_cpu = 0.0
         try:
             while not ticket.exhausted:

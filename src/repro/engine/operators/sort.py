@@ -8,10 +8,21 @@ from the least to the most significant key group, each group compared
 through one composite ``itemgetter`` key.
 
 With a :class:`~repro.engine.memory.MemoryBroker` attached it becomes
-an **external-merge sort**: rows accumulate up to the operator's
-memory grant (``grant.pages`` pages); each time the budget fills, the
-buffered prefix is sorted and written out as one sorted *run* through
-a :class:`~repro.storage.buffer.SpillFile` (``spill_page`` per page).
+an **external-merge sort** with **replacement-selection** run
+generation: a selection heap of ``grant.pages`` pages of rows emits
+its minimum to the current run through a
+:class:`~repro.storage.buffer.SpillFile` (``spill_page`` per page)
+each time a new row must be admitted. An incoming row whose key is
+not below the last row written joins the current run's heap; one that
+is goes to a side buffer for the *next* run. The current run ends
+only when every held row belongs to the next run, so runs average
+twice the memory budget on random input and a single run covers
+arbitrarily long sorted stretches — the tournament-tree property that
+makes partially ordered inputs cheap (fewer runs, fewer merge
+passes). Reverse-ordered input degenerates to one-memory-load runs,
+the old cut-a-run-per-budget behavior, so ``ceil(n / budget_rows)``
+is the run-count ceiling.
+
 After input closes, the runs are merged with a budget-bounded k-way
 merge: the fan-in is ``grant.pages - 1`` (one page reserved for
 output) but never below 2 — at 1- and 2-page grants a two-way merge
@@ -26,11 +37,13 @@ per-page CPU drains the next spill pages' ``io_page`` cost instead
 of stalling on it.
 
 The output is *identical* to the in-memory path at every budget —
-including tie order. Each run is sorted with the same stable
-:func:`sort_rows`, runs partition the input in arrival order, and the
-merge breaks key ties by run index, which reproduces the global stable
-sort. Order-sensitive consumers (limit, merge join) therefore see
-exactly the rows they would have seen unbounded.
+including tie order. Every spilled row carries its arrival sequence
+number; the heap orders by ``(key, seq)`` and the merge breaks key
+ties by that sequence number, which reproduces the global stable sort
+even though replacement selection can place a later-arriving row in
+an earlier run than an equal-keyed predecessor. Order-sensitive
+consumers (limit, merge join) therefore see exactly the rows they
+would have seen unbounded.
 """
 
 from __future__ import annotations
@@ -149,18 +162,46 @@ class SortOperator(BatchOperator):
             )
             self.budget_rows = self.grant.pages * ctx.page_rows
             self.key_fn = merge_key(self.schema, self.keys)
+            # Replacement-selection state: the current run's selection
+            # heap of (key, seq, row), rows deferred to the next run,
+            # the page-sized output buffer, and the (key, seq) floor of
+            # the last row written to the current run.
+            self.select_heap: list = []
+            self.deferred: list = []
+            self.run_buffer: list = []
+            self.run_file = None
+            self.run_floor = None
+            self._seq = 0
         return
         yield  # pragma: no cover
 
     def next_batch(self, batch, port):
         yield Compute(self.ctx.costs.sort_tuple * len(batch))
-        self.buffered.extend(batch.rows)
-        if self.grant is not None:
-            while len(self.buffered) >= self.budget_rows:
-                yield from self._cut_run(self.budget_rows)
-            self.grant.resize_used(
-                -(-len(self.buffered) // self.ctx.page_rows)
-            )
+        if self.grant is None:
+            self.buffered.extend(batch.rows)
+            return
+        heap = self.select_heap
+        deferred = self.deferred
+        key_fn = self.key_fn
+        budget = self.budget_rows
+        seq = self._seq
+        for row in batch.rows:
+            entry = (key_fn(row), seq, row)
+            seq += 1
+            if len(heap) + len(deferred) < budget:
+                heapq.heappush(heap, entry)
+                continue
+            # Memory full: release one selection, then admit the row
+            # into whichever run its key still fits.
+            yield from self._select_one()
+            if (entry[0], entry[1]) < self.run_floor:
+                deferred.append(entry)
+            else:
+                heapq.heappush(heap, entry)
+        self._seq = seq
+        self.grant.resize_used(
+            -(-(len(heap) + len(deferred)) // self.ctx.page_rows)
+        )
 
     def finish(self):
         if self.grant is not None:
@@ -178,29 +219,51 @@ class SortOperator(BatchOperator):
 
     # -- memory-governed external-merge sort -----------------------------
 
-    def _cut_run(self, n_rows: int):
-        """Sort the oldest ``n_rows`` buffered rows into a new run.
+    def _select_one(self):
+        """Release one replacement selection into the current run.
 
-        The sort + write cost is charged page by page — the engine's
-        cost granularity everywhere else — so a large run cut does not
-        stall the producer behind one giant compute burst.
+        When the current run's heap has drained, the run is sealed and
+        the deferred rows become the next run's heap. Spilled rows are
+        tagged with their arrival sequence number so the merge can
+        reproduce the stable tie order across runs.
         """
         ctx = self.ctx
-        costs = ctx.costs
-        page_rows = ctx.page_rows
-        run_rows = sort_rows(self.buffered[:n_rows], self.schema, self.keys)
-        del self.buffered[:n_rows]
-        run = ctx.pool.spill_file(page_rows)
-        self.runs.append(run)
-        for start in range(0, len(run_rows), page_rows):
-            chunk = run_rows[start : start + page_rows]
-            written = run.append_rows(chunk)
-            cost = costs.sort_tuple * len(chunk) + costs.spill_page * written
-            yield Compute(cost)
-        written = run.flush()
+        heap = self.select_heap
+        if not heap:
+            yield from self._close_run()
+            heap.extend(self.deferred)
+            heapq.heapify(heap)
+            self.deferred.clear()
+        key, seq, row = heapq.heappop(heap)
+        self.run_floor = (key, seq)
+        if self.run_file is None:
+            self.run_file = ctx.pool.spill_file(ctx.page_rows)
+            self.runs.append(self.run_file)
+        self.run_buffer.append(row + (seq,))
+        if len(self.run_buffer) >= ctx.page_rows:
+            yield from self._flush_run_page()
+
+    def _flush_run_page(self):
+        """Write the buffered output page; cost charged per page — the
+        engine's cost granularity everywhere else — so a long run never
+        stalls the producer behind one giant compute burst."""
+        costs = self.ctx.costs
+        chunk = self.run_buffer
+        self.run_buffer = []
+        written = self.run_file.append_rows(chunk)
+        yield Compute(costs.sort_tuple * len(chunk) + costs.spill_page * written)
+
+    def _close_run(self):
+        if self.run_file is None:
+            return
+        if self.run_buffer:
+            yield from self._flush_run_page()
+        written = self.run_file.flush()
         if written:
-            yield Compute(costs.spill_page * written)
-        self.spilled_pages += run.page_count
+            yield Compute(self.ctx.costs.spill_page * written)
+        self.spilled_pages += self.run_file.page_count
+        self.run_file = None
+        self.run_floor = None
 
     def _governed_finish(self):
         ctx = self.ctx
@@ -210,18 +273,20 @@ class SortOperator(BatchOperator):
 
         if not self.runs:
             # Everything fit in the grant: the in-memory path, bit-for-bit.
-            if self.buffered:
-                yield Compute(costs.sort_tuple * len(self.buffered))
+            # Heap entries sort by (key, seq) — the stable key order.
+            if self.select_heap:
+                yield Compute(costs.sort_tuple * len(self.select_heap))
                 yield from emitter.emit_rows(
-                    sort_rows(self.buffered, self.schema, self.keys)
+                    [row for _, _, row in sorted(self.select_heap)]
                 )
             grant.note(sort_runs=0, merge_passes=0, spilled_pages=0)
             yield from emitter.close()
             grant.close()
             return
 
-        if self.buffered:
-            yield from self._cut_run(len(self.buffered))
+        while self.select_heap or self.deferred:
+            yield from self._select_one()
+        yield from self._close_run()
         grant.resize_used(0)
 
         # Merge: fan-in bounded by the grant (one page reserved for the
@@ -268,8 +333,11 @@ def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
     (final pass) is used. Input runs stream through
     :class:`SpillCursor`s — one sequential prefetch pipeline per run —
     with the merge's per-page CPU as the drain credit, and are dropped
-    once consumed. Key ties break by run index, preserving the global
-    stable order.
+    once consumed. Run rows carry a trailing arrival sequence number
+    (unique across the whole input); key ties break by it, preserving
+    the global stable order even when replacement selection has placed
+    a later arrival in an earlier run. Intermediate passes keep the
+    tag; the final pass strips it before emitting.
     """
     costs = ctx.costs
     cursors = [SpillCursor(f, costs.io_page, ctx.spill_prefetch) for f in files]
@@ -300,22 +368,22 @@ def _merge_runs(files, ctx, key_fn, grant, out_file=None, emitter=None):
         yield from fetch(index)
         if buffers[index]:
             row = buffers[index].pop()
-            heapq.heappush(heap, (key_fn(row), index, row))
+            heapq.heappush(heap, (key_fn(row), row[-1], index, row))
 
     while heap:
-        _, index, row = heapq.heappop(heap)
+        _, _, index, row = heapq.heappop(heap)
         if out_file is not None:
             pages_out = out_file.append_rows((row,))
             if pages_out:
                 written += pages_out
                 yield Compute(costs.spill_page * pages_out)
         else:
-            yield from emitter.emit_rows((row,))
+            yield from emitter.emit_rows((row[:-1],))
         if not buffers[index]:
             yield from fetch(index)
         if buffers[index]:
             nxt = buffers[index].pop()
-            heapq.heappush(heap, (key_fn(nxt), index, nxt))
+            heapq.heappush(heap, (key_fn(nxt), nxt[-1], index, nxt))
 
     if out_file is not None:
         pages_out = out_file.flush()

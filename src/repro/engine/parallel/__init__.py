@@ -1,0 +1,35 @@
+"""Intra-query parallelism: exchange-partitioned operator fragments.
+
+The package lowers a serial plan to a ``dop``-way parallel task graph
+(Gamma-style): fragmented page-range scans, hash exchanges, partition-
+wise joins and aggregates, and deterministic gathers. Entry point is
+:func:`~repro.engine.parallel.builder.build_parallel_query`, reached
+through ``Engine.execute(plan, dop=...)``.
+"""
+
+from repro.engine.parallel.builder import (
+    FRAGMENT_QUEUE_CAPACITY,
+    build_parallel_query,
+    find_region,
+)
+from repro.engine.parallel.exchange import (
+    EXCHANGE_SALT,
+    ExchangeOperator,
+    GatherOperator,
+    drive_fanin,
+    ordered_merge,
+)
+from repro.engine.parallel.fragment import FragmentScanOperator, partition_ranges
+
+__all__ = [
+    "EXCHANGE_SALT",
+    "FRAGMENT_QUEUE_CAPACITY",
+    "ExchangeOperator",
+    "FragmentScanOperator",
+    "GatherOperator",
+    "build_parallel_query",
+    "drive_fanin",
+    "find_region",
+    "ordered_merge",
+    "partition_ranges",
+]

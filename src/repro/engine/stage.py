@@ -26,16 +26,11 @@ other view. A batch that is already exactly ``batch_rows`` long passes
 straight through without copying — the common case for a saturated
 scan.
 
-:class:`OutputEmitter` is the deprecated per-row facade kept for
-external operator code written against the old protocol; it forwards
-to :meth:`~BatchEmitter.emit_rows` (one release of warning, then it
-goes away).
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Any, Generator, Iterable, Sequence
+from typing import Any, Generator, Sequence
 
 from repro.engine.costs import CostModel
 from repro.engine.packet import RowBatch
@@ -43,7 +38,7 @@ from repro.errors import EngineError
 from repro.sim.events import Close, Compute, Put
 from repro.sim.queues import SimQueue
 
-__all__ = ["BatchEmitter", "OutputEmitter"]
+__all__ = ["BatchEmitter"]
 
 
 class BatchEmitter:
@@ -217,37 +212,3 @@ class BatchEmitter:
         for queue in self.out_queues:
             yield compute
             yield Put(queue, batch)
-
-
-class OutputEmitter(BatchEmitter):
-    """Deprecated per-row emitter facade.
-
-    The operator API now batches output; :meth:`emit` survives one
-    release so externally written operator tasks keep running, then the
-    batched :class:`BatchEmitter` methods become the only protocol.
-    """
-
-    _warned = False
-
-    def __init__(
-        self,
-        out_queues: Sequence[SimQueue],
-        page_rows: int,
-        costs: CostModel,
-        width: int = 1,
-        op: str = "",
-        perf=None,
-    ) -> None:
-        super().__init__(out_queues, page_rows, costs, width=width, op=op, perf=perf)
-
-    def emit(self, rows: Iterable[tuple]) -> Generator:
-        """Buffer rows one by one (deprecated; use ``emit_rows``)."""
-        if not OutputEmitter._warned:
-            OutputEmitter._warned = True
-            warnings.warn(
-                "OutputEmitter.emit() is deprecated; use "
-                "BatchEmitter.emit_rows()/emit_columns() instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        yield from self.emit_rows(rows if isinstance(rows, (list, tuple)) else list(rows))

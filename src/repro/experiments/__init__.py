@@ -13,6 +13,9 @@
   throttle vs group windows under consumer-speed skew,
 * :mod:`repro.experiments.fig_sort` — grant-governed external sort
   with prefetched spill read-back,
+* :mod:`repro.experiments.fig_parallel` — share vs parallelize:
+  exchange-partitioned fragments against pivot-shared groups, and the
+  four-way policy's accuracy on the measured crossover,
 * :mod:`repro.experiments.section4_example` — the Q6 worked example.
 
 Run them via the ``repro-experiments`` CLI (``repro-experiments
@@ -29,6 +32,7 @@ from repro.experiments import (
     fig6,
     fig_drift,
     fig_mem,
+    fig_parallel,
     fig_scan,
     fig_sort,
     section4_example,
@@ -42,6 +46,7 @@ __all__ = [
     "fig6",
     "fig_drift",
     "fig_mem",
+    "fig_parallel",
     "fig_scan",
     "fig_sort",
     "section4_example",

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig_audit,
     fig_drift,
     fig_mem,
+    fig_parallel,
     fig_scan,
     fig_sort,
     section4_example,
@@ -98,6 +99,14 @@ def _run_fig_sort(quick: bool) -> str:
     return fig_sort.run(work_mems=work_mems, prefetch_depths=depths).render()
 
 
+def _run_fig_parallel(quick: bool) -> str:
+    # Quick mode keeps the corner cells: the crossover claims are
+    # asserted at the extremes of the context/consumer axes.
+    consumers = (2, 12) if quick else fig_parallel.DEFAULT_CONSUMERS
+    dops = (1, 4) if quick else fig_parallel.DEFAULT_PARITY_DOPS
+    return fig_parallel.run(consumers=consumers, parity_dops=dops).render()
+
+
 def _run_fig_audit(quick: bool) -> str:
     # The flip needs the full tenant count; quick mode trims rows.
     base_rows = 3000 if quick else fig_audit.FLIP_ROWS
@@ -121,6 +130,7 @@ _EXPERIMENTS = {
     "fig6": _Experiment(_run_fig6, "Figure 6: policy throughput across workload mixes"),
     "fig_audit": _Experiment(_run_fig_audit, "Decision audit: projected vs measured rates over the fig_mem flip"),
     "fig_mem": _Experiment(_run_fig_mem, "Memory governance: spilling join sweep + cold/warm sharing flip"),
+    "fig_parallel": _Experiment(_run_fig_parallel, "Share vs parallelize: exchange-partitioned fragments + the four-way policy"),
     "fig_drift": _Experiment(_run_fig_drift, "Drift-bounded elevator scans: throttle vs group windows under consumer skew"),
     "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),
     "fig_sort": _Experiment(_run_fig_sort, "External sort: grant-governed runs/merges + prefetched spill read-back"),

@@ -26,7 +26,7 @@ from typing import Iterable, Optional
 
 __all__ = ["AuditRecord", "AuditLog"]
 
-OUTCOMES = ("share", "solo", "attach")
+OUTCOMES = ("share", "solo", "attach", "parallel", "both")
 
 
 @dataclass
@@ -39,7 +39,10 @@ class AuditRecord:
     ``"coordinator"`` (the online SharingCoordinator), ``"forced"``
     (the submitter pinned ``share=``), or ``"solo"`` (a singleton
     batch with nothing to share with). ``outcome`` is ``"share"``,
-    ``"solo"``, or ``"attach"`` (joined a group already in flight).
+    ``"solo"``, ``"attach"`` (joined a group already in flight),
+    ``"parallel"`` (ran solo with intra-query parallelism), or
+    ``"both"`` (split into several shared groups — the Section 8.1
+    share-and-parallelize arrangement).
 
     Projection fields are in the model's units: rates are completion
     rates (queries per cost unit, the paper's X_shared/X_unshared),
@@ -78,7 +81,7 @@ class AuditRecord:
     @property
     def projected_rate(self) -> Optional[float]:
         """The projected completion rate of the arm that was chosen."""
-        if self.outcome in ("share", "attach"):
+        if self.outcome in ("share", "attach", "both"):
             return self.projected_shared_rate
         return self.projected_unshared_rate
 

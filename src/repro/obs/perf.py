@@ -12,7 +12,7 @@ that instrument:
   generator is timed with the host clock and attributed to the
   operator (task names follow the engine's ``prefix/op_id``
   convention, so slices aggregate per ``op_id``);
-* :class:`~repro.engine.stage.OutputEmitter` feeds per-operator row
+* :class:`~repro.engine.stage.BatchEmitter` feeds per-operator row
   counts at page-flush boundaries, giving each operator a measured
   rows/s;
 * :meth:`WallProfiler.totals` decomposes a run's wall time into

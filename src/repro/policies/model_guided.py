@@ -22,10 +22,11 @@ from typing import Mapping, Optional
 from repro.core.contention import ContentionLike
 from repro.core.decision import ShareAdvisor
 from repro.core.spec import QuerySpec
+from repro.engine.costs import DEFAULT_COST_MODEL
 from repro.errors import PolicyError
 from repro.obs.audit import AuditLog
 from repro.policies.base import SharingPolicy
-from repro.policies.resource_outlook import ResourceOutlook
+from repro.policies.resource_outlook import ParallelProjection, ResourceOutlook
 
 __all__ = ["ModelGuidedPolicy"]
 
@@ -123,3 +124,72 @@ class ModelGuidedPolicy(SharingPolicy):
         if self.outlook is None:
             self._decision_cache[key] = decision.share
         return decision.share
+
+    def choose_mode(
+        self,
+        query_name: str,
+        prospective_size: int,
+        processors: int,
+        dop: int,
+        partition_skew: float = 1.0,
+    ) -> "ParallelProjection":
+        """Share, parallelize, both, or neither — the four-way verdict.
+
+        Evaluates the Section-4 rates for the prospective group (with
+        the outlook's resource adjustment, when attached), then asks
+        the outlook's :meth:`~repro.policies.resource_outlook
+        .ResourceOutlook.share_vs_parallelize` projection to price all
+        four arms: m solo serial queries, one shared group, m solo
+        queries each at ``dop``-way intra-query parallelism, and the
+        Section 8.1 several-shared-groups arrangement. Appends one
+        audit record per verdict when an :class:`~repro.obs.audit
+        .AuditLog` is attached (``outcome`` = the chosen mode).
+        """
+        try:
+            spec, pivot = self.specs[query_name]
+        except KeyError:
+            raise PolicyError(
+                f"no model spec for query {query_name!r}; "
+                f"have {sorted(self.specs)}"
+            ) from None
+        outlook = self.outlook
+        if outlook is not None:
+            spec = outlook.adjusted_spec(
+                query_name, spec, pivot, prospective_size
+            )
+        else:
+            outlook = ResourceOutlook({}, costs=DEFAULT_COST_MODEL)
+        advisor = ShareAdvisor(
+            processors=processors,
+            contention=self.contention,
+            threshold=self.threshold,
+        )
+        group = [
+            spec.relabeled(f"{query_name}#{i}")
+            for i in range(prospective_size)
+        ]
+        decision = advisor.evaluate(group, pivot)
+        projection = outlook.share_vs_parallelize(
+            query_name,
+            prospective_size,
+            processors,
+            dop,
+            shared_rate=decision.shared_rate,
+            unshared_rate=decision.unshared_rate,
+            contention=self.contention,
+            partition_skew=partition_skew,
+            spec=spec,
+            pivot_name=pivot,
+        )
+        if self.audit is not None:
+            self.audit.append(
+                query=query_name,
+                signature=query_name,
+                group_size=prospective_size,
+                source="policy",
+                outcome=projection.mode,
+                projected_z=decision.benefit,
+                projected_shared_rate=decision.shared_rate,
+                projected_unshared_rate=decision.unshared_rate,
+            )
+        return projection

@@ -42,9 +42,11 @@ speed — the approximation the experiments validate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.core.contention import ContentionLike, resolve
 from repro.core.spec import OperatorSpec, QuerySpec
 from repro.engine.costs import CostModel
 from repro.engine.memory import MemoryBroker
@@ -52,7 +54,38 @@ from repro.errors import PolicyError
 from repro.storage.buffer import BufferPool
 from repro.storage.shared_scan import ScanShareManager
 
-__all__ = ["ResourceProfile", "ResourceOutlook"]
+__all__ = ["ResourceProfile", "ResourceOutlook", "ParallelProjection"]
+
+# Tie-break preference for the mode choice: earlier entries win equal
+# projected makespans (the simpler execution shape is preferred when
+# the model sees no difference).
+MODES = ("solo", "share", "parallel", "both")
+
+
+@dataclass(frozen=True)
+class ParallelProjection:
+    """The outlook's verdict on one share-vs-parallelize choice.
+
+    ``mode`` is the arm with the smallest projected makespan among
+    ``solo`` (m independent serial queries), ``share`` (one pivot-
+    shared group of m), ``parallel`` (m independent queries, each
+    split into ``dop`` exchange-connected fragments), and ``both``
+    (the Section 8.1 arrangement: several smaller shared groups run
+    concurrently, reaping sharing *and* parallelism). ``makespans``
+    holds every arm's projection (``inf`` = arm unavailable);
+    ``partition_group_size`` is the per-group size behind a ``both``
+    verdict (0 otherwise).
+    """
+
+    mode: str
+    dop: int
+    group_size: int
+    makespans: Mapping[str, float] = field(default_factory=dict)
+    partition_group_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise PolicyError(f"mode must be one of {MODES}, got {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -170,6 +203,94 @@ class ResourceOutlook:
             )
 
         return extra / (m - 1)
+
+    def share_vs_parallelize(
+        self,
+        query_name: str,
+        group_size: int,
+        processors: int,
+        dop: int,
+        shared_rate: float,
+        unshared_rate: float,
+        contention: ContentionLike = None,
+        partition_skew: float = 1.0,
+        spec: Optional[QuerySpec] = None,
+        pivot_name: Optional[str] = None,
+    ) -> ParallelProjection:
+        """Project the makespan of every execution arm and pick one.
+
+        The serial arms reuse the Section-4 rates the caller already
+        computed (``m / rate``). The ``parallel`` arm scales the solo
+        makespan by a speedup built from three factors:
+
+        * **context headroom** — a query can use at most
+          ``min(dop, n/m)`` contexts before its siblings contend for
+          them (and never fewer than 1);
+        * **partition skew** — fragments finish with the largest
+          partition, so the split itself buys at most
+          ``dop / partition_skew`` (``skew = dop * largest partition
+          share``; 1.0 = perfectly even);
+        * **contention** — busying ``min(m*dop, n)`` contexts instead
+          of ``min(m, n)`` drops per-context speed by the power-law
+          ratio ``(busy_par / busy_solo) ** (kappa - 1)`` (Section
+          4.1.4) — parallelism stops paying exactly where shared
+          hardware saturates.
+
+        The ``both`` arm (needs ``spec``/``pivot_name`` and ``m >= 3``)
+        asks :meth:`~repro.core.decision.ShareAdvisor.best_partitioning`
+        for the best split of the m clients into several concurrent
+        shared groups; it only competes when the winning arrangement is
+        strictly between one big group and all-solo.
+
+        Modes tie-break toward the simpler shape (solo before share
+        before parallel before both).
+        """
+        if group_size < 1:
+            raise PolicyError(f"group_size must be >= 1, got {group_size}")
+        if dop < 1:
+            raise PolicyError(f"dop must be >= 1, got {dop}")
+        if partition_skew < 1:
+            raise PolicyError(
+                f"partition_skew must be >= 1, got {partition_skew}"
+            )
+        m = group_size
+        n = float(processors)
+        makespans: dict[str, float] = {mode: math.inf for mode in MODES}
+        if unshared_rate > 0:
+            makespans["solo"] = m / unshared_rate
+        if m >= 2 and shared_rate > 0:
+            makespans["share"] = m / shared_rate
+        if dop >= 2 and makespans["solo"] < math.inf:
+            model = resolve(contention)
+            per_query = max(1.0, min(float(dop), n / m))
+            raw = min(per_query, dop / partition_skew)
+            busy_solo = max(1.0, min(float(m), n))
+            busy_par = max(1.0, min(float(m * dop), n))
+            discount = (model.effective(busy_par) / busy_par) / (
+                model.effective(busy_solo) / busy_solo
+            )
+            speedup = raw * discount
+            if speedup > 0:
+                makespans["parallel"] = makespans["solo"] / speedup
+        partition_group = 0
+        if spec is not None and pivot_name is not None and m >= 3:
+            from repro.core.decision import ShareAdvisor
+
+            advisor = ShareAdvisor(processors=n, contention=contention)
+            arrangement = advisor.best_partitioning(spec, pivot_name, m)
+            if 1 < arrangement.group_size < m and arrangement.predicted_rate > 0:
+                makespans["both"] = m / arrangement.predicted_rate
+                partition_group = arrangement.group_size
+        mode = min(MODES, key=lambda k: makespans[k])
+        if mode != "both":
+            partition_group = 0
+        return ParallelProjection(
+            mode=mode,
+            dop=dop,
+            group_size=m,
+            makespans=makespans,
+            partition_group_size=partition_group,
+        )
 
     def adjusted_spec(
         self, query_name: str, spec: QuerySpec, pivot_name: str,

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import StorageError
 from repro.obs.trace import TID_SCANS
@@ -266,16 +267,26 @@ class ScanTicket:
     The ticket records where the consumer attached (``start_page``) and
     how many pages it has been served; :attr:`page_index` walks the
     table in circular order from the start offset and the ticket is
-    :attr:`exhausted` after exactly one revolution.
+    :attr:`exhausted` after exactly one revolution — or after ``span``
+    pages for a *ranged* ticket (a parallel scan fragment that reads
+    only its page range but still rides the table's cursor, sharing
+    residency and convoy reads with every other consumer).
     """
 
-    __slots__ = ("table", "n_pages", "start_page", "served", "detached",
-                 "group", "acquired")
+    __slots__ = ("table", "n_pages", "start_page", "span", "served",
+                 "detached", "group", "acquired")
 
-    def __init__(self, table: str, n_pages: int, start_page: int) -> None:
+    def __init__(
+        self,
+        table: str,
+        n_pages: int,
+        start_page: int,
+        span: Optional[int] = None,
+    ) -> None:
         self.table = table
         self.n_pages = n_pages
         self.start_page = start_page
+        self.span = n_pages if span is None else span
         self.served = 0
         self.detached = False
         # The elevator group this ticket rides (set by attach, moved
@@ -303,8 +314,8 @@ class ScanTicket:
 
     @property
     def exhausted(self) -> bool:
-        """True once the consumer has seen every page exactly once."""
-        return self.served >= self.n_pages
+        """True once the consumer has seen every page of its span."""
+        return self.served >= self.span
 
     def advance(self) -> None:
         if self.exhausted:
@@ -318,7 +329,7 @@ class ScanTicket:
     def __repr__(self) -> str:
         return (
             f"ScanTicket({self.table!r}, start={self.start_page}, "
-            f"{self.served}/{self.n_pages})"
+            f"{self.served}/{self.span})"
         )
 
 
@@ -356,8 +367,15 @@ class _Group:
         return (self.head - ticket.next_page) % n_pages
 
     def max_lag(self, n_pages: int) -> int:
+        # Ranged tickets (parallel scan fragments pinned to a page
+        # range) are not convoy stragglers: their distance from the
+        # head is fixed by their range, not by their speed, so they
+        # are excluded — counting them would throttle the head for
+        # the fragment's whole lifetime.
         lags = [
-            self.lag_of(t, n_pages) for t in self.active_tickets()
+            self.lag_of(t, n_pages)
+            for t in self.active_tickets()
+            if t.span >= n_pages
         ]
         return max(lags, default=0)
 
@@ -498,15 +516,37 @@ class ScanShareManager:
 
     # -- consumer lifecycle ----------------------------------------------
 
-    def attach(self, table: str, n_pages: int) -> ScanTicket:
+    def attach(
+        self,
+        table: str,
+        n_pages: int,
+        start: Optional[int] = None,
+        span: Optional[int] = None,
+    ) -> ScanTicket:
         """Join the table's elevator at its current position.
 
         The first consumer starts a cursor at page 0; later arrivals
         start at the head — the page the in-flight pass is about to
         read — and wrap around.
+
+        ``start`` / ``span`` attach a *ranged* ticket: a parallel scan
+        fragment reading ``span`` pages from a fixed ``start`` offset
+        (not the head). Ranged tickets ride the same cursor as every
+        full-revolution consumer — they share pool residency and any
+        in-flight convoy reads, and they count in the cursor's sharing
+        statistics — but they do not begin at the head, so they pay
+        their own cold reads where their range has not been warmed.
         """
         if n_pages < 1:
             raise StorageError(f"n_pages must be >= 1, got {n_pages}")
+        if start is not None and not 0 <= start < n_pages:
+            raise StorageError(
+                f"start must be in [0, {n_pages}), got {start}"
+            )
+        if span is not None and not 1 <= span <= n_pages:
+            raise StorageError(
+                f"span must be in [1, {n_pages}], got {span}"
+            )
         cursor = self._cursors.get(table)
         if cursor is None:
             cursor = _Cursor(table, n_pages)
@@ -525,7 +565,8 @@ class ScanShareManager:
             cursor.io_abandoned_cost += cursor.pending_cost()
             cursor.groups = [_Group()]
         lead = cursor.groups[0]
-        ticket = ScanTicket(table, n_pages, lead.head % n_pages)
+        start_page = lead.head % n_pages if start is None else start
+        ticket = ScanTicket(table, n_pages, start_page, span=span)
         ticket.group = lead
         lead.tickets.append(ticket)
         cursor.attaches += 1
@@ -878,9 +919,12 @@ class ScanShareManager:
         the smallest lag of the slow cluster, or ``None`` when the
         convoy has no gap to cut at (fewer than two distinct lags).
         """
+        # Ranged fragments sit at range-fixed offsets, not speed-derived
+        # lags; they stay in the lead group and never seed a window.
         lags = sorted(
             group.lag_of(t, cursor.n_pages)
             for t in group.active_tickets()
+            if t.span >= cursor.n_pages
         )
         if len(lags) < 2 or lags[0] == lags[-1]:
             return None
@@ -898,7 +942,8 @@ class ScanShareManager:
             return
         slow = [
             t for t in group.active_tickets()
-            if group.lag_of(t, cursor.n_pages) >= threshold
+            if t.span >= cursor.n_pages
+            and group.lag_of(t, cursor.n_pages) >= threshold
         ]
         slow_head = min(
             (t for t in slow),

@@ -1,0 +1,239 @@
+"""Direct unit tests for coordinator slot routing and the open driver.
+
+The property suite (``test_property_coordinator.py``) checks the
+coordinator never loses a query; these tests pin down the *mechanism*:
+what prospective size and processor count each policy call sees, when
+a batch attaches to a busy signature versus launching, and when the
+pending batch flushes. The open-driver tests verify the arrival
+bookkeeping — the seeded Poisson process, the horizon cutoff, and the
+result arithmetic — independently of any policy behaviour.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import PolicyError
+from repro.obs.audit import AuditLog
+from repro.policies import AlwaysShare, NeverShare, SharingCoordinator
+from repro.policies.base import SharingPolicy
+from repro.sim import Simulator
+from repro.sim.events import Sleep
+from repro.tpch.generator import generate
+from repro.workload import WorkloadMix, run_open_system
+from repro.workload.open_driver import OpenSystemResult
+
+CATALOG = generate(scale_factor=0.0003, seed=77)
+
+
+class RecordingPolicy(SharingPolicy):
+    """Shares on demand, recording every consultation's arguments."""
+
+    name = "recording"
+
+    def __init__(self, share=True):
+        self.share = share
+        self.calls = []
+        self.observed = []
+
+    def should_share(self, query_name, prospective_size, processors):
+        self.calls.append((query_name, prospective_size, processors))
+        return self.share and prospective_size >= 2
+
+    def observe_group(self, query_name, group_size, tasks):
+        self.observed.append((query_name, group_size))
+
+
+def _coordinator(policy, processors=8, audit=None, max_group_size=None):
+    sim = Simulator(processors=processors)
+    engine = Engine(CATALOG, sim)
+    coordinator = SharingCoordinator(
+        engine, policy, max_group_size=max_group_size, audit=audit
+    )
+    return sim, coordinator
+
+
+def _query(name="q6"):
+    from repro.tpch.queries import build
+
+    return build(name, CATALOG)
+
+
+class TestSlotRouting:
+    def test_same_instant_arrivals_offered_as_one_group(self):
+        policy = RecordingPolicy()
+        sim, coordinator = _coordinator(policy)
+        q = _query()
+        for i in range(4):
+            coordinator.submit(q, f"q6#{i}")
+        sim.run()
+        # One routing pass saw all four arrivals as one prospective group.
+        assert policy.calls[0] == ("q6", 4, 8)
+        assert coordinator.launched_group_sizes == [4]
+        assert coordinator.shared_submissions == 4
+
+    def test_declined_batch_launches_singletons(self):
+        policy = RecordingPolicy(share=False)
+        sim, coordinator = _coordinator(policy)
+        q = _query()
+        for i in range(3):
+            coordinator.submit(q, f"q6#{i}")
+        sim.run()
+        assert coordinator.launched_group_sizes == [1, 1, 1]
+        assert coordinator.solo_submissions == 3
+        assert coordinator.shared_submissions == 0
+
+    def test_busy_signature_attaches_to_pending(self):
+        audit = AuditLog()
+        sim, coordinator = _coordinator(AlwaysShare(), audit=audit)
+        q = _query()
+        coordinator.submit(q, "a0")
+        coordinator.submit(q, "a1")
+        pending_seen = []
+
+        def late():
+            yield Sleep(1.0)  # the first group is now active
+            coordinator.submit(q, "b0")
+            yield Sleep(1.0)  # routing has run; the group is still going
+            pending_seen.append(coordinator.pending_count())
+
+        sim.spawn(late(), name="late")
+        sim.run()
+        assert pending_seen == [1]
+        outcomes = [r.outcome for r in audit.records]
+        assert outcomes[0] == "share"
+        assert outcomes[1] == "attach"
+        # The pending batch flushed once the active group drained.
+        assert coordinator.pending_count() == 0
+        assert coordinator.launched_group_sizes == [2, 1]
+
+    def test_effective_processors_exclude_other_signatures(self):
+        policy = RecordingPolicy()
+        sim, coordinator = _coordinator(policy, processors=8)
+        q6, q4 = _query("q6"), _query("q4")
+        coordinator.submit(q6, "q6#0")
+        coordinator.submit(q6, "q6#1")
+        coordinator.submit(q6, "q6#2")
+
+        def other():
+            yield Sleep(1.0)  # q6's 3-member group is active
+            coordinator.submit(q4, "q4#0")
+            coordinator.submit(q4, "q4#1")
+
+        sim.spawn(other(), name="other")
+        sim.run()
+        # q4's consultation sees 8 - 3 = 5 free processors; q6's own
+        # members do not count against q6.
+        q4_calls = [c for c in policy.calls if c[0] == "q4"]
+        assert q4_calls[0] == ("q4", 2, 5)
+
+    def test_prospective_size_counts_active_and_pending(self):
+        policy = RecordingPolicy()
+        sim, coordinator = _coordinator(policy)
+        q = _query()
+        coordinator.submit(q, "a0")
+        coordinator.submit(q, "a1")
+
+        def late():
+            yield Sleep(1.0)
+            coordinator.submit(q, "b0")  # attaches: pending = 1
+            yield Sleep(1.0)
+            coordinator.submit(q, "c0")  # sees 2 active + 1 pending + 1
+
+        sim.spawn(late(), name="late")
+        sim.run()
+        assert policy.calls[1] == ("q6", 3, 8)
+        assert policy.calls[2] == ("q6", 4, 8)
+
+    def test_flush_respects_group_size_cap(self):
+        sim, coordinator = _coordinator(AlwaysShare(), max_group_size=2)
+        q = _query()
+        for i in range(5):
+            coordinator.submit(q, f"q6#{i}")
+        sim.run()
+        assert all(s <= 2 for s in coordinator.launched_group_sizes)
+        assert sum(coordinator.launched_group_sizes) == 5
+
+    def test_completed_group_reported_to_policy(self):
+        policy = RecordingPolicy()
+        sim, coordinator = _coordinator(policy)
+        q = _query()
+        coordinator.submit(q, "a0")
+        coordinator.submit(q, "a1")
+        sim.run()
+        assert policy.observed == [("q6", 2)]
+
+    def test_drain_routes_without_simulator(self):
+        policy = RecordingPolicy(share=False)
+        sim, coordinator = _coordinator(policy)
+        coordinator.submit(_query(), "a0")
+        coordinator.drain()
+        # Routed immediately: the policy was consulted before sim.run().
+        assert policy.calls == [("q6", 1, 8)]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(PolicyError):
+            _coordinator(AlwaysShare(), max_group_size=0)
+
+
+class TestOpenDriverBookkeeping:
+    def test_poisson_schedule_matches_seeded_replay(self):
+        """The driver submits exactly the arrivals an offline replay of
+        its seeded exponential-gap process places before the horizon."""
+        rate, horizon, seed = 1.0 / 30_000.0, 500_000.0, 11
+        result = run_open_system(
+            CATALOG, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=rate, processors=8,
+            horizon=horizon, drain=200_000.0, seed=seed,
+        )
+        rng = random.Random(seed)
+        t, expected = 0.0, 0
+        while True:
+            t += -math.log(1.0 - rng.random()) / rate
+            if t >= horizon:
+                break
+            expected += 1
+        assert result.submitted == expected
+
+    def test_no_arrivals_after_horizon(self):
+        result = run_open_system(
+            CATALOG, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 20_000.0, processors=8,
+            horizon=200_000.0, drain=400_000.0, seed=5,
+        )
+        a = run_open_system(
+            CATALOG, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 20_000.0, processors=8,
+            horizon=200_000.0, drain=800_000.0, seed=5,
+        )
+        # A longer drain admits no new work; it only finishes what's in.
+        assert a.submitted == result.submitted
+        assert a.completed >= result.completed
+
+    def test_result_arithmetic(self):
+        result = OpenSystemResult(
+            policy="x", processors=4, arrival_rate=0.1, horizon=100.0,
+            submitted=20, completed=19, mean_response_time=3.0,
+            max_response_time=9.0, utilization=0.5,
+        )
+        assert result.backlog == 1
+        assert result.stable  # 19 >= 0.95 * 20
+        worse = OpenSystemResult(
+            policy="x", processors=4, arrival_rate=0.1, horizon=100.0,
+            submitted=20, completed=18, mean_response_time=3.0,
+            max_response_time=9.0, utilization=0.5,
+        )
+        assert worse.backlog == 2
+        assert not worse.stable
+
+    def test_empty_run_reports_infinite_mean_response(self):
+        result = run_open_system(
+            CATALOG, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 1e9, processors=2, horizon=10.0, seed=0,
+        )
+        assert result.submitted == 0
+        assert result.completed == 0
+        assert result.mean_response_time == float("inf")
+        assert result.backlog == 0

@@ -1,12 +1,10 @@
 """Unit tests for stage plumbing and the cost model."""
 
-import warnings
-
 import pytest
 
 from repro.engine.costs import CostModel
 from repro.engine.packet import RowBatch
-from repro.engine.stage import BatchEmitter, OutputEmitter
+from repro.engine.stage import BatchEmitter
 from repro.errors import EngineError
 from repro.sim import CLOSED, Get, Simulator
 
@@ -40,15 +38,17 @@ class TestCostModel:
         assert (wide - narrow) == pytest.approx(64 * 6 * costs.output_value)
 
 
-class TestOutputEmitter:
+class TestEmitterMechanics:
+    """Batching, multiplexing, and validation of the emitter."""
+
     def run_emitter(self, rows, page_rows=4, consumers=1, capacity=100):
         sim = Simulator(processors=1)
         queues = [sim.queue(f"q{i}", capacity) for i in range(consumers)]
-        emitter = OutputEmitter(queues, page_rows, CostModel(), width=2)
+        emitter = BatchEmitter(queues, page_rows, CostModel(), width=2)
         received = {i: [] for i in range(consumers)}
 
         def producer():
-            yield from emitter.emit(rows)
+            yield from emitter.emit_rows(rows)
             yield from emitter.close()
 
         def consumer(i):
@@ -93,21 +93,21 @@ class TestOutputEmitter:
 
     def test_requires_output_queue(self):
         with pytest.raises(EngineError):
-            OutputEmitter([], 4, CostModel())
+            BatchEmitter([], 4, CostModel())
 
     def test_invalid_page_rows(self):
         sim = Simulator(processors=1)
         with pytest.raises(EngineError):
-            OutputEmitter([sim.queue("q")], 0, CostModel())
+            BatchEmitter([sim.queue("q")], 0, CostModel())
 
     def test_invalid_width(self):
         sim = Simulator(processors=1)
         with pytest.raises(EngineError):
-            OutputEmitter([sim.queue("q")], 4, CostModel(), width=0)
+            BatchEmitter([sim.queue("q")], 4, CostModel(), width=0)
 
 
 class TestBatchEmitter:
-    """The batched emitter API and the deprecated per-row facade."""
+    """The batched emitter API: rows, columns, and whole batches."""
 
     def run_batched(self, emit_calls, page_rows=4, consumers=1, width=2):
         sim = Simulator(processors=1)
@@ -158,56 +158,11 @@ class TestBatchEmitter:
         flat = [r for page in received for r in page]
         assert flat == rows[:3] + [(10, 10.0), (11, 11.0)] + rows[3:]
 
-    def test_deprecated_emit_warns_once_and_forwards(self):
-        OutputEmitter._warned = False
-        rows = [(i, i) for i in range(5)]
-        sim = Simulator(processors=1)
-        queue = sim.queue("q", 100)
-        emitter = OutputEmitter([queue], 4, CostModel(), width=2)
-        received = []
-
-        def producer():
-            with pytest.warns(DeprecationWarning, match="emit_rows"):
-                yield from emitter.emit(rows)
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")  # second call: no warning
-                yield from emitter.emit([(9, 9)])
-            yield from emitter.close()
-
-        def consumer():
-            while True:
-                batch = yield Get(queue)
-                if batch is CLOSED:
-                    return
-                received.extend(batch.rows)
-
-        sim.spawn(producer(), name="p")
-        sim.spawn(consumer(), name="c")
-        sim.run()
-        assert received == rows + [(9, 9)]
-
-    def test_row_facade_timeline_matches_batched(self):
+    def test_split_emit_calls_match_single_call(self):
         rows = [(i, float(i)) for i in range(11)]
-        _, batched, sim_b = self.run_batched([("emit_rows", (rows,))])
-        OutputEmitter._warned = True  # silence; equivalence is the point
-        sim = Simulator(processors=1)
-        queue = sim.queue("q", 100)
-        emitter = OutputEmitter([queue], 4, CostModel(), width=2)
-        received = []
-
-        def producer():
-            yield from emitter.emit(rows)
-            yield from emitter.close()
-
-        def consumer():
-            while True:
-                batch = yield Get(queue)
-                if batch is CLOSED:
-                    return
-                received.append(list(batch.rows))
-
-        sim.spawn(producer(), name="p")
-        sim.spawn(consumer(), name="c")
-        sim.run()
-        assert received == batched
-        assert repr(sim.now) == repr(sim_b.now)
+        _, whole, sim_w = self.run_batched([("emit_rows", (rows,))])
+        _, split, sim_s = self.run_batched(
+            [("emit_rows", ([r],)) for r in rows]
+        )
+        assert split == whole
+        assert repr(sim_s.now) == repr(sim_w.now)

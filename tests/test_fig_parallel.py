@@ -1,0 +1,88 @@
+"""The share-vs-parallelize experiment meets its acceptance criteria."""
+
+import pytest
+
+from repro.experiments import fig_parallel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_parallel.run()
+
+
+class TestCrossover:
+    def test_parallel_wins_uncontended(self, result):
+        """Low skew, plentiful contexts, few consumers: fragmenting
+        beats sharing."""
+        assert result.parallel_wins_uncontended()
+
+    def test_share_wins_contended(self, result):
+        """Scarce, contended contexts and many consumers: the shared
+        pivot beats m*dop fragments."""
+        assert result.share_wins_contended()
+
+    def test_crossover_spans_the_sweep(self, result):
+        winners = {c.measured_winner for c in result.cells}
+        assert winners == {"share", "parallel"}
+
+    def test_consumer_axis_flips_the_winner_when_contended(self, result):
+        contended = [
+            c for c in result.cells
+            if c.contention is not None and c.skew == "uniform"
+        ]
+        by_m = {c.consumers: c.measured_winner for c in contended}
+        assert by_m[min(by_m)] == "parallel"
+        assert by_m[max(by_m)] == "share"
+
+
+class TestPolicyAccuracy:
+    def test_policy_picks_the_winner_in_at_least_ninety_percent(self, result):
+        assert result.policy_accuracy() >= 0.9
+
+    def test_policy_consulted_in_every_cell(self, result):
+        modes = {c.policy_mode for c in result.cells}
+        assert modes <= {"solo", "share", "parallel", "both"}
+        assert "parallel" in modes  # it does choose to fragment...
+        assert modes & {"share", "both"}  # ...and also to share
+
+    def test_skew_measurement_reflects_the_data(self, result):
+        uniform = [c for c in result.cells if c.skew == "uniform"]
+        skewed = [c for c in result.cells if c.skew == "skewed"]
+        assert all(c.raw_partition_skew < 1.5 for c in uniform)
+        # 85% of rows share one group: one partition holds most rows.
+        assert all(c.raw_partition_skew > 2.0 for c in skewed)
+        # ...but the parallel stage is scan-dominated, so the honest
+        # (work-weighted) model input stays near 1.
+        assert all(
+            c.effective_skew <= c.raw_partition_skew for c in skewed
+        )
+
+
+class TestParity:
+    def test_answers_identical_everywhere(self, result):
+        assert result.answers_identical()
+
+    def test_parity_covers_presets_and_dops(self, result):
+        presets = {p.preset for p in result.parity}
+        dops = {p.dop for p in result.parity}
+        plans = {p.plan for p in result.parity}
+        assert presets == set(fig_parallel.DEFAULT_PARITY_PRESETS)
+        assert dops == set(fig_parallel.DEFAULT_PARITY_DOPS)
+        assert plans == {"agg", "join"}
+
+    def test_parallelism_pays_on_the_big_machine(self, result):
+        spans = {
+            p.dop: p.makespan
+            for p in result.parity
+            if p.preset == "cmp32" and p.plan == "agg"
+        }
+        assert spans[4] < spans[1]
+
+
+class TestRender:
+    def test_render_reports_criteria(self, result):
+        text = result.render()
+        assert "policy accuracy" in text
+        assert "parallel wins uncontended: True" in text
+        assert "share wins contended: True" in text
+        assert "answers identical: True" in text

@@ -107,16 +107,47 @@ class TestExternalSort:
         assert spills[-1] > 0
 
     def test_run_and_pass_arithmetic_matches_grant(self, catalog):
+        # Replacement selection caps the run count at ceil(n / budget)
+        # (the reverse-ordered worst case) and usually does better; the
+        # merge-pass arithmetic must match whatever count it produced.
         n_rows = 3000
         for work_mem in (16, 5, 2, 1):
             _, _, report = _run(catalog, _sort_plan(catalog), work_mem)
             notes = report.grant_notes("big_sort")
             budget_rows = work_mem * PAGE_ROWS
-            expected_runs = -(-n_rows // budget_rows)
-            assert notes["sort_runs"] == expected_runs
+            max_runs = -(-n_rows // budget_rows)
+            assert 1 <= notes["sort_runs"] <= max_runs
             assert notes["merge_passes"] == plan_merge_passes(
-                expected_runs, max(2, work_mem - 1)
+                notes["sort_runs"], max(2, work_mem - 1)
             )
+
+    def test_replacement_selection_lengthens_runs(self):
+        """Run counts: sorted input → 1; random ≈ n/(2·budget);
+        reverse-sorted → the ceil(n/budget) worst case."""
+        n, work_mem = 1024, 4
+        budget_rows = work_mem * PAGE_ROWS
+        worst_case = -(-n // budget_rows)
+        runs = {}
+        inputs = {
+            "sorted": [(i,) for i in range(n)],
+            "shuffled": [((i * 389) % n,) for i in range(n)],
+            "reversed": [(n - i,) for i in range(n)],
+        }
+        for label, data in inputs.items():
+            catalog = Catalog()
+            schema = Schema([("k", DataType.INT)])
+            catalog.create("t", schema).insert_many(data)
+            plan = sort(
+                scan(catalog, "t", columns=["k"], op_id="s"),
+                [("k", True)],
+                op_id="big_sort",
+            )
+            rows, _, report = _run(catalog, plan, work_mem)
+            assert rows == sorted(data)
+            runs[label] = report.grant_notes("big_sort")["sort_runs"]
+        assert runs["sorted"] == 1
+        assert 1 < runs["shuffled"] < worst_case
+        assert runs["reversed"] == worst_case
 
     def test_makespan_degrades_but_never_fails(self, catalog):
         _, unbounded, _ = _run(catalog, _sort_plan(catalog))
