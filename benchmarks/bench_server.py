@@ -1,0 +1,77 @@
+"""Benchmark of the open-system service tier.
+
+One steady-state serve call: a seeded Poisson stream of Q6 arrivals at
+roughly saturation on a 4-context machine, queue-depth admission,
+always-share dispatch. The interesting numbers are the open-system
+outputs — goodput, p99 response time, shed count — recorded as
+trajectory counters so a regression in the serve loop (lost
+completions, runaway shedding, broken grouping) shows up in the perf
+diff even when wall time stays flat.
+"""
+
+import time
+
+from conftest import wall_samples
+
+from repro.db import RuntimeConfig
+from repro.policies import AlwaysShare
+from repro.server import QueueDepthBound, Server
+from repro.tpch.queries import build
+from repro.workload import WorkloadMix
+
+PROCESSORS = 4
+QUEUE_BOUND = 32
+RATE = 1.0 / 2_500.0
+HORIZON = 400_000.0
+DRAIN = 100_000.0
+
+
+def _serve(catalog, query):
+    server = Server.open(
+        catalog,
+        RuntimeConfig(processors=PROCESSORS),
+        policy=AlwaysShare(),
+        admission=QueueDepthBound(QUEUE_BOUND),
+        attach_inflight=False,
+        keep_rows=False,
+    )
+    report = server.serve(
+        WorkloadMix.single("q6"),
+        {"q6": query},
+        arrival_rate=RATE,
+        horizon=HORIZON,
+        drain=DRAIN,
+        seed=17,
+    )
+    return server, report
+
+
+def test_server_steady_state(benchmark, catalog, trajectory):
+    """Serve a saturating arrival stream; gate on conservation and
+    record the open-system outputs on the trajectory."""
+    query = build("q6", catalog)
+
+    started = time.perf_counter()
+    server, report = _serve(catalog, query)
+    wall = time.perf_counter() - started
+
+    assert report.submitted > 100
+    assert report.submitted == report.completed + report.shed + report.backlog
+    assert report.completed > 0
+    assert report.max_group_size >= 2  # the coordinator actually merged
+
+    benchmark.pedantic(lambda: _serve(catalog, query), rounds=2, iterations=1)
+    samples = (wall_samples(benchmark) or []) + [wall]
+    trajectory.record(
+        "server_steady_state",
+        sim_time=server.session.now,
+        wall_samples=samples,
+        counters={
+            "submitted": report.submitted,
+            "completed": report.completed,
+            "shed": report.shed,
+            "goodput_per_mtime": report.goodput * 1e6,
+            "p99_response": report.latency.p99,
+            "max_group_size": report.max_group_size,
+        },
+    )

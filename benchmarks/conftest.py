@@ -9,7 +9,7 @@ experiment's output, not micro-timing stability.
 The session-scoped :func:`trajectory` fixture is the perf-trajectory
 harness: every smoke bench records one named entry (simulated time,
 wall seconds, and whatever counters characterize the run), and at
-session end the collected entries are written to ``BENCH_9.json`` at
+session end the collected entries are written to ``BENCH_10.json`` at
 the repo root under the versioned ``repro-bench/1`` schema
 (:mod:`repro.obs.bench`) — host fingerprint plus per-bench
 ``{sim_time, wall_s, rows_per_s, counters, wall_samples,
@@ -29,7 +29,7 @@ from repro.tpch.generator import generate
 BENCH_SCALE_FACTOR = 0.0005
 BENCH_SEED = 2007
 
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_9.json"
+TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / "BENCH_10.json"
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,7 @@ Run: ``python examples/adaptive_runtime.py``
 """
 
 from repro.core import ShareAdvisor
+from repro.db import RuntimeConfig
 from repro.policies import OnlineModelGuidedPolicy
 from repro.tpch.generator import generate
 from repro.tpch.queries import build
@@ -30,7 +31,7 @@ def run_machine(catalog, q6, processors: int) -> None:
         policy,
         WorkloadMix.single("q6", seed=11),
         arrival_rate=1.0 / 4_000.0,
-        processors=processors,
+        config=RuntimeConfig(processors=processors),
         horizon=500_000.0,
         drain=100_000.0,
         seed=11,

@@ -62,11 +62,13 @@ from repro.core import (
 )
 from repro.db import Database, QueryResult, RuntimeConfig, Session
 from repro.errors import ReproError
+from repro.server import Server
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database",
+    "Server",
     "Session",
     "RuntimeConfig",
     "QueryResult",

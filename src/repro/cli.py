@@ -149,6 +149,57 @@ def _cmd_trace(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from repro.policies import AlwaysShare, NeverShare
+    from repro.server import LatencyBound, QueueDepthBound, Server
+    from repro.tpch.generator import generate
+    from repro.tpch.queries import build
+    from repro.workload.mixes import WorkloadMix
+
+    catalog = generate(scale_factor=args.scale_factor, seed=args.seed)
+    names = args.queries.split(",")
+    queries = {name: build(name, catalog) for name in names}
+    weights = {name: 1.0 for name in names}
+    mix = WorkloadMix(weights)
+
+    config = RuntimeConfig.preset(args.preset)
+    policy = {"always": AlwaysShare(), "never": NeverShare(), "auto": None}[
+        args.policy
+    ]
+    admission = (
+        LatencyBound(args.latency_bound)
+        if args.latency_bound is not None
+        else QueueDepthBound(args.max_queue)
+    )
+    server = Server.open(
+        catalog,
+        config,
+        policy=policy,
+        admission=admission,
+        max_inflight=args.max_inflight,
+        keep_rows=False,
+    )
+    report = server.serve(
+        mix,
+        queries,
+        arrival_rate=args.rate,
+        horizon=args.horizon,
+        drain=args.drain,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.metrics:
+        print(server.session.metrics().render())
+    if args.audit:
+        print(server.session.audit_log().render())
+    return 0
+
+
+# ----------------------------------------------------------------------
 # repro perf
 # ----------------------------------------------------------------------
 
@@ -237,6 +288,65 @@ def main(argv=None) -> int:
         help="also print the routing-decision audit table",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the open-system service tier: Poisson arrivals, "
+        "admission control, sharing, and an open-system report",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=1.0 / 20_000.0,
+        help="Poisson arrival rate, queries per simulated time unit "
+        "(the default sits just under the demo catalog's capacity "
+        "on the laptop preset)",
+    )
+    serve.add_argument(
+        "--horizon", type=float, default=400_000.0,
+        help="arrival window in simulated time units",
+    )
+    serve.add_argument(
+        "--drain", type=float, default=100_000.0,
+        help="extra time after the horizon for in-flight work",
+    )
+    serve.add_argument(
+        "--queries", default="q1,q6",
+        help="comma-separated TPC-H query names, mixed evenly",
+    )
+    serve.add_argument(
+        "--policy", default="auto", choices=["auto", "always", "never"],
+        help="sharing policy (auto = the session's outlook advisor)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound on the waiting-queue depth (default 64)",
+    )
+    serve.add_argument(
+        "--latency-bound", type=float, default=None, metavar="T",
+        help="shed on projected latency > T instead of queue depth",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="cap on concurrently dispatched queries",
+    )
+    serve.add_argument(
+        "--scale-factor", type=float, default=0.001,
+        help="TPC-H scale factor of the served catalog",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--preset", default="laptop",
+        choices=["laptop", "cmp32", "unbounded"],
+        help="RuntimeConfig preset to serve under (default laptop)",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="also print the session's metric snapshot",
+    )
+    serve.add_argument(
+        "--audit", action="store_true",
+        help="also print the decision/shed audit table",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     perf = sub.add_parser(
         "perf",

@@ -37,6 +37,7 @@ from repro.errors import EngineError
 from repro.storage.buffer import BufferPool
 from repro.storage.page import DEFAULT_PAGE_ROWS
 from repro.storage.shared_scan import ScanShareManager
+from repro.storage.tenant_pool import TenantPartitionedPool, TenantShare
 
 __all__ = ["RuntimeConfig", "PRESETS"]
 
@@ -109,6 +110,14 @@ class RuntimeConfig:
         Per-tuple/per-page cost calibration.
     queue_capacity:
         Bounded-buffer depth between stages.
+    tenants:
+        Optional per-tenant buffer-pool partitioning: a tuple of
+        :class:`~repro.storage.tenant_pool.TenantShare` dividing
+        ``pool_pages`` into hard per-tenant quotas (the open-system
+        service tier's isolation knob). Requires ``pool_pages`` and
+        the ``lru`` pool policy; shares must sum to at most
+        ``pool_pages`` — the remainder becomes the implicit shared
+        partition for spill pages and unowned tables.
     trace:
         Attach a :class:`~repro.obs.trace.Tracer` flight recorder to
         the session's simulator and storage components. Off by
@@ -177,10 +186,13 @@ require pool_pages: elevator cursors read through a buffer pool
     dop: int = 1
     cost_model: CostModel = DEFAULT_COST_MODEL
     queue_capacity: int = 4
+    tenants: Optional[Tuple[TenantShare, ...]] = None
     trace: bool = False
     perf: bool = False
 
     def __post_init__(self) -> None:
+        if self.tenants is not None and not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
         if self.work_mem is not None and self.work_mem < 1:
             raise EngineError(f"work_mem must be >= 1 page, got {self.work_mem}")
         if self.pool_pages is not None and self.pool_pages < 1:
@@ -219,6 +231,24 @@ require pool_pages: elevator cursors read through a buffer pool
                 "group_windows needs a drift_bound: windows open when a "
                 "consumer's lag crosses the bound"
             )
+        if self.tenants is not None:
+            if not self.tenants:
+                raise EngineError("tenants must name at least one TenantShare")
+            if self.pool_pages is None:
+                raise EngineError(
+                    "tenants partition the buffer pool: set pool_pages"
+                )
+            if self.pool_policy != "lru":
+                raise EngineError(
+                    "tenant partitions keep per-partition LRU order; "
+                    f"pool_policy must be 'lru', got {self.pool_policy!r}"
+                )
+            total = sum(share.pages for share in self.tenants)
+            if total > self.pool_pages:
+                raise EngineError(
+                    f"tenant shares sum to {total} pages but pool_pages "
+                    f"is {self.pool_pages}"
+                )
 
     @property
     def effective_batch_size(self) -> int:
@@ -254,11 +284,15 @@ require pool_pages: elevator cursors read through a buffer pool
         normalization the engine applies — so a config can never
         produce a component set the engine would reject.
         """
-        pool = (
-            BufferPool(self.pool_pages, self.pool_policy)
-            if self.pool_pages is not None
-            else None
-        )
+        pool: Optional[BufferPool]
+        if self.tenants is not None:
+            pool = TenantPartitionedPool(
+                self.pool_pages, self.tenants, policy=self.pool_policy
+            )
+        elif self.pool_pages is not None:
+            pool = BufferPool(self.pool_pages, self.pool_policy)
+        else:
+            pool = None
         memory = MemoryBroker(self.work_mem) if self.work_mem is not None else None
         scans = (
             ScanShareManager(

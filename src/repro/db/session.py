@@ -131,6 +131,16 @@ class Database:
         """Mint a session: fresh simulator, engine, and storage set."""
         return Session(self, policy=policy, threshold=threshold)
 
+    def serve(self, policy: Optional[SharingPolicy] = None, **server_kwargs):
+        """Open a fresh session and stand a long-running open-system
+        :class:`~repro.server.server.Server` on it. ``policy`` is the
+        *sharing* policy (``None`` = the session's outlook-driven
+        advisor); admission control, in-flight caps, and mid-flight
+        attach are forwarded via ``server_kwargs``."""
+        from repro.server.server import Server
+
+        return Server(self.session(), policy=policy, **server_kwargs)
+
     def __repr__(self) -> str:
         return f"Database({len(self.catalog)} tables, {self.config!r})"
 

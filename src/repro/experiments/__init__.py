@@ -16,6 +16,10 @@
 * :mod:`repro.experiments.fig_parallel` — share vs parallelize:
   exchange-partitioned fragments against pivot-shared groups, and the
   four-way policy's accuracy on the measured crossover,
+* :mod:`repro.experiments.fig_server` — open-system serving: goodput
+  and tail latency across arrival rates and sharing policies, and the
+  measured load point where sharing flips from straggler factory to
+  win,
 * :mod:`repro.experiments.section4_example` — the Q6 worked example.
 
 Run them via the ``repro-experiments`` CLI (``repro-experiments
@@ -34,6 +38,7 @@ from repro.experiments import (
     fig_mem,
     fig_parallel,
     fig_scan,
+    fig_server,
     fig_sort,
     section4_example,
 )
@@ -48,6 +53,7 @@ __all__ = [
     "fig_mem",
     "fig_parallel",
     "fig_scan",
+    "fig_server",
     "fig_sort",
     "section4_example",
 ]

@@ -34,6 +34,7 @@ from repro.experiments import (
     fig_mem,
     fig_parallel,
     fig_scan,
+    fig_server,
     fig_sort,
     section4_example,
 )
@@ -113,6 +114,16 @@ def _run_fig_audit(quick: bool) -> str:
     return fig_audit.run(base_rows=base_rows).render()
 
 
+def _run_fig_server(quick: bool) -> str:
+    # Quick mode keeps the corner rates: the straggler-factory claim
+    # (light load) and the few-core sharing win (overload) both live
+    # at the extremes of the rate axis.
+    rates = (1.0, 4.0, 8.0) if quick else fig_server.DEFAULT_RATE_MULTIPLES
+    horizon = 40.0 if quick else 60.0
+    return fig_server.run(rate_multiples=rates,
+                          horizon_services=horizon).render()
+
+
 def _run_section4(quick: bool) -> str:
     return section4_example.run().render()
 
@@ -133,6 +144,7 @@ _EXPERIMENTS = {
     "fig_parallel": _Experiment(_run_fig_parallel, "Share vs parallelize: exchange-partitioned fragments + the four-way policy"),
     "fig_drift": _Experiment(_run_fig_drift, "Drift-bounded elevator scans: throttle vs group windows under consumer skew"),
     "fig_scan": _Experiment(_run_fig_scan, "Cooperative scans: elevator sharing, async prefetch, scan-aware eviction"),
+    "fig_server": _Experiment(_run_fig_server, "Open-system serving: goodput/p99 across load, and the sharing flip point"),
     "fig_sort": _Experiment(_run_fig_sort, "External sort: grant-governed runs/merges + prefetched spill read-back"),
     "section4": _Experiment(_run_section4, "Section 4 worked example of the analytical model"),
 }

@@ -26,7 +26,7 @@ from typing import Iterable, Optional
 
 __all__ = ["AuditRecord", "AuditLog"]
 
-OUTCOMES = ("share", "solo", "attach", "parallel", "both")
+OUTCOMES = ("share", "solo", "attach", "parallel", "both", "queue", "shed")
 
 
 @dataclass
@@ -40,9 +40,12 @@ class AuditRecord:
     (the submitter pinned ``share=``), or ``"solo"`` (a singleton
     batch with nothing to share with). ``outcome`` is ``"share"``,
     ``"solo"``, ``"attach"`` (joined a group already in flight),
-    ``"parallel"`` (ran solo with intra-query parallelism), or
-    ``"both"`` (split into several shared groups — the Section 8.1
-    share-and-parallelize arrangement).
+    ``"parallel"`` (ran solo with intra-query parallelism), ``"both"``
+    (split into several shared groups — the Section 8.1
+    share-and-parallelize arrangement), ``"queue"`` (admission control
+    held the arrival for a free slot), or ``"shed"`` (admission
+    control rejected the arrival outright; the open-system server
+    records every shed here — ``source="server"``).
 
     Projection fields are in the model's units: rates are completion
     rates (queries per cost unit, the paper's X_shared/X_unshared),

@@ -47,6 +47,7 @@ __all__ = [
     "TID_SCANS",
     "TID_SPILL",
     "TID_MEMORY",
+    "TID_SERVER",
 ]
 
 # Perfetto lane ids for non-processor events. Processor lanes use the
@@ -58,6 +59,7 @@ TID_POOL = 102
 TID_SCANS = 103
 TID_SPILL = 104
 TID_MEMORY = 105
+TID_SERVER = 106
 
 _LANE_NAMES = {
     TID_TASKS: "tasks",
@@ -66,6 +68,7 @@ _LANE_NAMES = {
     TID_SCANS: "elevator-scans",
     TID_SPILL: "spill",
     TID_MEMORY: "work-mem",
+    TID_SERVER: "server",
 }
 
 

@@ -43,14 +43,16 @@ from repro.engine.packet import QueryHandle
 from repro.errors import PolicyError
 from repro.obs.audit import AuditLog
 from repro.policies.base import SharingPolicy
-from repro.tpch.queries import TpchQuery
 
 __all__ = ["SharingCoordinator"]
+
+# Attribute-absence sentinel for the Query/TpchQuery duck typing.
+_MISSING = object()
 
 
 @dataclass
 class _Pending:
-    query: TpchQuery
+    query: object  # TpchQuery or repro.db Query — see _pivot_of
     label: str
     on_complete: Optional[Callable[[QueryHandle], None]]
 
@@ -74,6 +76,7 @@ class SharingCoordinator:
         policy: SharingPolicy,
         max_group_size: Optional[int] = None,
         audit: Optional[AuditLog] = None,
+        attach_inflight: bool = False,
     ) -> None:
         if max_group_size is not None and max_group_size < 1:
             raise PolicyError(
@@ -82,6 +85,13 @@ class SharingCoordinator:
         self.engine = engine
         self.policy = policy
         self.max_group_size = max_group_size
+        # Simultaneous pipelining (Section 3.2): with ``attach_inflight``
+        # an approved arrival at a *busy* signature launches immediately
+        # instead of waiting in the pending batch — its scan attaches to
+        # the in-flight elevator group mid-revolution through the
+        # ScanShareManager (requires cooperative scans to actually share
+        # work; without them it degrades to a concurrent solo run).
+        self.attach_inflight = attach_inflight
         # Optional decision audit trail: every routed batch appends a
         # source="coordinator" record ("attach" when it joins a busy
         # signature's pending batch, "share"/"solo" otherwise).
@@ -101,7 +111,7 @@ class SharingCoordinator:
 
     def submit(
         self,
-        query: TpchQuery,
+        query,
         label: str,
         on_complete: Optional[Callable[[QueryHandle], None]] = None,
     ) -> None:
@@ -114,6 +124,15 @@ class SharingCoordinator:
     def pending_count(self) -> int:
         return sum(len(slot.pending) for slot in self._slots.values())
 
+    def inflight_count(self) -> int:
+        """Members of launched groups that have not yet completed."""
+        return sum(self._active_members.values())
+
+    def queued_count(self) -> int:
+        """Arrivals accepted but not yet running: the same-instant
+        buffer plus every busy signature's pending batch."""
+        return len(self._arrivals) + self.pending_count()
+
     def drain(self) -> None:
         """Route buffered arrivals immediately (for non-simulated use)."""
         if self._route_scheduled or self._arrivals:
@@ -123,17 +142,39 @@ class SharingCoordinator:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _signature(query: TpchQuery) -> str:
-        return f"{query.pivot}:{query.pivot_node().signature}"
+    def _pivot_of(query) -> Optional[str]:
+        """The sharing pivot's op_id — for both the tpch
+        :class:`TpchQuery` (``pivot``) and the facade's
+        :class:`~repro.db.builder.Query` (``pivot_op_id``)."""
+        pivot = getattr(query, "pivot_op_id", _MISSING)
+        if pivot is not _MISSING:
+            return pivot
+        return query.pivot
+
+    @classmethod
+    def _signature(cls, query) -> Optional[str]:
+        pivot = cls._pivot_of(query)
+        if pivot is None:
+            return None
+        return f"{pivot}:{query.plan.find(pivot).signature}"
 
     def _route_arrivals(self) -> None:
         self._route_scheduled = False
         arrivals, self._arrivals = self._arrivals, []
         by_signature: dict[str, list[_Pending]] = {}
         for entry in arrivals:
-            by_signature.setdefault(self._signature(entry.query), []).append(
-                entry
-            )
+            signature = self._signature(entry.query)
+            if signature is None:
+                # No pivot — nothing to merge on; run solo under a
+                # per-name slot so completion bookkeeping still works.
+                signature = f"solo:{entry.query.name}"
+                slot = self._slots.setdefault(
+                    signature, _Slot(signature=signature)
+                )
+                self.solo_submissions += 1
+                self._launch(slot, [entry])
+                continue
+            by_signature.setdefault(signature, []).append(entry)
         for signature, batch in by_signature.items():
             slot = self._slots.setdefault(signature,
                                           _Slot(signature=signature))
@@ -163,7 +204,13 @@ class SharingCoordinator:
             )
         if verdict:
             self.shared_submissions += len(batch)
-            if busy:
+            if busy and self.attach_inflight:
+                # Launch now; the new scans attach to the in-flight
+                # elevator group at its current page (mid-flight
+                # simultaneous pipelining) instead of waiting for the
+                # active group to drain.
+                self._launch_capped(slot, batch)
+            elif busy:
                 slot.pending.extend(batch)
             else:
                 self._launch_capped(slot, batch)
@@ -181,7 +228,7 @@ class SharingCoordinator:
             self._launch(slot, batch[start:start + cap])
 
     def _launch(self, slot: _Slot, batch: list[_Pending]) -> None:
-        pivot = batch[0].query.pivot if len(batch) > 1 else None
+        pivot = self._pivot_of(batch[0].query) if len(batch) > 1 else None
         group = self.engine.execute_group(
             [entry.query.plan for entry in batch],
             pivot_op_id=pivot,

@@ -1,0 +1,43 @@
+"""The open-system service tier.
+
+A long-running :class:`~repro.server.server.Server` over one
+:class:`~repro.db.session.Session`: seeded Poisson or trace-driven
+arrivals, admission control with explicit audited sheds
+(:mod:`repro.server.admission`), mid-flight attach to in-flight
+elevator groups through the
+:class:`~repro.policies.coordinator.SharingCoordinator`, per-tenant
+buffer-pool quotas, and deterministic open-system reporting
+(goodput, p50/p99 response time — :mod:`repro.server.stats`).
+"""
+
+from repro.server.admission import (
+    AdmissionPolicy,
+    AdmissionView,
+    AdmitAll,
+    LatencyBound,
+    QueueDepthBound,
+)
+from repro.server.server import (
+    Arrival,
+    ServedQuery,
+    Server,
+    ServerReport,
+    TenantReport,
+    poisson_arrivals,
+)
+from repro.server.stats import LatencyStats
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionView",
+    "AdmitAll",
+    "LatencyBound",
+    "QueueDepthBound",
+    "Arrival",
+    "LatencyStats",
+    "ServedQuery",
+    "Server",
+    "ServerReport",
+    "TenantReport",
+    "poisson_arrivals",
+]

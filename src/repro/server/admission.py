@@ -1,0 +1,124 @@
+"""Admission control: decide at arrival time whether a query enters.
+
+An open system cannot refuse to *receive* arrivals — the arrival rate
+is the workload's, not the server's — but it can refuse to *hold*
+them. Without admission control an overloaded server accumulates an
+unbounded backlog and every response-time statistic diverges; with it
+the queue stays bounded, excess arrivals are shed explicitly (recorded
+in the session's :class:`~repro.obs.audit.AuditLog`), and the queries
+that are admitted complete with the same bit-identical answers they
+would produce solo — graceful degradation in the spirit of the
+robust-at-every-budget discipline the spilling operators follow.
+
+A policy sees one immutable :class:`AdmissionView` per arrival and
+answers admit/shed. Two invariants every policy here maintains (and
+the property suite checks):
+
+* **Monotone shedding**: for a fixed in-flight count and service
+  estimate, a policy that sheds at queue depth ``d`` sheds at every
+  depth ``> d`` — load shedding never flickers back on as pressure
+  rises.
+* **Purity**: decisions depend only on the view, so identical arrival
+  traces produce identical shed sequences (byte-identical audit logs
+  across runs with the same seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+
+__all__ = [
+    "AdmissionView",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "QueueDepthBound",
+    "LatencyBound",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionView:
+    """What an admission policy sees at one arrival instant.
+
+    ``queue_depth`` counts arrivals waiting anywhere (the server's
+    dispatch queue plus the coordinator's pending batches);
+    ``in_flight`` counts queries launched and not yet complete;
+    ``projected_latency`` is the server's running estimate of what a
+    query admitted *now* would experience — ``(queue_depth +
+    in_flight + 1) * service_estimate / processors``, with the
+    service estimate an EWMA over completed queries (0 until the
+    first completion, so latency bounds never shed a cold server).
+    """
+
+    queue_depth: int
+    in_flight: int
+    projected_latency: float
+    tenant: str = "default"
+
+
+class AdmissionPolicy:
+    """Admit-or-shed verdict per arriving query."""
+
+    name = "abstract"
+
+    def admit(self, view: AdmissionView) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AdmitAll(AdmissionPolicy):
+    """No admission control: every arrival is queued (unbounded)."""
+
+    name = "admit-all"
+
+    def admit(self, view: AdmissionView) -> bool:
+        return True
+
+
+class QueueDepthBound(AdmissionPolicy):
+    """Shed once the waiting-queue depth reaches ``max_queue``.
+
+    The classic bounded-buffer discipline: admitted work is bounded by
+    ``max_queue + in_flight``, so response times of *admitted* queries
+    stay bounded no matter the offered load.
+    """
+
+    name = "queue-depth"
+
+    def __init__(self, max_queue: int) -> None:
+        if max_queue < 1:
+            raise PolicyError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+
+    def admit(self, view: AdmissionView) -> bool:
+        return view.queue_depth < self.max_queue
+
+    def __repr__(self) -> str:
+        return f"QueueDepthBound(max_queue={self.max_queue})"
+
+
+class LatencyBound(AdmissionPolicy):
+    """Shed when the projected response time exceeds ``bound``.
+
+    Queue depth is a proxy; this bounds the quantity users feel. The
+    projection is the server's EWMA service estimate scaled by the
+    work ahead of the arrival, so the effective queue bound adapts to
+    the workload: heavier queries ⇒ shorter admissible queue.
+    """
+
+    name = "latency-bound"
+
+    def __init__(self, bound: float) -> None:
+        if bound <= 0:
+            raise PolicyError(f"latency bound must be > 0, got {bound}")
+        self.bound = bound
+
+    def admit(self, view: AdmissionView) -> bool:
+        return view.projected_latency <= self.bound
+
+    def __repr__(self) -> str:
+        return f"LatencyBound(bound={self.bound})"

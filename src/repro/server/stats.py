@@ -1,0 +1,95 @@
+"""Deterministic latency statistics for the service tier.
+
+Open-system experiments live and die by tail latency: the paper's
+"straggler" critique of aggressive sharing is invisible in means and
+only shows at p99. :class:`LatencyStats` collects response-time
+samples and answers quantiles with the linear-interpolation estimator
+(numpy's default), computed over a sorted copy — pure Python,
+deterministic, no dependencies, and cheap at the few-thousand-sample
+scale of the soak tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = ["LatencyStats"]
+
+
+class LatencyStats:
+    """Streaming collection, exact quantiles on demand."""
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: list = list(samples)
+        self._sorted: Optional[list] = None
+
+    def add(self, sample: float) -> None:
+        self._samples.append(sample)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) by linear interpolation
+        between order statistics; 0.0 with no samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return "LatencyStats(empty)"
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.4g}, "
+            f"p50={self.p50:.4g}, p99={self.p99:.4g}, max={self.max:.4g})"
+        )

@@ -39,6 +39,12 @@ from repro.storage.shared_scan import (
     TableScanStats,
 )
 from repro.storage.spill_cursor import SpillCursor
+from repro.storage.tenant_pool import (
+    SHARED_PARTITION,
+    TenantPartitionedPool,
+    TenantPartitionPolicy,
+    TenantShare,
+)
 from repro.storage.io import load_catalog, load_table, save_catalog, save_table
 from repro.storage.page import DEFAULT_PAGE_ROWS, Page, paginate
 from repro.storage.schema import (
@@ -65,6 +71,10 @@ __all__ = [
     "TableScanStats",
     "SpillCursor",
     "SpillFile",
+    "SHARED_PARTITION",
+    "TenantPartitionedPool",
+    "TenantPartitionPolicy",
+    "TenantShare",
     "make_policy",
     "spill_page_key",
     "table_page_key",

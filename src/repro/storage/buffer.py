@@ -454,16 +454,18 @@ class BufferPool:
 
     def _admit(self, key: PageKey) -> None:
         if len(self._pins) >= self.capacity:
-            victim = self.policy.victim(self.is_pinned)
-            del self._pins[victim]
-            self.policy.on_remove(victim)
-            self.stats.evictions += 1
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "evict", "pool", tid=TID_POOL, key=str(victim)
-                )
+            self._evict(self.policy.victim(self.is_pinned))
         self._pins[key] = 0
         self.policy.on_admit(key)
+
+    def _evict(self, victim: PageKey) -> None:
+        del self._pins[victim]
+        self.policy.on_remove(victim)
+        self.stats.evictions += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "evict", "pool", tid=TID_POOL, key=str(victim)
+            )
 
     def admit(self, key: PageKey) -> None:
         """Place a page in the pool without counting a hit or a miss.

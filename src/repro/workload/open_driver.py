@@ -11,28 +11,48 @@ the quantity that matters in an open system, where throughput is fixed
 by arrivals whenever the system is stable. Use it to study how sharing
 policies trade latency for capacity: sharing can *raise* the
 sustainable arrival rate even while adding latency at light load.
+
+The driver runs over the facade: pass a
+:class:`~repro.db.session.Session` (arrivals then execute against its
+engine, clock, and storage state) or a
+:class:`~repro.storage.catalog.Catalog` plus a
+:class:`~repro.db.config.RuntimeConfig`. The original hand-wired
+signature (``processors=``, ``costs=``, ``contention=``,
+``queue_capacity=``, ``page_rows=``) still works but is deprecated —
+those knobs are exactly ``RuntimeConfig`` fields, and the config path
+produces bit-identical results (the parity test pins this).
+
+For a full *service tier* on top of this arrival process — admission
+control, tenant isolation, mid-flight attach, latency percentiles —
+see :class:`repro.server.Server`.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.contention import ContentionLike
-from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
-from repro.engine.engine import Engine
+from repro.engine.costs import CostModel
 from repro.errors import WorkloadError
 from repro.policies.base import SharingPolicy
 from repro.policies.coordinator import SharingCoordinator
 from repro.sim.events import Sleep
-from repro.sim.simulator import Simulator
-from repro.storage.catalog import Catalog
 from repro.tpch.queries import build
 from repro.workload.mixes import WorkloadMix
 
 __all__ = ["OpenSystemResult", "run_open_system"]
+
+_LEGACY_KNOBS = (
+    ("processors", "processors"),
+    ("costs", "cost_model"),
+    ("contention", "contention"),
+    ("queue_capacity", "queue_capacity"),
+    ("page_rows", "page_rows"),
+)
 
 
 @dataclass(frozen=True)
@@ -65,20 +85,30 @@ class OpenSystemResult:
 
 
 def run_open_system(
-    catalog: Catalog,
+    catalog,
     policy: SharingPolicy,
     mix: WorkloadMix,
     arrival_rate: float,
-    processors: int,
-    horizon: float,
+    processors: Optional[int] = None,
+    horizon: float = 0.0,
     drain: float = 0.0,
-    costs: CostModel = DEFAULT_COST_MODEL,
+    costs: Optional[CostModel] = None,
     contention: ContentionLike = None,
     seed: int = 0,
-    queue_capacity: int = 4,
+    queue_capacity: Optional[int] = None,
     page_rows: Optional[int] = None,
+    config=None,
 ) -> OpenSystemResult:
     """Drive Poisson arrivals for ``horizon`` simulated time units.
+
+    ``catalog`` may be a :class:`~repro.db.session.Session` (the run
+    executes on its engine and advances its clock) or a
+    :class:`~repro.storage.catalog.Catalog`; with a catalog, pass
+    ``config=`` a :class:`~repro.db.config.RuntimeConfig` describing
+    the machine (default: the ungoverned 8-way). The individual
+    ``processors``/``costs``/``contention``/``queue_capacity``/
+    ``page_rows`` knobs are deprecated aliases for the matching
+    config fields.
 
     ``drain`` extends the run (with arrivals stopped) so in-flight
     queries can finish; response times count from submission.
@@ -90,16 +120,56 @@ def run_open_system(
     if drain < 0:
         raise WorkloadError(f"drain must be >= 0, got {drain!r}")
 
-    sim = Simulator(processors=processors, contention=contention)
-    engine_kwargs = dict(costs=costs, queue_capacity=queue_capacity)
-    if page_rows is not None:
-        engine_kwargs["page_rows"] = page_rows
-    engine = Engine(catalog, sim, **engine_kwargs)
-    coordinator = SharingCoordinator(engine, policy)
+    from repro.db.session import Database, Session
 
-    queries = {name: build(name, catalog) for name in mix.weights}
+    legacy = {
+        name: value
+        for (name, _), value in zip(
+            _LEGACY_KNOBS,
+            (processors, costs, contention, queue_capacity, page_rows),
+        )
+        if value is not None
+    }
+    if isinstance(catalog, Session):
+        if legacy or config is not None:
+            raise WorkloadError(
+                "a Session already fixes the machine: drop "
+                f"{sorted(legacy) + (['config'] if config is not None else [])}"
+            )
+        session = catalog
+    else:
+        if legacy:
+            warnings.warn(
+                "run_open_system's engine knobs "
+                f"({', '.join(sorted(legacy))}) are deprecated; pass "
+                "config=RuntimeConfig(...) or a Session instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if config is not None:
+                raise WorkloadError(
+                    "pass either config= or the legacy engine knobs, not both"
+                )
+            from repro.db.config import RuntimeConfig
+
+            config = RuntimeConfig(
+                **{
+                    field: legacy[name]
+                    for name, field in _LEGACY_KNOBS
+                    if name in legacy
+                }
+            )
+        session = Database(catalog, config).session()
+
+    sim = session.sim
+    coordinator = SharingCoordinator(
+        session.engine, policy, audit=session.audit_log()
+    )
+
+    queries = {name: build(name, session.catalog) for name in mix.weights}
     name_stream = mix.stream(client_id=0)
     rng = random.Random(seed)
+    start = sim.now
 
     stats = {
         "submitted": 0,
@@ -112,7 +182,7 @@ def run_open_system(
         while True:
             gap = -math.log(1.0 - rng.random()) / arrival_rate
             yield Sleep(gap)
-            if sim.now >= horizon:
+            if sim.now - start >= horizon:
                 return
             name = next(name_stream)
             stats["submitted"] += 1
@@ -128,12 +198,12 @@ def run_open_system(
             coordinator.submit(queries[name], label, on_complete=done)
 
     sim.spawn(arrival_process(), name="arrivals")
-    sim.run(until=horizon + drain)
+    sim.run(until=start + horizon + drain)
 
     completed = stats["completed"]
     return OpenSystemResult(
         policy=policy.name,
-        processors=processors,
+        processors=session.config.processors,
         arrival_rate=arrival_rate,
         horizon=horizon,
         submitted=stats["submitted"],

@@ -14,6 +14,7 @@ import random
 
 import pytest
 
+from repro.db import RuntimeConfig
 from repro.engine import Engine
 from repro.errors import PolicyError
 from repro.obs.audit import AuditLog
@@ -178,6 +179,77 @@ class TestSlotRouting:
             _coordinator(AlwaysShare(), max_group_size=0)
 
 
+class ScriptedPolicy(SharingPolicy):
+    """Plays back a fixed verdict sequence, one per consultation."""
+
+    name = "scripted"
+
+    def __init__(self, verdicts):
+        self.verdicts = list(verdicts)
+
+    def should_share(self, query_name, prospective_size, processors):
+        return self.verdicts.pop(0) if self.verdicts else False
+
+
+class TestOverloadCorners:
+    """The server-tier overload paths: what happens when the pending
+    batch is full-sized, and who wakes it up."""
+
+    def test_flush_splits_a_full_pending_batch(self):
+        """A pending batch larger than ``max_group_size`` splits into
+        several concurrent groups at flush time, losing no query."""
+        sim, coordinator = _coordinator(AlwaysShare(), max_group_size=3)
+        q = _query()
+        done = []
+        coordinator.submit(q, "head", on_complete=lambda h: done.append(h))
+
+        def overload():
+            yield Sleep(1.0)  # the head query is now in flight
+            for i in range(7):
+                coordinator.submit(
+                    q, f"late#{i}", on_complete=lambda h: done.append(h)
+                )
+
+        sim.spawn(overload(), name="overload")
+        sim.run()
+        # Head ran solo (size 1 is never shared); the seven waiters
+        # flushed as 3 + 3 + 1 when it drained.
+        assert coordinator.launched_group_sizes == [1, 3, 3, 1]
+        assert len(done) == 8
+        assert coordinator.pending_count() == 0
+
+    def test_declined_solo_completion_flushes_the_waiting_batch(self):
+        """A policy-declined query runs solo but keeps its signature
+        busy; a batch forms behind it and must launch the instant the
+        solo completes — not wait for any shared group."""
+        audit = AuditLog()
+        policy = ScriptedPolicy([False, True])
+        sim, coordinator = _coordinator(policy, audit=audit)
+        q = _query()
+        finish_times = {}
+
+        def record(handle):
+            finish_times[handle.label] = sim.now
+
+        coordinator.submit(q, "declined", on_complete=record)
+
+        def latecomers():
+            yield Sleep(1.0)  # the declined query is running solo
+            for i in range(3):
+                coordinator.submit(q, f"wait#{i}", on_complete=record)
+
+        sim.spawn(latecomers(), name="latecomers")
+        sim.run()
+        outcomes = [r.outcome for r in audit.records]
+        assert outcomes == ["solo", "attach"]
+        # The batch merged into one group launched after the solo.
+        assert coordinator.launched_group_sizes == [1, 3]
+        assert len(finish_times) == 4
+        waiters = {t for label, t in finish_times.items()
+                   if label.startswith("wait")}
+        assert min(waiters) > finish_times["declined"]
+
+
 class TestOpenDriverBookkeeping:
     def test_poisson_schedule_matches_seeded_replay(self):
         """The driver submits exactly the arrivals an offline replay of
@@ -185,7 +257,7 @@ class TestOpenDriverBookkeeping:
         rate, horizon, seed = 1.0 / 30_000.0, 500_000.0, 11
         result = run_open_system(
             CATALOG, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=rate, processors=8,
+            arrival_rate=rate, config=RuntimeConfig(processors=8),
             horizon=horizon, drain=200_000.0, seed=seed,
         )
         rng = random.Random(seed)
@@ -200,12 +272,12 @@ class TestOpenDriverBookkeeping:
     def test_no_arrivals_after_horizon(self):
         result = run_open_system(
             CATALOG, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 20_000.0, processors=8,
+            arrival_rate=1.0 / 20_000.0, config=RuntimeConfig(processors=8),
             horizon=200_000.0, drain=400_000.0, seed=5,
         )
         a = run_open_system(
             CATALOG, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 20_000.0, processors=8,
+            arrival_rate=1.0 / 20_000.0, config=RuntimeConfig(processors=8),
             horizon=200_000.0, drain=800_000.0, seed=5,
         )
         # A longer drain admits no new work; it only finishes what's in.
@@ -231,7 +303,7 @@ class TestOpenDriverBookkeeping:
     def test_empty_run_reports_infinite_mean_response(self):
         result = run_open_system(
             CATALOG, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 1e9, processors=2, horizon=10.0, seed=0,
+            arrival_rate=1.0 / 1e9, config=RuntimeConfig(processors=2), horizon=10.0, seed=0,
         )
         assert result.submitted == 0
         assert result.completed == 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.db import Database, RuntimeConfig
 from repro.errors import WorkloadError
 from repro.policies import AlwaysShare, NeverShare
 from repro.tpch.generator import generate
@@ -17,7 +18,7 @@ class TestOpenSystem:
     def test_light_load_is_stable(self, catalog):
         result = run_open_system(
             catalog, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 50_000.0, processors=8,
+            arrival_rate=1.0 / 50_000.0, config=RuntimeConfig(processors=8),
             horizon=600_000.0, drain=100_000.0, seed=1,
         )
         assert result.submitted > 3
@@ -29,7 +30,7 @@ class TestOpenSystem:
         """Arrivals far above service capacity leave a backlog."""
         result = run_open_system(
             catalog, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 500.0, processors=1,
+            arrival_rate=1.0 / 500.0, config=RuntimeConfig(processors=1),
             horizon=100_000.0, drain=0.0, seed=1,
         )
         assert result.backlog > 0
@@ -40,7 +41,7 @@ class TestOpenSystem:
         arrival rate produces a smaller backlog under always-share."""
         kwargs = dict(
             catalog=catalog, mix=WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 4_000.0, processors=1,
+            arrival_rate=1.0 / 4_000.0, config=RuntimeConfig(processors=1),
             horizon=400_000.0, drain=0.0, seed=2,
         )
         shared = run_open_system(policy=AlwaysShare(), **kwargs)
@@ -52,7 +53,7 @@ class TestOpenSystem:
         the arrival process does."""
         result = run_open_system(
             catalog, NeverShare(), WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 40_000.0, processors=8,
+            arrival_rate=1.0 / 40_000.0, config=RuntimeConfig(processors=8),
             horizon=800_000.0, drain=200_000.0, seed=3,
         )
         expected = result.horizon * result.arrival_rate
@@ -63,7 +64,7 @@ class TestOpenSystem:
         kwargs = dict(
             catalog=catalog, policy=NeverShare(),
             mix=WorkloadMix.single("q6"),
-            arrival_rate=1.0 / 20_000.0, processors=4,
+            arrival_rate=1.0 / 20_000.0, config=RuntimeConfig(processors=4),
             horizon=300_000.0, drain=100_000.0, seed=7,
         )
         a = run_open_system(**kwargs)
@@ -76,10 +77,67 @@ class TestOpenSystem:
         mix = WorkloadMix.single("q6")
         with pytest.raises(WorkloadError):
             run_open_system(catalog, NeverShare(), mix, arrival_rate=0.0,
-                            processors=1, horizon=1.0)
+                            config=RuntimeConfig(processors=1), horizon=1.0)
         with pytest.raises(WorkloadError):
             run_open_system(catalog, NeverShare(), mix, arrival_rate=1.0,
-                            processors=1, horizon=0.0)
+                            config=RuntimeConfig(processors=1), horizon=0.0)
         with pytest.raises(WorkloadError):
             run_open_system(catalog, NeverShare(), mix, arrival_rate=1.0,
-                            processors=1, horizon=1.0, drain=-1.0)
+                            config=RuntimeConfig(processors=1), horizon=1.0, drain=-1.0)
+
+
+class TestFacadePort:
+    """run_open_system now rides the Database/Session facade; the old
+    hand-wired signature stays, deprecated, and bit-identical."""
+
+    def test_legacy_knobs_warn_and_match_config_path(self, catalog):
+        kwargs = dict(
+            mix=WorkloadMix.single("q6"), arrival_rate=1.0 / 20_000.0,
+            horizon=300_000.0, drain=100_000.0, seed=7,
+        )
+        with pytest.warns(DeprecationWarning, match="processors"):
+            legacy = run_open_system(
+                catalog, NeverShare(), processors=4, **kwargs
+            )
+        modern = run_open_system(
+            catalog, NeverShare(),
+            config=RuntimeConfig(processors=4), **kwargs
+        )
+        assert legacy == modern  # the full frozen dataclass, every field
+
+    def test_session_first_argument(self, catalog):
+        session = Database(catalog, RuntimeConfig(processors=4)).session()
+        result = run_open_system(
+            session, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 20_000.0, horizon=300_000.0,
+            drain=100_000.0, seed=7,
+        )
+        baseline = run_open_system(
+            catalog, NeverShare(), WorkloadMix.single("q6"),
+            arrival_rate=1.0 / 20_000.0,
+            config=RuntimeConfig(processors=4),
+            horizon=300_000.0, drain=100_000.0, seed=7,
+        )
+        assert result == baseline
+        # The run advanced the session's own clock and audited on it.
+        assert session.now > 0
+        assert any(
+            r.source == "coordinator" for r in session.audit_log()
+        )
+
+    def test_session_rejects_machine_knobs(self, catalog):
+        session = Database(catalog, RuntimeConfig(processors=4)).session()
+        with pytest.raises(WorkloadError, match="Session already fixes"):
+            run_open_system(
+                session, NeverShare(), WorkloadMix.single("q6"),
+                arrival_rate=0.001, processors=2, horizon=10.0,
+            )
+
+    def test_config_and_legacy_knobs_conflict(self, catalog):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(WorkloadError, match="not both"):
+                run_open_system(
+                    catalog, NeverShare(), WorkloadMix.single("q6"),
+                    arrival_rate=0.001, processors=2,
+                    config=RuntimeConfig(processors=2), horizon=10.0,
+                )
